@@ -1,0 +1,23 @@
+//! Adversarial constructions from the paper.
+//!
+//! * [`ando_counterexample`] — Figure 4: the exact five-robot configuration
+//!   and scripted timelines under which the unmodified Ando et al. algorithm
+//!   loses a visibility edge in the 1-Async and 2-NestA models;
+//! * [`spiral`] — §7.1: the discrete spiral initial configuration
+//!   (`n ≥ 3 + e^{3π/(8 sin ψ)}` robots, turn angle `ψ`);
+//! * [`impossibility`] — §7.2: the sliver-flattening adversary that rotates
+//!   the spiral tail onto the far chord while the head robot `X_A` sits in an
+//!   unboundedly long (nested) activation, then releases `X_A`'s stale move —
+//!   breaking the `X_A X_B` visibility edge;
+//! * [`freeze`] — §7.2.1: the regular-polygon argument that an algorithm
+//!   refusing to move under near-collinear perceptions cannot converge.
+
+pub mod ando_counterexample;
+pub mod freeze;
+pub mod impossibility;
+pub mod spiral;
+
+pub use ando_counterexample::{figure4_configuration, figure4a_schedule, figure4b_schedule, run_figure4};
+pub use freeze::FrozenNearCollinear;
+pub use impossibility::{run_impossibility, ImpossibilityOutcome};
+pub use spiral::SpiralConstruction;

@@ -1,0 +1,190 @@
+//! Ando et al.'s `Go_To_The_Centre_Of_The_SEC` algorithm (§3.1 of the paper;
+//! original: Ando, Oasa, Suzuki, Yamashita, IEEE Trans. Robotics Autom. 1999).
+//!
+//! Upon activation the robot computes the centre `c` of the smallest
+//! enclosing circle of its visible neighbourhood (itself included) and moves
+//! toward `c`, limited so it stays inside the safe disk of every neighbour:
+//! for a neighbour at distance `d` under angle `θ` from the motion direction,
+//! the limit is the chord length
+//!
+//! ```text
+//! l = (d/2)·cos θ + √((V/2)² − ((d/2)·sin θ)²)
+//! ```
+//!
+//! — i.e. how far the robot can travel toward `c` while staying in the disk
+//! of radius `V/2` centred at the neighbour's midpoint (the grey region of
+//! Figure 3). Knowledge of `V` is built in (the assumption the paper
+//! highlights and removes).
+
+use cohesion_geometry::ball::smallest_enclosing_ball;
+use cohesion_geometry::Vec2;
+use cohesion_model::{Algorithm, Snapshot};
+use serde::{Deserialize, Serialize};
+
+/// The Ando et al. baseline. Correct under SSync; *not* correct under
+/// 1-Async or 2-NestA (Figure 4 — reproduced in `cohesion-adversary`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AndoAlgorithm {
+    /// The known visibility radius `V`.
+    visibility: f64,
+    name: String,
+}
+
+impl AndoAlgorithm {
+    /// Creates the algorithm with its built-in knowledge of `V`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `V > 0`.
+    pub fn new(visibility: f64) -> Self {
+        assert!(visibility > 0.0, "visibility radius must be positive");
+        AndoAlgorithm { visibility, name: format!("ando(V={visibility})") }
+    }
+
+    /// The built-in visibility radius.
+    pub fn visibility(&self) -> f64 {
+        self.visibility
+    }
+
+    /// The per-neighbour movement limit toward unit direction `u` for a
+    /// neighbour at displacement `p` (Ando et al.'s `LIMIT`); `None` when no
+    /// forward motion keeps the neighbour's safe disk (robot must stay).
+    pub fn limit_toward(&self, u: Vec2, p: Vec2) -> Option<f64> {
+        let d = p.norm();
+        if d == 0.0 {
+            return Some(f64::INFINITY);
+        }
+        let half = self.visibility / 2.0;
+        let m = p * 0.5; // midpoint of robot and neighbour
+        // Travel x along u stays safe while |x·u − m| ≤ V/2.
+        let along = m.dot(u);
+        let perp_sq = m.norm_sq() - along * along;
+        let disc = half * half - perp_sq;
+        if disc < 0.0 {
+            // The line misses the disk entirely: with d ≤ V this cannot
+            // happen (the current position is inside), but guard anyway.
+            return None;
+        }
+        let exit = along + disc.sqrt();
+        if exit < 0.0 {
+            None
+        } else {
+            Some(exit)
+        }
+    }
+}
+
+impl Algorithm<Vec2> for AndoAlgorithm {
+    fn compute(&self, snapshot: &Snapshot<Vec2>) -> Vec2 {
+        if snapshot.is_empty() {
+            return Vec2::ZERO;
+        }
+        // SEC of the neighbourhood including the robot itself (origin).
+        let mut pts: Vec<Vec2> = snapshot.positions().collect();
+        pts.push(Vec2::ZERO);
+        let sec = smallest_enclosing_ball(&pts);
+        let goal = sec.center;
+        let dist_to_goal = goal.norm();
+        let Some(u) = goal.normalized(1e-12) else {
+            return Vec2::ZERO;
+        };
+        let mut step = dist_to_goal;
+        for p in snapshot.positions() {
+            match self.limit_toward(u, p) {
+                Some(l) => step = step.min(l),
+                None => return Vec2::ZERO,
+            }
+        }
+        if step <= 0.0 {
+            return Vec2::ZERO;
+        }
+        u * step
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pts: &[Vec2]) -> Snapshot<Vec2> {
+        Snapshot::from_positions(pts.to_vec())
+    }
+
+    #[test]
+    fn two_robots_meet_in_the_middle() {
+        // One neighbour at distance 1 = V: SEC centre is the midpoint; the
+        // limit allows reaching it exactly.
+        let alg = AndoAlgorithm::new(1.0);
+        let t = alg.compute(&snap(&[Vec2::new(1.0, 0.0)]));
+        assert!((t - Vec2::new(0.5, 0.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn limit_is_binding_for_perpendicular_neighbors() {
+        // Neighbours at ±90° with distance V force a small forward step.
+        let alg = AndoAlgorithm::new(1.0);
+        let a = Vec2::new(0.0, 1.0);
+        let b = Vec2::new(1.0, 0.0);
+        let t = alg.compute(&snap(&[a, b]));
+        // Target stays within both neighbours' V/2-midpoint disks.
+        for p in [a, b] {
+            let mid = p * 0.5;
+            assert!(t.dist(mid) <= 0.5 + 1e-9, "violates safe disk of {p}");
+        }
+        assert!(t.norm() > 0.0, "robot should make progress");
+    }
+
+    #[test]
+    fn empty_snapshot_stays() {
+        let alg = AndoAlgorithm::new(1.0);
+        assert_eq!(alg.compute(&snap(&[])), Vec2::ZERO);
+    }
+
+    #[test]
+    fn symmetric_pair_center_reached() {
+        // Symmetric neighbours: SEC centre is between them.
+        let alg = AndoAlgorithm::new(1.0);
+        let t = alg.compute(&snap(&[Vec2::new(0.8, 0.3), Vec2::new(0.8, -0.3)]));
+        assert!(t.y.abs() < 1e-9);
+        assert!(t.x > 0.0);
+    }
+
+    #[test]
+    fn target_always_within_every_safe_disk() {
+        // Randomized check of the movement-limit math.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let alg = AndoAlgorithm::new(1.0);
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..6);
+            let pts: Vec<Vec2> = (0..n)
+                .map(|_| {
+                    let ang = rng.gen_range(0.0..std::f64::consts::TAU);
+                    let d = rng.gen_range(0.05..1.0);
+                    Vec2::from_angle(ang) * d
+                })
+                .collect();
+            let t = alg.compute(&snap(&pts));
+            for p in &pts {
+                assert!(
+                    t.dist(*p * 0.5) <= 0.5 + 1e-7,
+                    "target {t} violates disk of {p} (pts {pts:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn limit_formula_matches_paper() {
+        // For a neighbour on the motion axis at distance d, the limit is
+        // d/2 + V/2 (reach the far side of the midpoint disk).
+        let alg = AndoAlgorithm::new(1.0);
+        let l = alg.limit_toward(Vec2::new(1.0, 0.0), Vec2::new(0.6, 0.0)).unwrap();
+        assert!((l - (0.3 + 0.5)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,106 @@
+//! The centre-of-gravity algorithm of Cohen & Peleg (§1.2.2 of the paper;
+//! original: SIAM J. Comput. 2005).
+//!
+//! Each activated robot moves to the centre of gravity of all robots it
+//! sees. Designed for **unlimited visibility**: under limited visibility it
+//! neither knows `V` nor protects visibility edges, so it serves as the
+//! non-cohesive control in the separation experiments. Its convergence rate
+//! under full visibility is `O(n²)` rounds to halve the diameter, the
+//! baseline the minbox algorithm improves on.
+
+use cohesion_geometry::point::Point;
+use cohesion_model::{Algorithm, Snapshot};
+use serde::{Deserialize, Serialize};
+
+/// The CoG baseline (dimension-generic: the centre of gravity needs only
+/// vector addition).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CogAlgorithm {
+    /// Fraction of the way toward the centre of gravity to move (`1.0` is
+    /// the classic algorithm; Cohen–Peleg's `Restricted_CoG` variants use
+    /// shorter steps).
+    pub step_fraction: f64,
+}
+
+impl CogAlgorithm {
+    /// The classic full-step algorithm.
+    pub fn new() -> Self {
+        CogAlgorithm { step_fraction: 1.0 }
+    }
+
+    /// A restricted variant moving only `fraction` of the way (must be in
+    /// `(0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction ∉ (0, 1]`.
+    pub fn restricted(fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "step fraction must be in (0, 1]");
+        CogAlgorithm { step_fraction: fraction }
+    }
+}
+
+impl<P: Point> Algorithm<P> for CogAlgorithm {
+    fn compute(&self, snapshot: &Snapshot<P>) -> P {
+        if snapshot.is_empty() {
+            return P::zero();
+        }
+        // Centre of gravity of the *observed configuration*, which includes
+        // the robot itself at the origin: sum / (n + 1).
+        let mut acc = P::zero();
+        for p in snapshot.positions() {
+            acc = acc + p;
+        }
+        let cog = acc * (1.0 / (snapshot.len() as f64 + 1.0));
+        cog * self.step_fraction
+    }
+
+    fn name(&self) -> &str {
+        "cog"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion_geometry::{Vec2, Vec3};
+
+    #[test]
+    fn moves_to_centroid() {
+        let alg = CogAlgorithm::new();
+        let snap = Snapshot::from_positions(vec![Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0)]);
+        let t: Vec2 = alg.compute(&snap);
+        assert!((t - Vec2::new(1.0 / 3.0, 1.0 / 3.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn restricted_scales_step() {
+        let full = CogAlgorithm::new();
+        let half = CogAlgorithm::restricted(0.5);
+        let snap = Snapshot::from_positions(vec![Vec2::new(1.0, 0.0)]);
+        let tf: Vec2 = full.compute(&snap);
+        let th: Vec2 = half.compute(&snap);
+        assert!((tf * 0.5 - th).norm() < 1e-12);
+    }
+
+    #[test]
+    fn works_in_3d() {
+        let alg = CogAlgorithm::new();
+        let snap = Snapshot::from_positions(vec![Vec3::new(2.0, 0.0, 2.0)]);
+        let t: Vec3 = alg.compute(&snap);
+        assert!((t - Vec3::new(1.0, 0.0, 1.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stays() {
+        let alg = CogAlgorithm::new();
+        let snap = Snapshot::<Vec2>::from_positions(vec![]);
+        assert_eq!(alg.compute(&snap), Vec2::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_fraction_rejected() {
+        let _ = CogAlgorithm::restricted(0.0);
+    }
+}

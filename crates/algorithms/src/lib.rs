@@ -1,0 +1,24 @@
+//! Baseline convergence algorithms from the literature the paper builds on
+//! and compares against (§1.2, §3.1).
+//!
+//! * [`AndoAlgorithm`] — Ando, Oasa, Suzuki, Yamashita (1999):
+//!   `Go_To_The_Centre_Of_The_SEC` with per-neighbour movement limits;
+//!   assumes the visibility radius `V` is known. Correct in SSync; the
+//!   paper's Figure 4 shows it fails in 1-Async and 2-NestA — our
+//!   `cohesion-adversary` crate reproduces both counterexamples.
+//! * [`KatreniakAlgorithm`] — Katreniak (2011): two-disk-union safe regions,
+//!   `V` unknown. Correct in 1-Async.
+//! * [`CogAlgorithm`] — Cohen & Peleg (2005): move to the centre of gravity;
+//!   the classic unlimited-visibility baseline (`O(n²)` convergence rate).
+//! * [`GcmAlgorithm`] — Cord-Landwehr et al. (2011): move toward the centre
+//!   of the minbox; requires axis agreement, converges in `Θ(n)` rounds.
+
+pub mod ando;
+pub mod cog;
+pub mod gcm;
+pub mod katreniak;
+
+pub use ando::AndoAlgorithm;
+pub use cog::CogAlgorithm;
+pub use gcm::GcmAlgorithm;
+pub use katreniak::KatreniakAlgorithm;

@@ -1,0 +1,45 @@
+//! Criterion benches for each algorithm's Compute phase vs neighbourhood
+//! size — the per-activation cost a robot (or a simulator) pays.
+
+use cohesion_algorithms::{AndoAlgorithm, CogAlgorithm, GcmAlgorithm, KatreniakAlgorithm};
+use cohesion_core::KirkpatrickAlgorithm;
+use cohesion_geometry::Vec2;
+use cohesion_model::{Algorithm, Snapshot};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn snapshot(n: usize, seed: u64) -> Snapshot<Vec2> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Snapshot::from_positions(
+        (0..n)
+            .map(|_| {
+                Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU))
+                    * rng.gen_range(0.05..1.0)
+            })
+            .collect(),
+    )
+}
+
+fn bench_compute(c: &mut Criterion) {
+    let algorithms: Vec<(&str, Box<dyn Algorithm<Vec2>>)> = vec![
+        ("kirkpatrick", Box::new(KirkpatrickAlgorithm::new(2))),
+        ("ando", Box::new(AndoAlgorithm::new(1.0))),
+        ("katreniak", Box::new(KatreniakAlgorithm::new())),
+        ("cog", Box::new(CogAlgorithm::new())),
+        ("gcm", Box::new(GcmAlgorithm::new())),
+    ];
+    for (name, alg) in &algorithms {
+        let mut group = c.benchmark_group(format!("compute/{name}"));
+        for n in [2usize, 8, 32, 128] {
+            let snap = snapshot(n, 7);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &snap, |b, snap| {
+                b.iter(|| alg.compute(black_box(snap)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_compute);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches for the simulation engine: events per second vs swarm
+//! size and scheduler model.
+
+use cohesion_core::KirkpatrickAlgorithm;
+use cohesion_engine::Engine;
+use cohesion_scheduler::{AsyncScheduler, FSyncScheduler, KAsyncScheduler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_events");
+    let events_per_iter = 3_000u64;
+    group.throughput(Throughput::Elements(events_per_iter));
+    for n in [10usize, 40, 100] {
+        let config = cohesion_workloads::random_connected(n, 1.0, 5);
+        group.bench_with_input(BenchmarkId::new("fsync", n), &config, |b, config| {
+            b.iter(|| {
+                let mut engine = Engine::new(
+                    config,
+                    1.0,
+                    KirkpatrickAlgorithm::new(1),
+                    FSyncScheduler::new(),
+                    1,
+                );
+                for _ in 0..events_per_iter {
+                    engine.step();
+                }
+                engine.time()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("k_async", n), &config, |b, config| {
+            b.iter(|| {
+                let mut engine = Engine::new(
+                    config,
+                    1.0,
+                    KirkpatrickAlgorithm::new(2),
+                    KAsyncScheduler::new(2, 3),
+                    1,
+                );
+                for _ in 0..events_per_iter {
+                    engine.step();
+                }
+                engine.time()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("async", n), &config, |b, config| {
+            b.iter(|| {
+                let mut engine = Engine::new(
+                    config,
+                    1.0,
+                    KirkpatrickAlgorithm::new(2),
+                    AsyncScheduler::new(3),
+                    1,
+                );
+                for _ in 0..events_per_iter {
+                    engine.step();
+                }
+                engine.time()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for the geometric kernels on the algorithms' hot path:
+//! smallest enclosing balls (Ando's Compute, congregation bookkeeping),
+//! convex hulls (metrics), and the sector analysis (the paper's target rule).
+
+use cohesion_geometry::ball::smallest_enclosing_ball;
+use cohesion_geometry::cone::sector_2d;
+use cohesion_geometry::hull::convex_hull;
+use cohesion_geometry::Vec2;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn points(n: usize, seed: u64) -> Vec<Vec2> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| Vec2::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+}
+
+fn bench_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smallest_enclosing_ball");
+    for n in [8usize, 32, 128, 512] {
+        let pts = points(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| smallest_enclosing_ball(black_box(pts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hull(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convex_hull");
+    for n in [8usize, 32, 128, 512] {
+        let pts = points(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| convex_hull(black_box(pts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sector_analysis");
+    for n in [2usize, 4, 8, 16] {
+        let dirs = points(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dirs, |b, dirs| {
+            b.iter(|| sector_2d(black_box(dirs), 1e-9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sec, bench_hull, bench_sector);
+criterion_main!(benches);

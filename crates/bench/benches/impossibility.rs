@@ -1,0 +1,31 @@
+//! Criterion benches for the §7 adversary: spiral construction cost and the
+//! per-sweep cost of the sliver-flattening schedule.
+
+use cohesion_adversary::{run_impossibility, SpiralConstruction};
+use cohesion_algorithms::AndoAlgorithm;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_spiral_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spiral_build");
+    for psi in [0.35, 0.3, 0.25, 0.2] {
+        group.bench_with_input(BenchmarkId::from_parameter(psi), &psi, |b, &psi| {
+            b.iter(|| SpiralConstruction::paper(black_box(psi)).robot_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_flattening(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flattening_until_separation");
+    group.sample_size(10);
+    for psi in [0.35, 0.3] {
+        group.bench_with_input(BenchmarkId::from_parameter(psi), &psi, |b, &psi| {
+            let ando = AndoAlgorithm::new(1.0);
+            b.iter(|| run_impossibility(black_box(&ando), psi, 20_000).tail_activations)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spiral_build, bench_flattening);
+criterion_main!(benches);

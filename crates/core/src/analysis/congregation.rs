@@ -1,0 +1,142 @@
+//! The congregation bounds of §5 (Figures 16–17, Lemmas 6–8).
+//!
+//! The convergence argument fixes the smallest bounding circle `Ξ` of the
+//! configuration's convex hull, with radius `r_H` and up to three critical
+//! support points `A_H, B_H, C_H`, and shows that a `δ`-neighbourhood of some
+//! critical point must eventually empty — shrinking the hull perimeter by a
+//! quantified amount and contradicting non-convergence.
+
+use cohesion_geometry::ball::smallest_enclosing_ball_with_support;
+use cohesion_geometry::Vec2;
+
+/// Lemma 6: if `V_Z ≥ ζ·r_H`, any `ξ`-rigid motion of `Z` ends at distance at
+/// least `(ζ / (80·√(1+1/ξ)))⁴ · r_H` from the critical point `A_H`.
+///
+/// Returns that lower bound.
+///
+/// # Panics
+///
+/// Panics unless `ζ > 0`, `0 < ξ ≤ 1`, `r_H > 0`.
+pub fn lemma6_bound(zeta: f64, xi: f64, r_h: f64) -> f64 {
+    assert!(zeta > 0.0, "ζ must be positive");
+    assert!(xi > 0.0 && xi <= 1.0, "ξ must be in (0, 1]");
+    assert!(r_h > 0.0, "hull radius must be positive");
+    let base = zeta / (80.0 * (1.0 + 1.0 / xi).sqrt());
+    base.powi(4) * r_h
+}
+
+/// Lemma 7 (contagious separation): if `Z` has a neighbour staying at
+/// distance `≥ µ·r_H` from `A_H`, then `Z` must itself end up at distance at
+/// least `(µ / (240·√(1+1/ξ)))⁴ · r_H` from `A_H`.
+///
+/// Returns that lower bound.
+///
+/// # Panics
+///
+/// Panics unless `µ > 0`, `0 < ξ ≤ 1`, `r_H > 0`.
+pub fn lemma7_bound(mu: f64, xi: f64, r_h: f64) -> f64 {
+    assert!(mu > 0.0, "µ must be positive");
+    assert!(xi > 0.0 && xi <= 1.0, "ξ must be in (0, 1]");
+    assert!(r_h > 0.0, "hull radius must be positive");
+    let base = mu / (240.0 * (1.0 + 1.0 / xi).sqrt());
+    base.powi(4) * r_h
+}
+
+/// Lemma 8: if at some time every robot is outside the `d`-neighbourhood of
+/// the critical point `A_H`, the hull perimeter has dropped by at least
+/// `d³ / (4·r_H²)`.
+///
+/// Returns that guaranteed perimeter decrease.
+///
+/// # Panics
+///
+/// Panics unless `0 < d ≤ r_H`.
+pub fn lemma8_perimeter_drop(d: f64, r_h: f64) -> f64 {
+    assert!(d > 0.0 && d <= r_h, "need 0 < d ≤ r_H");
+    d.powi(3) / (4.0 * r_h * r_h)
+}
+
+/// The smallest bounding circle of a configuration: returns
+/// `(center, r_H, critical_points)` where the critical points are the (≤ 3)
+/// support points `A_H, B_H, C_H` of Figure 16.
+pub fn hull_radius_and_critical_points(points: &[Vec2]) -> (Vec2, f64, Vec<Vec2>) {
+    let (ball, support) = smallest_enclosing_ball_with_support(points);
+    (ball.center, ball.radius, support)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma6_monotone_in_zeta_and_xi() {
+        let r_h = 2.0;
+        assert!(lemma6_bound(0.5, 1.0, r_h) > lemma6_bound(0.25, 1.0, r_h));
+        assert!(lemma6_bound(0.5, 1.0, r_h) > lemma6_bound(0.5, 0.5, r_h));
+        // Rigid motion, ζ = 1: (1/(80·√2))⁴ · r_H.
+        let expect = (1.0 / (80.0 * 2f64.sqrt())).powi(4) * r_h;
+        assert!((lemma6_bound(1.0, 1.0, r_h) - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn lemma7_is_weaker_than_lemma6() {
+        // Same numerator, bigger denominator: contagion costs a factor 3⁴.
+        let (b6, b7) = (lemma6_bound(0.3, 1.0, 1.0), lemma7_bound(0.3, 1.0, 1.0));
+        assert!(b7 < b6);
+        assert!((b6 / b7 - 3f64.powi(4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma8_scaling() {
+        // d³/(4 r_H²).
+        assert!((lemma8_perimeter_drop(0.1, 1.0) - 0.00025).abs() < 1e-12);
+        // Doubling d gives 8× the drop.
+        let drop1 = lemma8_perimeter_drop(0.05, 1.0);
+        let drop2 = lemma8_perimeter_drop(0.1, 1.0);
+        assert!((drop2 / drop1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma8_geometric_soundness() {
+        // Empirical check of the geometry behind Lemma 8: take points on a
+        // circle of radius r_H, empty a d-neighbourhood of the topmost point,
+        // and compare hull perimeters.
+        use cohesion_geometry::hull::convex_hull;
+        let r_h = 1.0;
+        let n = 360;
+        let full: Vec<Vec2> = (0..n)
+            .map(|i| Vec2::from_angle(i as f64 / n as f64 * std::f64::consts::TAU) * r_h)
+            .collect();
+        let apex = Vec2::new(0.0, r_h);
+        for d in [0.05, 0.1, 0.2] {
+            let emptied: Vec<Vec2> = full.iter().copied().filter(|p| p.dist(apex) > d).collect();
+            let drop = convex_hull(&full).perimeter() - convex_hull(&emptied).perimeter();
+            let bound = lemma8_perimeter_drop(d, r_h);
+            assert!(drop >= bound, "measured drop {drop} below Lemma 8 bound {bound} (d={d})");
+        }
+    }
+
+    #[test]
+    fn critical_points_on_circle() {
+        let pts = vec![
+            Vec2::new(1.0, 0.0),
+            Vec2::new(-1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(0.0, -1.0),
+            Vec2::new(0.2, 0.3),
+        ];
+        let (center, r_h, critical) = hull_radius_and_critical_points(&pts);
+        assert!(center.norm() < 1e-6);
+        assert!((r_h - 1.0).abs() < 1e-6);
+        assert!(!critical.is_empty() && critical.len() <= 3);
+        for c in critical {
+            assert!((c.norm() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn lemma8_rejects_large_d() {
+        let _ = lemma8_perimeter_drop(2.0, 1.0);
+    }
+}

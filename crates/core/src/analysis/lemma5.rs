@@ -1,0 +1,145 @@
+//! The Lemma 5 chain invariant (§4.2.1, Figures 10–12).
+//!
+//! The `1-Async` visibility-preservation proof walks the chain of edges
+//!
+//! ```text
+//! Y_i X_i, X_i Y_{i−1}, Y_{i−1} X_{i−1}, …, X_1 Y_0, Y_0 X_0
+//! ```
+//!
+//! of a hypothetical *doomed engagement* (one ending with separation
+//! `|X_i Y_i| > V`) and shows by induction that every edge satisfies
+//! `|e_t| > V·cos θ_t` with `cos θ_t ≥ √((2+√3)/4)`, where `θ_t` is the turn
+//! angle between consecutive chain edges. Since the chain ends with
+//! `θ_{2i} = 0`, the initial edge would have to exceed `V` — contradicting
+//! initial visibility. This module provides the checker the chain-search
+//! experiments use to certify that no legal engagement violates the bound.
+
+use cohesion_geometry::{predicates::angle_at, Vec2};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// The Lemma 5 constant `√((2+√3)/4) = cos(π/12) ≈ 0.96593`.
+pub const COS_THETA_MIN: f64 = 0.965_925_826_289_068_3;
+
+/// Per-edge record of a chain walk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainEdge {
+    /// Edge length `|e_t|`.
+    pub length: f64,
+    /// `cos θ_t` of the turn into the next edge (`1.0` for the final edge).
+    pub cos_turn: f64,
+    /// Whether `|e_t| ≥ V·cos θ_t` held.
+    pub length_bound_ok: bool,
+}
+
+/// Outcome of verifying a doomed-engagement chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainReport {
+    /// Per-edge records, in walk order (terminal configuration first).
+    pub edges: Vec<ChainEdge>,
+    /// The minimum `cos θ_t` encountered.
+    pub min_cos_turn: f64,
+    /// Whether every edge satisfied the Lemma 5 length bound.
+    pub all_length_bounds_ok: bool,
+    /// The final separation `|X_i Y_i|` (first chain edge).
+    pub final_separation: f64,
+}
+
+/// Walks the chain of a (potential) doomed engagement.
+///
+/// `xs` are the checkpoint positions `X_0 … X_i` and `ys` the checkpoint
+/// positions `Y_0 … Y_i` (per §4.2.1; `Y_{−1} = Y_0` is implied). `v` is the
+/// visibility radius.
+///
+/// The walk starts at the terminal pair `(Y_i, X_i)` and alternates
+/// `Y_j X_j → X_j Y_{j−1} → Y_{j−1} X_{j−1} → …` down to `Y_0 X_0`.
+///
+/// # Panics
+///
+/// Panics when `xs` and `ys` differ in length or are empty.
+pub fn verify_chain(xs: &[Vec2], ys: &[Vec2], v: f64) -> ChainReport {
+    assert_eq!(xs.len(), ys.len(), "need matching checkpoint sequences");
+    assert!(!xs.is_empty(), "need at least one checkpoint");
+    let i = xs.len() - 1;
+    // Build the chain vertices: Y_i, X_i, Y_{i-1}, X_{i-1}, …, Y_0, X_0.
+    let mut vertices: Vec<Vec2> = Vec::with_capacity(2 * (i + 1));
+    for j in (0..=i).rev() {
+        vertices.push(ys[j]);
+        vertices.push(xs[j]);
+    }
+    let mut edges = Vec::new();
+    let mut min_cos = f64::INFINITY;
+    let mut all_ok = true;
+    for t in 0..vertices.len() - 1 {
+        let a = vertices[t];
+        let b = vertices[t + 1];
+        let length = a.dist(b);
+        let cos_turn = if t + 2 < vertices.len() {
+            // Turn angle between e_t = (a→b) and e_{t+1} = (b→c): the paper
+            // measures θ_t as the angle between the edge directions, i.e.
+            // π − ∠(a, b, c).
+            let interior = angle_at(b, a, vertices[t + 2]);
+            (PI - interior).cos()
+        } else {
+            1.0
+        };
+        let ok = length >= v * cos_turn - 1e-9;
+        all_ok &= ok;
+        min_cos = min_cos.min(cos_turn);
+        edges.push(ChainEdge { length, cos_turn, length_bound_ok: ok });
+    }
+    ChainReport {
+        final_separation: ys[i].dist(xs[i]),
+        edges,
+        min_cos_turn: min_cos,
+        all_length_bounds_ok: all_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_cos_fifteen_degrees() {
+        let expected = ((2.0 + 3f64.sqrt()) / 4.0).sqrt();
+        assert!((COS_THETA_MIN - expected).abs() < 1e-15);
+        assert!((COS_THETA_MIN - (PI / 12.0).cos()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn straight_chain_satisfies_bounds() {
+        // X and Y leapfrog along the x axis, all edges length V, no turns.
+        let v = 1.0;
+        let xs = vec![Vec2::new(1.0, 0.0), Vec2::new(2.0, 0.0)];
+        let ys = vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)];
+        let rep = verify_chain(&xs, &ys, v);
+        assert_eq!(rep.edges.len(), 3);
+        assert!(rep.all_length_bounds_ok);
+        assert!((rep.final_separation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharp_turn_with_short_edge_fails_bound() {
+        // A short edge followed by a shallow turn violates |e| ≥ V cos θ.
+        let v = 1.0;
+        let xs = vec![Vec2::new(0.3, 0.0), Vec2::new(0.35, 0.0)];
+        let ys = vec![Vec2::new(0.0, 0.05), Vec2::new(0.05, 0.0)];
+        let rep = verify_chain(&xs, &ys, v);
+        assert!(!rep.all_length_bounds_ok);
+    }
+
+    #[test]
+    fn single_checkpoint_chain() {
+        let rep = verify_chain(&[Vec2::new(1.0, 0.0)], &[Vec2::ZERO], 1.0);
+        assert_eq!(rep.edges.len(), 1);
+        assert_eq!(rep.edges[0].cos_turn, 1.0);
+        assert!(rep.all_length_bounds_ok);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sequences_panic() {
+        let _ = verify_chain(&[Vec2::ZERO], &[], 1.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Executable forms of the paper's quantitative proof machinery.
+//!
+//! * [`lemma5`] — the chain invariant of the `1-Async` visibility-preservation
+//!   argument (§4.2.1): along any doomed-engagement chain,
+//!   `|e_t| > V·cos θ_t` and `cos θ_t ≥ √((2+√3)/4) = cos 15°`;
+//! * [`congregation`] — the congregation bounds of §5 (Lemmas 6–8): how far
+//!   from a critical hull point a moving robot must end up, and how much the
+//!   hull perimeter drops when a vertex neighbourhood empties.
+
+pub mod congregation;
+pub mod lemma5;
+
+pub use congregation::{hull_radius_and_critical_points, lemma6_bound, lemma7_bound, lemma8_perimeter_drop};
+pub use lemma5::{verify_chain, ChainReport, COS_THETA_MIN};

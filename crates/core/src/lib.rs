@@ -1,0 +1,29 @@
+//! The paper's primary contribution (§3–§6): an error-tolerant algorithm
+//! solving **Cohesive Convergence** under `k`-Async scheduling for any fixed
+//! `k`, together with the geometric machinery of its correctness proof.
+//!
+//! * [`safe_region`] — the basic safe regions `S^{αV_Y/8}_{Y0}(X0)` (§3.2.1,
+//!   Figure 3 right);
+//! * [`neighbors`] — the distant/close neighbour classification driven by the
+//!   tentative visibility bound `V_Z` (§3.2);
+//! * [`algorithm`] — [`KirkpatrickAlgorithm`]: the target-destination rule of
+//!   §5 with the `1/k` scaling of §3.2.1 and the error-tolerance
+//!   modifications of §6.1, implemented for the plane (exact sector rule) and
+//!   for 3-space (minimal-enclosing-cone generalization, §6.3.2);
+//! * [`reach_region`] — the regions `R^r_{Y0}(X0, X1)` (core + bulge,
+//!   Figure 5) bounding what `k` constrained moves can reach (Lemmas 1–2);
+//! * [`analysis`] — executable forms of the proof's quantitative facts: the
+//!   Lemma 5 chain invariant (`cos θ_t ≥ √((2+√3)/4)`), the congregation
+//!   bounds of Lemmas 6–8, and helpers for the hull-radius/critical-point
+//!   bookkeeping of Figure 16.
+
+pub mod algorithm;
+pub mod analysis;
+pub mod neighbors;
+pub mod reach_region;
+pub mod safe_region;
+
+pub use algorithm::KirkpatrickAlgorithm;
+pub use neighbors::{classify_neighbors, NeighborClass, Neighborhood};
+pub use reach_region::ReachRegion;
+pub use safe_region::SafeRegion;

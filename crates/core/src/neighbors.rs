@@ -1,0 +1,125 @@
+//! Distant/close neighbour classification (§3.2).
+//!
+//! In each activation a robot `Z` computes `V_Z`, the distance to its
+//! furthest visible neighbour — a tentative lower bound on the (unknown)
+//! visibility radius `V`. Neighbours further than `V_Z/2` are *distant*,
+//! the rest *close*. `Z` always has at least one distant neighbour (the
+//! furthest one), and only distant neighbours constrain its motion.
+
+use cohesion_geometry::point::Point;
+use cohesion_model::Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// Classification of one perceived neighbour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NeighborClass {
+    /// Distance in `(V_Z/2, V_Z]` — constrains the motion.
+    Distant,
+    /// Distance in `(0, V_Z/2]` — cannot be separated by a bounded move.
+    Close,
+}
+
+/// The classified neighbourhood of an activated robot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Neighborhood<P> {
+    /// Perceived `V_Z` (after any defensive rescaling by the algorithm).
+    pub v_z: f64,
+    /// Distant neighbours' perceived displacements.
+    pub distant: Vec<P>,
+    /// Close neighbours' perceived displacements.
+    pub close: Vec<P>,
+}
+
+impl<P: Point> Neighborhood<P> {
+    /// Returns `true` when nothing was visible.
+    pub fn is_empty(&self) -> bool {
+        self.distant.is_empty() && self.close.is_empty()
+    }
+}
+
+/// Classifies a snapshot's neighbours.
+///
+/// `distance_rescale` divides all perceived distances before classification —
+/// the §6.1 defence against distance-measurement error (pass
+/// `1.0 / (1.0 + δ)` to guarantee `V_Z ≤ V` despite over-reads; pass `1.0`
+/// for exact perception). Observations at (numerically) zero distance are
+/// ignored: a co-located robot provides no direction and no constraint.
+///
+/// ```
+/// use cohesion_core::neighbors::{classify_neighbors, NeighborClass};
+/// use cohesion_model::Snapshot;
+/// use cohesion_geometry::Vec2;
+/// let snap = Snapshot::from_positions(vec![Vec2::new(1.0, 0.0), Vec2::new(0.3, 0.0)]);
+/// let hood = classify_neighbors(&snap, 1.0);
+/// assert_eq!(hood.distant.len(), 1);
+/// assert_eq!(hood.close.len(), 1);
+/// assert!((hood.v_z - 1.0).abs() < 1e-12);
+/// ```
+pub fn classify_neighbors<P: Point>(snapshot: &Snapshot<P>, distance_rescale: f64) -> Neighborhood<P> {
+    assert!(
+        distance_rescale > 0.0 && distance_rescale <= 1.0,
+        "distance rescale must be in (0, 1]"
+    );
+    let positions: Vec<P> =
+        snapshot.positions().map(|p| p * distance_rescale).filter(|p| p.norm() > 1e-12).collect();
+    let v_z = positions.iter().map(|p| p.norm()).fold(0.0, f64::max);
+    let mut distant = Vec::new();
+    let mut close = Vec::new();
+    for p in positions {
+        if p.norm() > v_z / 2.0 {
+            distant.push(p);
+        } else {
+            close.push(p);
+        }
+    }
+    Neighborhood { v_z, distant, close }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion_geometry::Vec2;
+
+    #[test]
+    fn furthest_is_always_distant() {
+        let snap = Snapshot::from_positions(vec![
+            Vec2::new(0.2, 0.0),
+            Vec2::new(0.0, 0.9),
+            Vec2::new(0.5, 0.0),
+        ]);
+        let hood = classify_neighbors(&snap, 1.0);
+        assert!((hood.v_z - 0.9).abs() < 1e-12);
+        assert_eq!(hood.distant.len(), 2, "0.9 and 0.5 exceed V_Z/2 = 0.45");
+        assert_eq!(hood.close.len(), 1);
+    }
+
+    #[test]
+    fn boundary_is_close() {
+        // Exactly V_Z/2 is "close" (the classification is distance > V_Z/2).
+        let snap = Snapshot::from_positions(vec![Vec2::new(1.0, 0.0), Vec2::new(0.5, 0.0)]);
+        let hood = classify_neighbors(&snap, 1.0);
+        assert_eq!(hood.distant.len(), 1);
+        assert_eq!(hood.close.len(), 1);
+    }
+
+    #[test]
+    fn rescaling_shrinks_vz() {
+        let snap = Snapshot::from_positions(vec![Vec2::new(1.1, 0.0)]);
+        let hood = classify_neighbors(&snap, 1.0 / 1.1);
+        assert!((hood.v_z - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colocated_observation_ignored() {
+        let snap = Snapshot::from_positions(vec![Vec2::ZERO, Vec2::new(1.0, 0.0)]);
+        let hood = classify_neighbors(&snap, 1.0);
+        assert_eq!(hood.distant.len() + hood.close.len(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let hood = classify_neighbors::<Vec2>(&Snapshot::from_positions(vec![]), 1.0);
+        assert!(hood.is_empty());
+        assert_eq!(hood.v_z, 0.0);
+    }
+}

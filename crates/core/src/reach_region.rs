@@ -1,0 +1,175 @@
+//! The reach regions `R^r_{Y0}(X0, X1)` of §3.2.1 (Figure 5): a superset of
+//! every point robot `Y` can reach by up to `k` successive `1/k`-scaled safe
+//! moves while its distant neighbour `X` travels from `X0` to `X1`
+//! (Lemmas 1–2).
+//!
+//! The region is the union of a *core* — the sweep of safe regions
+//! `S^r_{Y0}(X*)` over all `X* ∈ X0X1` — and a *bulge* capturing the extra
+//! slack when moves chase a moving neighbour.
+
+use cohesion_geometry::{Segment, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// The region `R^r_{Y0}(X0, X1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReachRegion {
+    /// Start position `Y0` of the moving robot.
+    pub origin: Vec2,
+    /// Neighbour's start position `X0`.
+    pub x0: Vec2,
+    /// Neighbour's end position `X1`.
+    pub x1: Vec2,
+    /// Region radius `r` (the paper uses `j·V_Y/(8k)` after `j` moves).
+    pub radius: f64,
+}
+
+impl ReachRegion {
+    /// Creates the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not positive and finite or the origin coincides
+    /// with an endpoint of the neighbour's trajectory (no direction).
+    pub fn new(origin: Vec2, x0: Vec2, x1: Vec2, radius: f64) -> Self {
+        assert!(radius > 0.0 && radius.is_finite(), "invalid reach radius {radius}");
+        assert!(
+            origin.dist(x0) > 1e-12 && origin.dist(x1) > 1e-12,
+            "Y0 must not coincide with the neighbour trajectory endpoints"
+        );
+        ReachRegion { origin, x0, x1, radius }
+    }
+
+    /// Centre of the safe region seen when the neighbour is at `x_star`.
+    fn core_center(&self, x_star: Vec2) -> Option<Vec2> {
+        (x_star - self.origin).normalized(1e-12).map(|u| self.origin + u * self.radius)
+    }
+
+    /// Membership in the core: some `X* ∈ X0X1` has `p ∈ S^r_{Y0}(X*)`.
+    ///
+    /// Evaluated by dense sampling plus local ternary refinement of the
+    /// smooth distance function `t ↦ |p − c(t)|` (documented numeric
+    /// substitution; the experiments use slack well above the refinement
+    /// error).
+    pub fn core_contains(&self, p: Vec2, eps: f64) -> bool {
+        let seg = Segment::new(self.x0, self.x1);
+        let dist_at = |t: f64| -> f64 {
+            match self.core_center(seg.point_at(t)) {
+                Some(c) => c.dist(p),
+                None => f64::INFINITY,
+            }
+        };
+        const SAMPLES: usize = 128;
+        let mut best_t = 0.0;
+        let mut best = f64::INFINITY;
+        for i in 0..=SAMPLES {
+            let t = i as f64 / SAMPLES as f64;
+            let d = dist_at(t);
+            if d < best {
+                best = d;
+                best_t = t;
+            }
+        }
+        // Local ternary refinement around the best sample.
+        let mut lo = (best_t - 1.0 / SAMPLES as f64).max(0.0);
+        let mut hi = (best_t + 1.0 / SAMPLES as f64).min(1.0);
+        for _ in 0..60 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if dist_at(m1) <= dist_at(m2) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        best = best.min(dist_at(0.5 * (lo + hi)));
+        best <= self.radius + eps
+    }
+
+    /// The extremal boundary point `Y0⁺`: on the disk `S^r_{Y0}(X0)`, at
+    /// maximum distance from `X1` (Figure 5).
+    pub fn y0_plus(&self) -> Vec2 {
+        let c = self.core_center(self.x0).expect("origin differs from X0");
+        match (c - self.x1).normalized(1e-12) {
+            Some(u) => c + u * self.radius,
+            None => c + (c - self.origin).normalized(1e-12).expect("nonzero") * self.radius,
+        }
+    }
+
+    /// The extremal boundary point `Y0⁻`: on the disk `S^r_{Y0}(X1)`, at
+    /// maximum distance from `X0`.
+    pub fn y0_minus(&self) -> Vec2 {
+        let c = self.core_center(self.x1).expect("origin differs from X1");
+        match (c - self.x0).normalized(1e-12) {
+            Some(u) => c + u * self.radius,
+            None => c + (c - self.origin).normalized(1e-12).expect("nonzero") * self.radius,
+        }
+    }
+
+    /// Membership in the bulge (§3.2.1, clauses (ii)(a) and (ii)(b)).
+    pub fn bulge_contains(&self, p: Vec2, eps: f64) -> bool {
+        let yp = self.y0_plus();
+        let ym = self.y0_minus();
+        let a = p.dist(self.x1) <= self.x1.dist(yp) + eps && p.dist(self.origin) <= self.origin.dist(yp) + eps;
+        let b = p.dist(self.x0) <= self.x0.dist(ym) + eps && p.dist(self.origin) <= self.origin.dist(ym) + eps;
+        a && b
+    }
+
+    /// Membership in `R^r_{Y0}(X0, X1)` = core ∪ bulge.
+    pub fn contains(&self, p: Vec2, eps: f64) -> bool {
+        self.core_contains(p, eps) || self.bulge_contains(p, eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_neighbor_reduces_to_safe_region() {
+        // Observation 1(i): R^r(X0, X0) = S^r(X0).
+        let r = ReachRegion::new(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(1.0, 0.0), 0.125);
+        let center = Vec2::new(0.125, 0.0);
+        // Points of S^r are in the region …
+        assert!(r.contains(center, 1e-9));
+        assert!(r.contains(Vec2::new(0.25, 0.0), 1e-9));
+        assert!(r.contains(Vec2::new(0.125, 0.125), 1e-9));
+        // … and safe-region outsiders on the far side are not.
+        assert!(!r.contains(Vec2::new(-0.05, 0.0), 1e-9));
+        assert!(!r.contains(Vec2::new(0.0, 0.3), 1e-9));
+    }
+
+    #[test]
+    fn core_sweeps_the_neighbor_trajectory() {
+        let r = ReachRegion::new(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0), 0.125);
+        // Safe-region centres for directions +x, +y, and the 45° midpoint
+        // are all in the core.
+        assert!(r.core_contains(Vec2::new(0.125, 0.0), 1e-9));
+        assert!(r.core_contains(Vec2::new(0.0, 0.125), 1e-9));
+        let diag = Vec2::from_angle(std::f64::consts::FRAC_PI_4) * 0.125;
+        assert!(r.core_contains(diag, 1e-9));
+        // A point behind the origin is not.
+        assert!(!r.core_contains(Vec2::new(-0.1, -0.1), 1e-9));
+    }
+
+    #[test]
+    fn bulge_extends_beyond_core() {
+        // With a long neighbour trajectory the bulge strictly contains
+        // points outside every individual safe region (Figure 5).
+        let region = ReachRegion::new(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(1.0, 0.8), 0.25);
+        let yp = region.y0_plus();
+        assert!(region.bulge_contains(yp, 1e-9), "Y0+ is a bulge corner");
+        assert!(region.contains(yp, 1e-9));
+    }
+
+    #[test]
+    fn origin_is_always_reachable() {
+        let region = ReachRegion::new(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(0.5, 0.9), 0.2);
+        assert!(region.contains(Vec2::ZERO, 1e-9), "the nil move stays at Y0");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_radius_rejected() {
+        let _ = ReachRegion::new(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(1.0, 0.0), 0.0);
+    }
+}

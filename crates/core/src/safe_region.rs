@@ -1,0 +1,135 @@
+//! The basic safe region `S^r_{Y0}(X0)` of §3.2.1.
+//!
+//! For a robot `Y` at `Y0` with a distant neighbour `X` at `X0`, the safe
+//! region of radius `r` is the disk of radius `r` centred at the point at
+//! distance `r` from `Y0` *in the direction of* `X0`. Note the region depends
+//! only on the **direction** to the neighbour (unlike Ando's and Katreniak's
+//! regions, which depend on the distance) — this simplicity is what the
+//! paper's backward-reachability analysis exploits.
+
+use cohesion_geometry::point::Point;
+use cohesion_geometry::{Ball, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// A safe region `S^r_{Y0}(X0)` for motion of the robot at `origin` with
+/// respect to a (distant) neighbour seen in direction `direction`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafeRegion<P = Vec2> {
+    /// Position `Y0` of the moving robot.
+    pub origin: P,
+    /// Unit vector from `Y0` toward the neighbour's observed position.
+    pub direction: P,
+    /// Region radius `r` (the paper uses `r = V_Y/8` scaled by `α = 1/k`).
+    pub radius: f64,
+}
+
+impl<P: Point> SafeRegion<P> {
+    /// Builds the safe region for the observer at `origin` seeing a
+    /// neighbour at `neighbor`; `None` when the two coincide (no direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or non-finite.
+    pub fn new(origin: P, neighbor: P, radius: f64) -> Option<Self> {
+        assert!(radius >= 0.0 && radius.is_finite(), "invalid safe-region radius {radius}");
+        let direction = (neighbor - origin).normalized(1e-12)?;
+        Some(SafeRegion { origin, direction, radius })
+    }
+
+    /// The centre of the region: the point at distance `radius` from the
+    /// origin toward the neighbour.
+    #[inline]
+    pub fn center(&self) -> P {
+        self.origin + self.direction * self.radius
+    }
+
+    /// The region as a ball.
+    #[inline]
+    pub fn ball(&self) -> Ball<P> {
+        Ball::new(self.center(), self.radius)
+    }
+
+    /// Returns `true` when `p` lies in the (closed) safe region with slack
+    /// `eps`.
+    #[inline]
+    pub fn contains(&self, p: P, eps: f64) -> bool {
+        self.center().dist(p) <= self.radius + eps
+    }
+
+    /// The same region scaled by `α ∈ (0, 1]` (the `k`-Async scaling of
+    /// §3.2.1: `S^{αV_Y/8}`). Scaling moves the centre toward the origin and
+    /// shrinks the radius by the same factor, so `Y0` stays on the boundary.
+    pub fn scaled(&self, alpha: f64) -> SafeRegion<P> {
+        assert!(alpha > 0.0 && alpha <= 1.0, "scale factor must be in (0, 1]");
+        SafeRegion { origin: self.origin, direction: self.direction, radius: self.radius * alpha }
+    }
+
+    /// Verifies the scaling identity of §3.2.1: if `p ∈ S^r`, then the point
+    /// at distance `α·|p − Y0|` from `Y0` in the direction of `p` lies in
+    /// `S^{αr}`. Exposed for the property tests that reproduce the claim.
+    pub fn scaling_witness(&self, p: P, alpha: f64) -> P {
+        let v = p - self.origin;
+        self.origin + v * alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> SafeRegion {
+        SafeRegion::new(Vec2::ZERO, Vec2::new(4.0, 0.0), 1.0).unwrap()
+    }
+
+    #[test]
+    fn geometry() {
+        let s = region();
+        assert_eq!(s.center(), Vec2::new(1.0, 0.0));
+        // The origin is on the boundary.
+        assert!(s.contains(Vec2::ZERO, 1e-12));
+        assert!(s.contains(Vec2::new(2.0, 0.0), 1e-12));
+        assert!(!s.contains(Vec2::new(2.1, 0.0), 1e-9));
+        assert!(s.contains(Vec2::new(1.0, 1.0), 1e-12));
+        assert!(!s.contains(Vec2::new(1.0, 1.1), 1e-9));
+    }
+
+    #[test]
+    fn depends_only_on_direction() {
+        let near = SafeRegion::new(Vec2::ZERO, Vec2::new(0.6, 0.0), 1.0).unwrap();
+        let far = SafeRegion::new(Vec2::ZERO, Vec2::new(100.0, 0.0), 1.0).unwrap();
+        assert_eq!(near.center(), far.center());
+    }
+
+    #[test]
+    fn coincident_neighbor_rejected() {
+        assert!(SafeRegion::new(Vec2::ZERO, Vec2::ZERO, 1.0).is_none());
+    }
+
+    #[test]
+    fn scaling_keeps_origin_on_boundary() {
+        let s = region();
+        let half = s.scaled(0.5);
+        assert_eq!(half.center(), Vec2::new(0.5, 0.0));
+        assert!(half.contains(Vec2::ZERO, 1e-12));
+        assert!((half.center().dist(half.origin) - half.radius).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_identity_of_paper() {
+        // If p ∈ S^r then α·(p − Y0) + Y0 ∈ S^{αr} (§3.2.1).
+        let s = region();
+        let samples = [
+            Vec2::new(2.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.5, 0.5),
+            Vec2::new(1.5, -0.8),
+        ];
+        for p in samples {
+            assert!(s.contains(p, 1e-12), "sample {p} must be in S^r");
+            for alpha in [0.25, 0.5, 0.75, 1.0] {
+                let w = s.scaling_witness(p, alpha);
+                assert!(s.scaled(alpha).contains(w, 1e-12), "α={alpha}, p={p}");
+            }
+        }
+    }
+}

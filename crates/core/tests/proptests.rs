@@ -1,0 +1,149 @@
+//! Property-based tests for the core contribution: the algorithm's
+//! invariants in 2D and 3D, the reach-region geometry, and the monotonicity
+//! of the congregation bounds.
+
+use cohesion_core::analysis::congregation::{lemma6_bound, lemma7_bound, lemma8_perimeter_drop};
+use cohesion_core::neighbors::classify_neighbors;
+use cohesion_core::{KirkpatrickAlgorithm, ReachRegion, SafeRegion};
+use cohesion_geometry::point::Point as _;
+use cohesion_geometry::{Vec2, Vec3};
+use cohesion_model::{Algorithm, Snapshot};
+use proptest::prelude::*;
+
+fn vec2_nonzero() -> impl Strategy<Value = Vec2> {
+    (0.05..1.0f64, 0.0..std::f64::consts::TAU).prop_map(|(r, a)| Vec2::from_angle(a) * r)
+}
+
+fn vec3_nonzero() -> impl Strategy<Value = Vec3> {
+    (0.05..1.0f64, -1.0..1.0f64, 0.0..std::f64::consts::TAU).prop_map(|(r, z, a)| {
+        let s = (1.0 - z * z).sqrt();
+        Vec3::new(s * a.cos(), s * a.sin(), z) * r
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The classification is a partition with the furthest robot distant.
+    #[test]
+    fn classification_partitions(pts in proptest::collection::vec(vec2_nonzero(), 1..10)) {
+        let snap = Snapshot::from_positions(pts.clone());
+        let hood = classify_neighbors(&snap, 1.0);
+        prop_assert_eq!(hood.distant.len() + hood.close.len(), pts.len());
+        prop_assert!(!hood.distant.is_empty(), "the furthest neighbour is always distant");
+        for d in &hood.distant {
+            prop_assert!(d.norm() > hood.v_z / 2.0 - 1e-12);
+        }
+        for c in &hood.close {
+            prop_assert!(c.norm() <= hood.v_z / 2.0 + 1e-12);
+        }
+    }
+
+    /// The 3D algorithm's target also respects every distant safe ball and
+    /// the step bound — the §6.3.2 generalization of the Figure 15 property.
+    #[test]
+    fn target_respects_safe_balls_3d(
+        pts in proptest::collection::vec(vec3_nonzero(), 1..8),
+        k in 1u32..4,
+    ) {
+        let alg = KirkpatrickAlgorithm::new(k);
+        let snap = Snapshot::from_positions(pts);
+        let target: Vec3 = alg.compute(&snap);
+        let hood = alg.neighborhood(&snap);
+        let r = hood.v_z / (8.0 * f64::from(k));
+        prop_assert!(target.norm() <= r + 1e-9);
+        for d in &hood.distant {
+            if let Some(region) = SafeRegion::new(Vec3::ZERO, *d, r) {
+                prop_assert!(region.contains(target, 1e-7), "target outside ball of {d}");
+            }
+        }
+    }
+
+    /// Scaling identity (§3.2.1): p ∈ S^r ⇒ α·p ∈ S^{αr} (origin at Y0).
+    #[test]
+    fn safe_region_scaling_identity(
+        dir in vec2_nonzero(),
+        theta in 0.0..std::f64::consts::TAU,
+        rho in 0.0..1.0f64,
+        alpha in 0.01..1.0f64,
+    ) {
+        let r = 0.125;
+        let region = SafeRegion::new(Vec2::ZERO, dir, r).unwrap();
+        let p = region.center() + Vec2::from_angle(theta) * (rho * r);
+        prop_assert!(region.contains(p, 1e-12));
+        let witness = region.scaling_witness(p, alpha);
+        prop_assert!(region.scaled(alpha).contains(witness, 1e-9));
+    }
+
+    /// The reach region for a stationary neighbour equals the safe region
+    /// (Observation 1(i)): mutual containment on random samples.
+    #[test]
+    fn reach_region_equals_safe_region_when_stationary(
+        dir in vec2_nonzero(),
+        theta in 0.0..std::f64::consts::TAU,
+        rho in 0.0..2.0f64,
+    ) {
+        let r = 0.125;
+        let x0 = dir;
+        let reach = ReachRegion::new(Vec2::ZERO, x0, x0, r);
+        let safe = SafeRegion::new(Vec2::ZERO, x0, r).unwrap();
+        let p = safe.center() + Vec2::from_angle(theta) * (rho * r);
+        // Inside safe ⇒ inside reach; outside safe by a margin ⇒ outside reach.
+        if safe.contains(p, 0.0) {
+            prop_assert!(reach.contains(p, 1e-6));
+        } else if !safe.contains(p, 1e-3) {
+            prop_assert!(!reach.contains(p, 0.0), "{p} in reach but off the safe disk");
+        }
+    }
+
+    /// The congregation bounds are monotone in their arguments and scale
+    /// linearly in the hull radius.
+    #[test]
+    fn congregation_bounds_monotone(
+        zeta in 0.01..1.0f64, xi in 0.01..1.0f64, r_h in 0.1..10.0f64
+    ) {
+        let b = lemma6_bound(zeta, xi, r_h);
+        prop_assert!(b > 0.0);
+        prop_assert!(lemma6_bound(zeta * 0.5, xi, r_h) < b);
+        prop_assert!(lemma6_bound(zeta, xi * 0.5, r_h) < b);
+        prop_assert!((lemma6_bound(zeta, xi, 2.0 * r_h) - 2.0 * b).abs() < 1e-12 * (1.0 + b));
+        prop_assert!(lemma7_bound(zeta, xi, r_h) < b, "contagion is weaker");
+        // Lemma 8 drop is increasing in d and decreasing in r_H.
+        let d = zeta.min(r_h * 0.9).max(1e-6);
+        let drop = lemma8_perimeter_drop(d, r_h);
+        prop_assert!(drop > 0.0);
+        if d * 0.5 > 0.0 {
+            prop_assert!(lemma8_perimeter_drop(d * 0.5, r_h) < drop);
+        }
+    }
+
+    /// The error-tolerant variant never takes a longer step than the exact
+    /// one, and both move along the same bisector.
+    #[test]
+    fn error_tolerance_only_shortens(
+        a1 in 0.0..1.2f64, a2 in -1.2..0.0f64,
+        delta in 0.0..0.3f64, lambda in 0.0..0.5f64,
+    ) {
+        let pts = vec![Vec2::from_angle(a1), Vec2::from_angle(a2)];
+        let snap = Snapshot::from_positions(pts);
+        let exact: Vec2 = KirkpatrickAlgorithm::new(1).compute(&snap);
+        let tolerant: Vec2 =
+            KirkpatrickAlgorithm::with_error_tolerance(1, delta, lambda).compute(&snap);
+        prop_assert!(tolerant.norm() <= exact.norm() + 1e-12);
+        if tolerant.norm() > 1e-12 && exact.norm() > 1e-12 {
+            let cos = exact.dot(tolerant) / (exact.norm() * tolerant.norm());
+            prop_assert!(cos > 1.0 - 1e-9, "both must point along the bisector");
+        }
+    }
+
+    /// Nil moves are exactly the surrounded configurations: adding the
+    /// antipode of every distant direction freezes the robot.
+    #[test]
+    fn antipodal_completion_freezes(pts in proptest::collection::vec(vec2_nonzero(), 1..5)) {
+        let alg = KirkpatrickAlgorithm::new(1);
+        let mut both: Vec<Vec2> = pts.clone();
+        both.extend(pts.iter().map(|p| -*p));
+        let t: Vec2 = alg.compute(&Snapshot::from_positions(both));
+        prop_assert!(t.norm() < 1e-12, "antipodally closed sets must freeze, got {t}");
+    }
+}

@@ -1,0 +1,564 @@
+//! The event loop: dispatching activations, taking snapshots, resolving
+//! motion.
+
+use crate::state::RobotState;
+use cohesion_model::frame::{Ambient, Frame, FrameMode};
+use cohesion_model::{
+    Algorithm, Configuration, MotionModel, PerceptionModel, RobotId, Snapshot,
+};
+use cohesion_scheduler::{ActivationInterval, ScheduleContext, ScheduleTrace, Scheduler};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BinaryHeap;
+
+/// What happened at an engine step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineEventKind {
+    /// A robot performed its instantaneous Look (and, in our execution
+    /// model, determined its destination from the snapshot).
+    Look,
+    /// A robot's Move phase began; rigidity and motion error were resolved.
+    MoveStart,
+    /// A robot's Move phase ended; the robot is idle again.
+    MoveEnd,
+}
+
+/// A timed engine event, reported back to the driver after processing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineEvent {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// Which robot.
+    pub robot: RobotId,
+    /// What happened.
+    pub kind: EngineEventKind,
+}
+
+/// Internal heap entry (min-heap by time, stable by sequence number).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Pending {
+    time: f64,
+    seq: u64,
+    robot: RobotId,
+    kind: EngineEventKind,
+}
+
+impl Eq for Pending {}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap; tie-break on sequence for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("finite event times")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The discrete-event simulator for one robot system.
+///
+/// Drive it with [`Engine::step`] until it returns `None` (scripted schedule
+/// exhausted) or until an external budget is hit; the
+/// [`SimulationBuilder`](crate::runner::SimulationBuilder) wraps this loop
+/// with metrics and convergence/cohesion checks.
+pub struct Engine<P: Ambient, A, S> {
+    states: Vec<RobotState<P>>,
+    visibility: f64,
+    visibility_radii: Option<Vec<f64>>,
+    algorithm: A,
+    scheduler: S,
+    perception: PerceptionModel,
+    motion: MotionModel,
+    frame_mode: FrameMode,
+    multiplicity_detection: bool,
+    occlusion_tolerance: Option<f64>,
+    rng: SmallRng,
+    time: f64,
+    seq: u64,
+    heap: BinaryHeap<Pending>,
+    staged: Option<ActivationInterval>,
+    trace: ScheduleTrace,
+    completed_cycles: Vec<u64>,
+}
+
+impl<P, A, S> Engine<P, A, S>
+where
+    P: Ambient,
+    A: Algorithm<P>,
+    S: Scheduler,
+{
+    /// Creates an engine over an initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is empty or `visibility ≤ 0`.
+    pub fn new(
+        initial: &Configuration<P>,
+        visibility: f64,
+        algorithm: A,
+        scheduler: S,
+        seed: u64,
+    ) -> Self {
+        assert!(!initial.is_empty(), "need at least one robot");
+        assert!(visibility > 0.0, "visibility radius must be positive");
+        Engine {
+            states: initial
+                .positions()
+                .iter()
+                .map(|&position| RobotState::Idle { position })
+                .collect(),
+            visibility,
+            visibility_radii: None,
+            algorithm,
+            scheduler,
+            perception: PerceptionModel::EXACT,
+            motion: MotionModel::RIGID,
+            frame_mode: FrameMode::RandomOrtho,
+            multiplicity_detection: false,
+            occlusion_tolerance: None,
+            rng: SmallRng::seed_from_u64(seed),
+            time: 0.0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            staged: None,
+            trace: ScheduleTrace::new(),
+            completed_cycles: vec![0; initial.len()],
+        }
+    }
+
+    /// Sets the perception-error model.
+    pub fn set_perception(&mut self, perception: PerceptionModel) {
+        self.perception = perception;
+    }
+
+    /// Sets the motion model (rigidity + trajectory error).
+    pub fn set_motion(&mut self, motion: MotionModel) {
+        self.motion = motion;
+    }
+
+    /// Sets how local frames are sampled at each activation.
+    pub fn set_frame_mode(&mut self, mode: FrameMode) {
+        self.frame_mode = mode;
+    }
+
+    /// Enables or disables multiplicity detection in snapshots.
+    pub fn set_multiplicity_detection(&mut self, enabled: bool) {
+        self.multiplicity_detection = enabled;
+    }
+
+    /// Enables the occlusion model (one of the paper's §8 future-work
+    /// constraints, studied in its citations [3, 5]): robot `Y` is hidden
+    /// from `X` when some third robot sits on the sight line `X → Y`
+    /// strictly between them, within perpendicular distance `tolerance`
+    /// (robots are points, so a positive body tolerance makes occlusion
+    /// realizable). `None` disables (the paper's base model).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a supplied tolerance is not positive and finite.
+    pub fn set_occlusion(&mut self, tolerance: Option<f64>) {
+        if let Some(t) = tolerance {
+            assert!(t > 0.0 && t.is_finite(), "occlusion tolerance must be positive");
+        }
+        self.occlusion_tolerance = tolerance;
+    }
+
+    /// Returns `true` when `target` is hidden from `origin` by any robot in
+    /// `all` (positions at the Look time), under the configured tolerance.
+    fn is_occluded(&self, origin: P, target: P, all: &[P]) -> bool {
+        let Some(tol) = self.occlusion_tolerance else { return false };
+        let line = target - origin;
+        let len_sq = line.norm_sq();
+        if len_sq == 0.0 {
+            return false;
+        }
+        for &z in all {
+            if z == origin || z == target {
+                continue;
+            }
+            let t = (z - origin).dot(line) / len_sq;
+            if t <= 1e-9 || t >= 1.0 - 1e-9 {
+                continue; // not strictly between
+            }
+            let foot = origin + line * t;
+            if foot.dist(z) <= tol {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of robots.
+    pub fn robot_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The common visibility radius `V` (per-robot radii, when set, are
+    /// capped nowhere — `V` then only scales the quadratic motion-error
+    /// bound and reporting).
+    pub fn visibility(&self) -> f64 {
+        self.visibility
+    }
+
+    /// Gives each robot its own visibility radius (paper §6.2: radii may
+    /// differ, provided the initial *mutual* visibility graph is connected
+    /// and the radii are within a small constant factor of each other —
+    /// conditions the caller is responsible for; the engine simulates any
+    /// radii faithfully). Perception becomes directional: robot `i` sees `j`
+    /// iff `|ij| ≤ radii[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the count mismatches the robots or a radius is not
+    /// positive and finite.
+    pub fn set_visibility_radii(&mut self, radii: Vec<f64>) {
+        assert_eq!(radii.len(), self.states.len(), "one radius per robot");
+        assert!(
+            radii.iter().all(|r| *r > 0.0 && r.is_finite()),
+            "radii must be positive and finite"
+        );
+        self.visibility_radii = Some(radii);
+    }
+
+    /// The perception radius of one robot.
+    pub fn radius_of(&self, robot: RobotId) -> f64 {
+        match &self.visibility_radii {
+            Some(radii) => radii[robot.index()],
+            None => self.visibility,
+        }
+    }
+
+    /// Current simulation time (time of the last processed event).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The configuration at time `t` (positions of all robots, interpolated
+    /// for motile robots).
+    pub fn configuration_at(&self, t: f64) -> Configuration<P> {
+        Configuration::new(self.states.iter().map(|s| s.position_at(t)).collect())
+    }
+
+    /// The configuration at the current time.
+    pub fn configuration(&self) -> Configuration<P> {
+        self.configuration_at(self.time)
+    }
+
+    /// Current positions plus all pending (planned or in-flight) destinations
+    /// — the vertex set of the paper's `CH_t`.
+    pub fn positions_with_targets(&self) -> Vec<P> {
+        let mut pts: Vec<P> = self.states.iter().map(|s| s.position_at(self.time)).collect();
+        pts.extend(self.states.iter().filter_map(|s| s.pending_target()));
+        pts
+    }
+
+    /// The schedule trace recorded so far.
+    pub fn trace(&self) -> &ScheduleTrace {
+        &self.trace
+    }
+
+    /// Completed activation cycles per robot.
+    pub fn completed_cycles(&self) -> &[u64] {
+        &self.completed_cycles
+    }
+
+    /// Reference to the scheduler (for reporting).
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Reference to the algorithm (for reporting).
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// Processes the next event; `None` when the schedule is exhausted and
+    /// all in-flight phases have completed.
+    pub fn step(&mut self) -> Option<EngineEvent> {
+        // Keep one upcoming activation staged so we can order it against
+        // pending phase events.
+        if self.staged.is_none() {
+            let ctx = ScheduleContext { robot_count: self.states.len() };
+            self.staged = self.scheduler.next_activation(&ctx);
+        }
+        let take_staged = match (&self.staged, self.heap.peek()) {
+            (Some(iv), Some(p)) => iv.look <= p.time,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_staged {
+            let iv = self.staged.take().expect("staged activation");
+            self.dispatch_look(iv)
+        } else {
+            let p = self.heap.pop().expect("pending event");
+            self.time = p.time;
+            match p.kind {
+                EngineEventKind::MoveStart => self.dispatch_move_start(p),
+                EngineEventKind::MoveEnd => self.dispatch_move_end(p),
+                EngineEventKind::Look => unreachable!("Looks are never heaped"),
+            }
+        }
+    }
+
+    fn dispatch_look(&mut self, iv: ActivationInterval) -> Option<EngineEvent> {
+        assert!(
+            iv.look >= self.time - 1e-9,
+            "scheduler emitted a Look in the past ({} < {})",
+            iv.look,
+            self.time
+        );
+        self.time = self.time.max(iv.look);
+        let robot = iv.robot;
+        assert!(
+            self.states[robot.index()].is_idle(),
+            "robot {robot} activated while not idle (scheduler bug)"
+        );
+        self.trace.push(iv);
+
+        let here = self.states[robot.index()].position_at(iv.look);
+        // Perception pipeline: true relative position → (occlusion) →
+        // local frame → symmetric distortion → distance error.
+        let frame = P::sample_frame(self.frame_mode, &mut self.rng);
+        let distortion = self.perception.sample_distortion(&mut self.rng);
+        let all_positions: Vec<P> =
+            self.states.iter().map(|s| s.position_at(iv.look)).collect();
+        let mut observed: Vec<P> = Vec::new();
+        for (j, &pos) in all_positions.iter().enumerate() {
+            if j == robot.index() {
+                continue;
+            }
+            let rel = pos - here;
+            if rel.norm() <= self.radius_of(robot) && !self.is_occluded(here, pos, &all_positions)
+            {
+                let local = frame.to_local(rel);
+                let distorted = P::distort(local, &distortion);
+                let factor = self.perception.sample_distance_factor(&mut self.rng);
+                observed.push(distorted * factor);
+            }
+        }
+        let mut snapshot = Snapshot::from_positions(observed);
+        if !self.multiplicity_detection {
+            snapshot = snapshot.without_multiplicity(1e-12);
+        }
+        let local_target = self.algorithm.compute(&snapshot);
+        // Motion executes in the robot's own (distorted) coordinate system:
+        // pull the intended displacement back through the inverse distortion
+        // and frame.
+        let global_delta = frame.to_global(P::undistort(local_target, &distortion));
+        let target = here + global_delta;
+        self.states[robot.index()] = RobotState::Computing {
+            position: here,
+            target,
+            move_start: iv.move_start,
+            move_end: iv.end,
+        };
+        self.seq += 1;
+        self.heap.push(Pending {
+            time: iv.move_start,
+            seq: self.seq,
+            robot,
+            kind: EngineEventKind::MoveStart,
+        });
+        Some(EngineEvent { time: iv.look, robot, kind: EngineEventKind::Look })
+    }
+
+    fn dispatch_move_start(&mut self, p: Pending) -> Option<EngineEvent> {
+        let idx = p.robot.index();
+        let (position, target, move_end) = match self.states[idx] {
+            RobotState::Computing { position, target, move_end, .. } => {
+                (position, target, move_end)
+            }
+            ref other => unreachable!("MoveStart in state {other:?}"),
+        };
+        let realized = self.motion.resolve(position, target, self.visibility, &mut self.rng);
+        self.states[idx] =
+            RobotState::Moving { from: position, to: realized, t0: p.time, t1: move_end };
+        self.seq += 1;
+        self.heap.push(Pending {
+            time: move_end,
+            seq: self.seq,
+            robot: p.robot,
+            kind: EngineEventKind::MoveEnd,
+        });
+        Some(EngineEvent { time: p.time, robot: p.robot, kind: EngineEventKind::MoveStart })
+    }
+
+    fn dispatch_move_end(&mut self, p: Pending) -> Option<EngineEvent> {
+        let idx = p.robot.index();
+        let final_pos = match self.states[idx] {
+            RobotState::Moving { to, .. } => to,
+            ref other => unreachable!("MoveEnd in state {other:?}"),
+        };
+        self.states[idx] = RobotState::Idle { position: final_pos };
+        self.completed_cycles[idx] += 1;
+        Some(EngineEvent { time: p.time, robot: p.robot, kind: EngineEventKind::MoveEnd })
+    }
+}
+
+impl<P: Ambient, A: std::fmt::Debug, S: std::fmt::Debug> std::fmt::Debug for Engine<P, A, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("robots", &self.states.len())
+            .field("time", &self.time)
+            .field("visibility", &self.visibility)
+            .field("algorithm", &self.algorithm)
+            .field("scheduler", &self.scheduler)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion_geometry::Vec2;
+    use cohesion_model::NilAlgorithm;
+    use cohesion_scheduler::FSyncScheduler;
+
+    fn two_robots() -> Configuration {
+        Configuration::new(vec![Vec2::ZERO, Vec2::new(1.0, 0.0)])
+    }
+
+    #[test]
+    fn nil_algorithm_never_moves() {
+        let mut engine =
+            Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
+        for _ in 0..30 {
+            engine.step().unwrap();
+        }
+        let c = engine.configuration();
+        assert_eq!(c.position(RobotId(0)), Vec2::ZERO);
+        assert_eq!(c.position(RobotId(1)), Vec2::new(1.0, 0.0));
+        assert!(engine.completed_cycles().iter().all(|&c| c >= 4));
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let mut engine =
+            Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
+        let mut last = f64::NEG_INFINITY;
+        for _ in 0..50 {
+            let ev = engine.step().unwrap();
+            assert!(ev.time >= last - 1e-12, "event at {} after {}", ev.time, last);
+            last = ev.time;
+        }
+    }
+
+    #[test]
+    fn trace_is_recorded() {
+        let mut engine =
+            Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
+        for _ in 0..30 {
+            engine.step().unwrap();
+        }
+        assert_eq!(engine.trace().len(), 10, "30 events = 10 full cycles of 3 events");
+        cohesion_scheduler::validate::validate_fsync(engine.trace(), 2).unwrap();
+    }
+
+    #[test]
+    fn occlusion_hides_robots_behind_others() {
+        use cohesion_scheduler::ScriptedScheduler;
+        // Three collinear robots: the middle one blocks the far one.
+        let config = Configuration::new(vec![
+            Vec2::ZERO,
+            Vec2::new(0.4, 0.0),
+            Vec2::new(0.8, 0.0),
+        ]);
+        let run = |occlusion: Option<f64>| {
+            let script = ScriptedScheduler::new(
+                "one-look",
+                vec![ActivationInterval::new(RobotId(0), 0.0, 0.3, 0.6)],
+            );
+            let mut engine = Engine::new(&config, 1.0, CountingAlgorithm, script, 1);
+            engine.set_frame_mode(cohesion_model::FrameMode::Aligned);
+            engine.set_occlusion(occlusion);
+            while engine.step().is_some() {}
+            engine.configuration().position(RobotId(0)).x
+        };
+        // The counting algorithm moves by 0.001 per visible robot.
+        assert!((run(None) - 0.002).abs() < 1e-12, "no occlusion: sees both");
+        assert!((run(Some(0.01)) - 0.001).abs() < 1e-12, "occlusion: middle hides far");
+    }
+
+    /// Moves 0.001·(number of visible robots) along +x; test-only probe.
+    #[derive(Debug)]
+    struct CountingAlgorithm;
+    impl Algorithm<Vec2> for CountingAlgorithm {
+        fn compute(&self, snapshot: &Snapshot<Vec2>) -> Vec2 {
+            Vec2::new(0.001 * snapshot.len() as f64, 0.0)
+        }
+        fn name(&self) -> &str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn heterogeneous_radii_are_directional() {
+        use cohesion_scheduler::ScriptedScheduler;
+        // Robot 0 has a long radius and sees robot 1; robot 1 has a short
+        // radius and sees nobody: activating each once must move only 0.
+        let config = Configuration::new(vec![Vec2::ZERO, Vec2::new(1.0, 0.0)]);
+        let script = ScriptedScheduler::new(
+            "hetero",
+            vec![
+                ActivationInterval::new(RobotId(0), 0.0, 0.3, 0.6),
+                ActivationInterval::new(RobotId(1), 1.0, 1.3, 1.6),
+            ],
+        );
+        let mut engine = Engine::new(
+            &config,
+            1.0,
+            cohesion_core_stub::StepTowardFurthest,
+            script,
+            1,
+        );
+        engine.set_visibility_radii(vec![1.5, 0.5]);
+        assert_eq!(engine.radius_of(RobotId(0)), 1.5);
+        while engine.step().is_some() {}
+        let c = engine.configuration();
+        assert!(c.position(RobotId(0)).x > 0.0, "robot 0 saw its neighbour and moved");
+        assert_eq!(c.position(RobotId(1)), Vec2::new(1.0, 0.0), "robot 1 saw nobody");
+    }
+
+    /// Minimal local algorithm for the heterogeneous-radii test (avoids a
+    /// dev-dependency on cohesion-core).
+    mod cohesion_core_stub {
+        use super::*;
+        #[derive(Debug)]
+        pub struct StepTowardFurthest;
+        impl Algorithm<Vec2> for StepTowardFurthest {
+            fn compute(&self, snapshot: &Snapshot<Vec2>) -> Vec2 {
+                snapshot
+                    .positions()
+                    .max_by(|a, b| a.norm().partial_cmp(&b.norm()).expect("finite"))
+                    .map(|p| p * 0.1)
+                    .unwrap_or(Vec2::ZERO)
+            }
+            fn name(&self) -> &str {
+                "step-toward-furthest"
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_schedule_terminates() {
+        use cohesion_scheduler::ScriptedScheduler;
+        let script = ScriptedScheduler::new(
+            "one-shot",
+            vec![ActivationInterval::new(RobotId(0), 0.0, 0.5, 1.0)],
+        );
+        let mut engine = Engine::new(&two_robots(), 1.0, NilAlgorithm, script, 1);
+        let mut events = 0;
+        while engine.step().is_some() {
+            events += 1;
+        }
+        assert_eq!(events, 3, "Look, MoveStart, MoveEnd");
+    }
+}

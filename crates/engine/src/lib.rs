@@ -1,0 +1,31 @@
+//! Continuous-time discrete-event simulation of Look–Compute–Move robot
+//! systems.
+//!
+//! The engine executes an [`Algorithm`](cohesion_model::Algorithm) under a
+//! [`Scheduler`](cohesion_scheduler::Scheduler) with adversarial error models
+//! and records everything the paper's predicates quantify over:
+//!
+//! * positions are **piecewise-linear in continuous time** — a robot whose
+//!   Move spans `[t₀, t₁]` is observed mid-trajectory by any Look that lands
+//!   inside, which is precisely the capability separating the asynchronous
+//!   models from SSync (Figure 4 exploits it twice);
+//! * cohesion (`E(0) ⊆ E(t)`) is checked at every event time — positions are
+//!   piecewise linear, so pairwise distances attain extrema at event
+//!   boundaries and the check is exhaustive, not sampled;
+//! * optional strong-visibility tracking asserts the acquired-visibility
+//!   clause of Theorems 3–4 (pairs once within `V/2` stay within `V`);
+//! * hull monotonicity (`CH_{t⁺} ⊆ CH_t`, including planned trajectories) is
+//!   verified on a configurable cadence;
+//! * rounds are counted in the standard way (a round ends when every robot
+//!   has completed at least one full cycle), giving the convergence-rate
+//!   measure used by the rate experiments.
+
+pub mod engine;
+pub mod report;
+pub mod runner;
+pub mod state;
+
+pub use engine::{Engine, EngineEvent, EngineEventKind};
+pub use report::SimulationReport;
+pub use runner::SimulationBuilder;
+pub use state::RobotState;

@@ -1,0 +1,444 @@
+//! The simulation driver: engine loop + predicate checking + metrics.
+
+use crate::engine::Engine;
+use crate::report::{CohesionViolation, SimulationReport};
+use cohesion_geometry::hull::convex_hull;
+use cohesion_geometry::Vec2;
+use cohesion_model::frame::{Ambient, FrameMode};
+use cohesion_model::{
+    Algorithm, Configuration, MotionModel, PerceptionModel, RobotPair, VisibilityGraph,
+};
+use cohesion_scheduler::Scheduler;
+use std::collections::BTreeSet;
+
+/// Configures and runs one simulation; produces a [`SimulationReport`].
+///
+/// ```
+/// use cohesion_engine::SimulationBuilder;
+/// use cohesion_core::KirkpatrickAlgorithm;
+/// use cohesion_scheduler::FSyncScheduler;
+/// use cohesion_model::Configuration;
+/// use cohesion_geometry::Vec2;
+///
+/// let config = Configuration::new(vec![
+///     Vec2::new(0.0, 0.0),
+///     Vec2::new(0.9, 0.0),
+///     Vec2::new(1.8, 0.0),
+/// ]);
+/// let report = SimulationBuilder::new(config, KirkpatrickAlgorithm::new(1))
+///     .visibility(1.0)
+///     .scheduler(FSyncScheduler::new())
+///     .epsilon(0.05)
+///     .max_events(50_000)
+///     .run();
+/// assert!(report.converged && report.cohesion_maintained);
+/// ```
+pub struct SimulationBuilder<P: Ambient = Vec2> {
+    initial: Configuration<P>,
+    algorithm: Box<dyn Algorithm<P>>,
+    scheduler: Box<dyn Scheduler>,
+    visibility: f64,
+    visibility_radii: Option<Vec<f64>>,
+    epsilon: f64,
+    max_events: usize,
+    max_time: f64,
+    seed: u64,
+    perception: PerceptionModel,
+    motion: MotionModel,
+    frame_mode: FrameMode,
+    multiplicity_detection: bool,
+    occlusion_tolerance: Option<f64>,
+    track_strong_visibility: bool,
+    hull_check_every: usize,
+    diameter_sample_every: usize,
+}
+
+impl<P: Ambient> SimulationBuilder<P> {
+    /// Starts a builder with an initial configuration and an algorithm;
+    /// the default scheduler is FSync with visibility `1.0`, convergence
+    /// threshold `0.01`, and a `100_000`-event budget.
+    pub fn new(initial: Configuration<P>, algorithm: impl Algorithm<P> + 'static) -> Self {
+        SimulationBuilder {
+            initial,
+            algorithm: Box::new(algorithm),
+            scheduler: Box::new(cohesion_scheduler::FSyncScheduler::new()),
+            visibility: 1.0,
+            visibility_radii: None,
+            epsilon: 0.01,
+            max_events: 100_000,
+            max_time: f64::INFINITY,
+            seed: 0xC0E510,
+            perception: PerceptionModel::EXACT,
+            motion: MotionModel::RIGID,
+            frame_mode: FrameMode::RandomOrtho,
+            multiplicity_detection: false,
+            occlusion_tolerance: None,
+            track_strong_visibility: true,
+            hull_check_every: 64,
+            diameter_sample_every: 32,
+        }
+    }
+
+    /// Sets the visibility radius `V`.
+    pub fn visibility(mut self, v: f64) -> Self {
+        assert!(v > 0.0, "visibility must be positive");
+        self.visibility = v;
+        self
+    }
+
+    /// Gives each robot its own visibility radius (paper §6.2). Perception
+    /// becomes directional (robot `i` sees `j` iff `|ij| ≤ radii[i]`);
+    /// the cohesion predicate is evaluated over the initial *mutual*
+    /// visibility graph (edges where `|ij| ≤ min(radii[i], radii[j])`).
+    pub fn visibility_radii(mut self, radii: Vec<f64>) -> Self {
+        self.visibility_radii = Some(radii);
+        self
+    }
+
+    /// Sets the scheduler.
+    pub fn scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.scheduler = Box::new(scheduler);
+        self
+    }
+
+    /// Sets the convergence threshold `ε`.
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        assert!(eps > 0.0, "epsilon must be positive");
+        self.epsilon = eps;
+        self
+    }
+
+    /// Sets the engine-event budget.
+    pub fn max_events(mut self, n: usize) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Sets the simulated-time budget.
+    pub fn max_time(mut self, t: f64) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Sets the RNG seed (frames, error models, scheduler jitter all derive
+    /// from engine randomness seeded here; the scheduler's own seed is set at
+    /// its construction).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the perception-error model.
+    pub fn perception(mut self, p: PerceptionModel) -> Self {
+        self.perception = p;
+        self
+    }
+
+    /// Sets the motion model.
+    pub fn motion(mut self, m: MotionModel) -> Self {
+        self.motion = m;
+        self
+    }
+
+    /// Sets the local-frame sampling mode.
+    pub fn frame_mode(mut self, mode: FrameMode) -> Self {
+        self.frame_mode = mode;
+        self
+    }
+
+    /// Enables multiplicity detection in snapshots.
+    pub fn multiplicity_detection(mut self, enabled: bool) -> Self {
+        self.multiplicity_detection = enabled;
+        self
+    }
+
+    /// Enables the occlusion model (§8 future work): a robot within the
+    /// sight line of two others, at perpendicular distance ≤ `tolerance`,
+    /// hides the farther one.
+    pub fn occlusion(mut self, tolerance: f64) -> Self {
+        self.occlusion_tolerance = Some(tolerance);
+        self
+    }
+
+    /// Enables/disables the `O(n²)`-per-event strong-visibility tracking.
+    pub fn track_strong_visibility(mut self, enabled: bool) -> Self {
+        self.track_strong_visibility = enabled;
+        self
+    }
+
+    /// Hull-nesting check cadence in events (`0` disables).
+    pub fn hull_check_every(mut self, every: usize) -> Self {
+        self.hull_check_every = every;
+        self
+    }
+
+    /// Diameter sampling cadence in events (`0` disables).
+    pub fn diameter_sample_every(mut self, every: usize) -> Self {
+        self.diameter_sample_every = every;
+        self
+    }
+
+    /// Runs the simulation to convergence or budget exhaustion.
+    pub fn run(self) -> SimulationReport<P> {
+        let n = self.initial.len();
+        // Cohesion is judged on the mutual visibility graph: with a common
+        // radius that is the usual E(0); with per-robot radii, an edge needs
+        // distance ≤ min of the two radii (both endpoints see each other).
+        let initial_edges: Vec<(usize, usize)> = match &self.visibility_radii {
+            None => {
+                let g = VisibilityGraph::from_configuration(&self.initial, self.visibility);
+                g.edges().iter().map(|e| (e.a.index(), e.b.index())).collect()
+            }
+            Some(radii) => {
+                assert_eq!(radii.len(), n, "one radius per robot");
+                let pos = self.initial.positions();
+                let mut edges = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if pos[i].dist(pos[j]) <= radii[i].min(radii[j]) {
+                            edges.push((i, j));
+                        }
+                    }
+                }
+                edges
+            }
+        };
+        let initial_diameter = self.initial.diameter();
+
+        let mut engine = Engine::new(
+            &self.initial,
+            self.visibility,
+            self.algorithm,
+            self.scheduler,
+            self.seed,
+        );
+        engine.set_perception(self.perception);
+        engine.set_motion(self.motion);
+        engine.set_frame_mode(self.frame_mode);
+        engine.set_multiplicity_detection(self.multiplicity_detection);
+        if let Some(radii) = self.visibility_radii.clone() {
+            engine.set_visibility_radii(radii);
+        }
+        engine.set_occlusion(self.occlusion_tolerance);
+
+        let v = self.visibility;
+        let pair_threshold: Box<dyn Fn(usize, usize) -> f64> = match self.visibility_radii.clone() {
+            None => Box::new(move |_, _| v),
+            Some(radii) => Box::new(move |a, b| radii[a].min(radii[b])),
+        };
+        let cohesion_tol = 1e-9 * (1.0 + v);
+        let mut violations: Vec<CohesionViolation> = Vec::new();
+        let mut violated: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut strong_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut strong_ok = true;
+        let mut hulls_nested = true;
+        let mut prev_hull: Option<cohesion_geometry::ConvexHull> = None;
+        let mut diameter_series: Vec<(f64, f64)> = vec![(0.0, initial_diameter)];
+        let mut round_diameters: Vec<(usize, f64)> = Vec::new();
+        let mut rounds = 0usize;
+        let mut round_base: Vec<u64> = vec![0; n];
+        let mut events = 0usize;
+        let mut converged = false;
+
+        // 2D-only hull checks: the ConvexHull type is planar. For other
+        // dimensions the check is skipped (reported as None).
+        let hull_checks_possible = P::DIM == 2;
+
+        loop {
+            if events >= self.max_events || engine.time() > self.max_time {
+                break;
+            }
+            let Some(event) = engine.step() else { break };
+            events += 1;
+
+            let config = engine.configuration_at(event.time);
+            let positions = config.positions();
+
+            // Cohesion: every initial edge must still be within V. Event
+            // times are exactly where piecewise-linear pair distances attain
+            // maxima, so this check is exhaustive.
+            for &(a, b) in &initial_edges {
+                let d = positions[a].dist(positions[b]);
+                if d > pair_threshold(a, b) + cohesion_tol && violated.insert((a, b)) {
+                    violations.push(CohesionViolation {
+                        pair: RobotPair::new(a.into(), b.into()),
+                        time: event.time,
+                        distance: d,
+                    });
+                }
+            }
+
+            // Strong visibility (Theorems 3–4, acquired clause).
+            if self.track_strong_visibility {
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        let d = positions[a].dist(positions[b]);
+                        if d <= v / 2.0 + cohesion_tol {
+                            strong_pairs.insert((a, b));
+                        } else if d > v + cohesion_tol && strong_pairs.contains(&(a, b)) {
+                            strong_ok = false;
+                        }
+                    }
+                }
+            }
+
+            // Hull nesting (sampled).
+            if hull_checks_possible && self.hull_check_every > 0 && events % self.hull_check_every == 0
+            {
+                let pts: Vec<Vec2> = engine
+                    .positions_with_targets()
+                    .iter()
+                    .map(|p| {
+                        let c = p.coords();
+                        Vec2::new(c[0], c[1])
+                    })
+                    .collect();
+                let hull = convex_hull(&pts);
+                if let Some(prev) = &prev_hull {
+                    if !prev.contains_hull(&hull, 1e-7 * (1.0 + initial_diameter)) {
+                        hulls_nested = false;
+                    }
+                }
+                prev_hull = Some(hull);
+            }
+
+            // Round accounting.
+            let cycles = engine.completed_cycles();
+            if (0..n).all(|i| cycles[i] > round_base[i]) {
+                rounds += 1;
+                round_base = cycles.to_vec();
+                round_diameters.push((rounds, config.diameter()));
+            }
+
+            // Diameter sampling + convergence test.
+            if self.diameter_sample_every > 0 && events % self.diameter_sample_every == 0 {
+                let d = config.diameter();
+                diameter_series.push((event.time, d));
+                if d <= self.epsilon {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+
+        let final_configuration = engine.configuration();
+        let final_diameter = final_configuration.diameter();
+        if final_diameter <= self.epsilon {
+            converged = true;
+        }
+        diameter_series.push((engine.time(), final_diameter));
+
+        SimulationReport {
+            algorithm: engine.algorithm().name().to_string(),
+            scheduler: engine.scheduler().name().to_string(),
+            robots: n,
+            visibility: v,
+            converged,
+            cohesion_maintained: violations.is_empty(),
+            cohesion_violations: violations,
+            strong_visibility_ok: if self.track_strong_visibility { Some(strong_ok) } else { None },
+            hulls_nested: if hull_checks_possible && self.hull_check_every > 0 {
+                Some(hulls_nested)
+            } else {
+                None
+            },
+            initial_diameter,
+            final_diameter,
+            events,
+            rounds,
+            end_time: engine.time(),
+            diameter_series,
+            round_diameters,
+            final_configuration,
+        }
+    }
+}
+
+impl<P: Ambient> std::fmt::Debug for SimulationBuilder<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("robots", &self.initial.len())
+            .field("visibility", &self.visibility)
+            .field("epsilon", &self.epsilon)
+            .field("max_events", &self.max_events)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion_core::KirkpatrickAlgorithm;
+    use cohesion_model::NilAlgorithm;
+    use cohesion_scheduler::{FSyncScheduler, KAsyncScheduler, SSyncScheduler};
+
+    fn line(n: usize, spacing: f64) -> Configuration {
+        Configuration::new((0..n).map(|i| Vec2::new(i as f64 * spacing, 0.0)).collect())
+    }
+
+    #[test]
+    fn nil_algorithm_never_converges_but_keeps_cohesion() {
+        let report = SimulationBuilder::new(line(3, 0.9), NilAlgorithm)
+            .scheduler(FSyncScheduler::new())
+            .max_events(500)
+            .run();
+        assert!(!report.converged);
+        assert!(report.cohesion_maintained);
+        assert_eq!(report.final_diameter, report.initial_diameter);
+        assert_eq!(report.hulls_nested, Some(true));
+    }
+
+    #[test]
+    fn kirkpatrick_converges_in_fsync() {
+        let report = SimulationBuilder::new(line(4, 0.9), KirkpatrickAlgorithm::new(1))
+            .scheduler(FSyncScheduler::new())
+            .epsilon(0.05)
+            .max_events(60_000)
+            .run();
+        assert!(report.converged, "final diameter {}", report.final_diameter);
+        assert!(report.cohesion_maintained);
+        assert_eq!(report.strong_visibility_ok, Some(true));
+        assert_eq!(report.hulls_nested, Some(true));
+        assert!(report.rounds > 0);
+    }
+
+    #[test]
+    fn kirkpatrick_converges_in_ssync_and_k_async() {
+        for (name, report) in [
+            (
+                "ssync",
+                SimulationBuilder::new(line(4, 0.9), KirkpatrickAlgorithm::new(1))
+                    .scheduler(SSyncScheduler::new(5))
+                    .epsilon(0.05)
+                    .max_events(80_000)
+                    .run(),
+            ),
+            (
+                "2-async",
+                SimulationBuilder::new(line(4, 0.9), KirkpatrickAlgorithm::new(2))
+                    .scheduler(KAsyncScheduler::new(2, 5))
+                    .epsilon(0.05)
+                    .max_events(80_000)
+                    .run(),
+            ),
+        ] {
+            assert!(report.converged, "{name}: diameter {}", report.final_diameter);
+            assert!(report.cohesion_maintained, "{name}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            SimulationBuilder::new(line(4, 0.9), KirkpatrickAlgorithm::new(2))
+                .scheduler(KAsyncScheduler::new(2, 9))
+                .seed(1234)
+                .epsilon(0.05)
+                .max_events(5_000)
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.final_configuration, b.final_configuration);
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-robot simulation state: the Look–Compute–Move state machine.
+
+use cohesion_geometry::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// The runtime state of one robot.
+///
+/// Transitions (driven by the engine, timed by the scheduler):
+/// `Idle → Computing` at Look, `Computing → Moving` at Move start,
+/// `Moving → Idle` at Move end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RobotState<P> {
+    /// Inactive, parked at a position.
+    Idle {
+        /// Current position.
+        position: P,
+    },
+    /// Between Look and Move start; the destination has been determined from
+    /// the Look snapshot but no motion has happened yet.
+    Computing {
+        /// Position (unchanged since the Look).
+        position: P,
+        /// Planned destination in global coordinates.
+        target: P,
+        /// When the Move phase will begin.
+        move_start: f64,
+        /// When the Move phase will end.
+        move_end: f64,
+    },
+    /// Motile: moving linearly from `from` toward `to` during `[t0, t1]`.
+    Moving {
+        /// Position at Move start.
+        from: P,
+        /// Realized destination (after rigidity/motion error resolution).
+        to: P,
+        /// Move start time.
+        t0: f64,
+        /// Move end time.
+        t1: f64,
+    },
+}
+
+impl<P: Point> RobotState<P> {
+    /// The robot's position at time `t`.
+    ///
+    /// For a moving robot, `t` is clamped into `[t0, t1]`; queries outside a
+    /// robot's current phase window are the callers' bookkeeping bug, but
+    /// clamping keeps the answer physically sensible.
+    pub fn position_at(&self, t: f64) -> P {
+        match *self {
+            RobotState::Idle { position } => position,
+            RobotState::Computing { position, .. } => position,
+            RobotState::Moving { from, to, t0, t1 } => {
+                if t1 <= t0 {
+                    return to;
+                }
+                let s = ((t - t0) / (t1 - t0)).clamp(0.0, 1.0);
+                from.lerp(to, s)
+            }
+        }
+    }
+
+    /// Returns `true` when the robot is in its Move phase (motile).
+    pub fn is_motile(&self) -> bool {
+        matches!(self, RobotState::Moving { .. })
+    }
+
+    /// Returns `true` when the robot is idle (activatable).
+    pub fn is_idle(&self) -> bool {
+        matches!(self, RobotState::Idle { .. })
+    }
+
+    /// The planned or in-flight destination, if any — the “planned but as yet
+    /// unrealized trajectory” endpoint that the paper's convex-hull argument
+    /// includes in `CH_t`.
+    pub fn pending_target(&self) -> Option<P> {
+        match *self {
+            RobotState::Idle { .. } => None,
+            RobotState::Computing { target, .. } => Some(target),
+            RobotState::Moving { to, .. } => Some(to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion_geometry::Vec2;
+
+    #[test]
+    fn idle_and_computing_are_stationary() {
+        let idle = RobotState::Idle { position: Vec2::new(1.0, 2.0) };
+        assert_eq!(idle.position_at(0.0), Vec2::new(1.0, 2.0));
+        assert_eq!(idle.position_at(99.0), Vec2::new(1.0, 2.0));
+        assert!(idle.is_idle());
+        assert_eq!(idle.pending_target(), None);
+
+        let computing = RobotState::Computing {
+            position: Vec2::ZERO,
+            target: Vec2::new(1.0, 0.0),
+            move_start: 1.0,
+            move_end: 2.0,
+        };
+        assert_eq!(computing.position_at(1.5), Vec2::ZERO);
+        assert_eq!(computing.pending_target(), Some(Vec2::new(1.0, 0.0)));
+        assert!(!computing.is_motile());
+    }
+
+    #[test]
+    fn moving_interpolates_linearly() {
+        let m = RobotState::Moving {
+            from: Vec2::ZERO,
+            to: Vec2::new(2.0, 0.0),
+            t0: 1.0,
+            t1: 3.0,
+        };
+        assert!(m.is_motile());
+        assert_eq!(m.position_at(1.0), Vec2::ZERO);
+        assert_eq!(m.position_at(2.0), Vec2::new(1.0, 0.0));
+        assert_eq!(m.position_at(3.0), Vec2::new(2.0, 0.0));
+        // Clamped outside the window.
+        assert_eq!(m.position_at(0.0), Vec2::ZERO);
+        assert_eq!(m.position_at(9.0), Vec2::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn zero_duration_move_sits_at_destination() {
+        let m = RobotState::Moving {
+            from: Vec2::ZERO,
+            to: Vec2::new(1.0, 1.0),
+            t0: 2.0,
+            t1: 2.0,
+        };
+        assert_eq!(m.position_at(2.0), Vec2::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,319 @@
+//! Minimum enclosing balls via the Welzl algorithm, generic over dimension.
+//!
+//! The smallest enclosing circle (SEC) plays two roles in the paper:
+//! Ando et al.'s baseline moves robots toward the centre of the SEC of their
+//! visible neighbourhood (§3.1), and the congregation argument (§5,
+//! Figure 16) reasons about the smallest bounding circle `Ξ` of the convex
+//! hull and its (at most three) critical support points.
+
+use crate::point::Point;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A closed ball in a `P`-dimensional space (a disk when `P = Vec2`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ball<P> {
+    /// Centre.
+    pub center: P,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl<P: Point> Ball<P> {
+    /// Creates a ball from centre and radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or non-finite.
+    pub fn new(center: P, radius: f64) -> Self {
+        assert!(radius >= 0.0 && radius.is_finite(), "invalid ball radius {radius}");
+        Ball { center, radius }
+    }
+
+    /// Returns `true` when `p` lies in the closed ball, with slack `eps`.
+    #[inline]
+    pub fn contains(&self, p: P, eps: f64) -> bool {
+        self.center.dist(p) <= self.radius + eps
+    }
+
+    /// Returns `true` when every point lies in the closed ball (slack `eps`).
+    pub fn contains_all(&self, points: &[P], eps: f64) -> bool {
+        points.iter().all(|&p| self.contains(p, eps))
+    }
+}
+
+/// The minimum enclosing ball of a point set (Welzl's algorithm, expected
+/// linear time after shuffling; deterministic because the shuffle seed is
+/// fixed).
+///
+/// The empty set yields a zero ball at the origin.
+///
+/// ```
+/// use cohesion_geometry::{ball::smallest_enclosing_ball, Vec2};
+/// let b = smallest_enclosing_ball(&[Vec2::ZERO, Vec2::new(2.0, 0.0)]);
+/// assert!((b.center - Vec2::new(1.0, 0.0)).norm() < 1e-9);
+/// assert!((b.radius - 1.0).abs() < 1e-9);
+/// ```
+pub fn smallest_enclosing_ball<P: Point>(points: &[P]) -> Ball<P> {
+    smallest_enclosing_ball_with_support(points).0
+}
+
+/// As [`smallest_enclosing_ball`], additionally returning the support points
+/// that lie on the ball's boundary (at most `DIM + 1` of them) — the
+/// “critical points” `A_H, B_H, C_H` of the paper's Figure 16.
+pub fn smallest_enclosing_ball_with_support<P: Point>(points: &[P]) -> (Ball<P>, Vec<P>) {
+    if points.is_empty() {
+        return (Ball::new(P::zero(), 0.0), Vec::new());
+    }
+    let mut pts: Vec<P> = points.to_vec();
+    // Fixed seed: determinism matters more than adversarial resistance here.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0x5EC_BA11);
+    pts.shuffle(&mut rng);
+    let mut boundary: Vec<P> = Vec::with_capacity(P::DIM + 1);
+    let ball = welzl(&pts, points.len(), &mut boundary);
+    // Support points are extracted post hoc: any input point on the boundary
+    // (deduplicated, capped at DIM + 1).
+    let tol = WELZL_EPS * (1.0 + ball.radius) * 10.0;
+    let mut support: Vec<P> = Vec::new();
+    for &p in points {
+        if (ball.center.dist(p) - ball.radius).abs() <= tol && !support.iter().any(|q| *q == p) {
+            support.push(p);
+            if support.len() == P::DIM + 1 {
+                break;
+            }
+        }
+    }
+    (ball, support)
+}
+
+/// Tolerance used for “is already inside” tests inside Welzl. Slightly loose
+/// so near-boundary points do not cause support-set churn.
+const WELZL_EPS: f64 = 1e-9;
+
+fn welzl<P: Point>(pts: &[P], n: usize, boundary: &mut Vec<P>) -> Ball<P> {
+    if n == 0 || boundary.len() == P::DIM + 1 {
+        return trivial(boundary);
+    }
+    let p = pts[n - 1];
+    let ball = welzl(pts, n - 1, boundary);
+    if ball.contains(p, WELZL_EPS * (1.0 + ball.radius)) {
+        return ball;
+    }
+    boundary.push(p);
+    let ball = welzl(pts, n - 1, boundary);
+    boundary.pop();
+    ball
+}
+
+/// The smallest ball determined by ≤ DIM+1 boundary points, with degenerate
+/// (e.g. collinear-triple) cases resolved by dropping redundant points.
+fn trivial<P: Point>(boundary: &[P]) -> Ball<P> {
+    match P::circumball(boundary) {
+        Some(b) if b.radius.is_finite() => {
+            // A circumball through degenerate points can be much larger than
+            // the minimal ball over them (e.g. a nearly-collinear triple).
+            // Try all proper subsets of size ≥ max(1, len−1) and keep the
+            // smallest ball that still covers everything.
+            let mut best = b;
+            if boundary.len() >= 3 {
+                for skip in 0..boundary.len() {
+                    let sub: Vec<P> = boundary
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != skip)
+                        .map(|(_, p)| *p)
+                        .collect();
+                    if let Some(cand) = P::circumball(&sub) {
+                        if cand.radius < best.radius
+                            && cand.contains_all(boundary, WELZL_EPS * (1.0 + cand.radius))
+                        {
+                            best = cand;
+                        }
+                    }
+                }
+            }
+            best
+        }
+        _ => {
+            // Degenerate boundary (collinear/coplanar): fall back to the
+            // diametral ball of the farthest pair, which covers such sets.
+            let mut best = Ball::new(boundary.first().copied().unwrap_or_else(P::zero), 0.0);
+            let mut far = 0.0;
+            for i in 0..boundary.len() {
+                for j in (i + 1)..boundary.len() {
+                    let d = boundary[i].dist(boundary[j]);
+                    if d > far {
+                        far = d;
+                        let c = (boundary[i] + boundary[j]) * 0.5;
+                        best = Ball::new(c, d / 2.0);
+                    }
+                }
+            }
+            best
+        }
+    }
+}
+
+/// Brute-force minimum enclosing ball for cross-checking in tests: tries all
+/// boundary subsets of size ≤ DIM+1 and keeps the smallest enclosing
+/// candidate. `O(n^{DIM+1})` — test-only.
+pub fn smallest_enclosing_ball_brute<P: Point>(points: &[P]) -> Ball<P> {
+    if points.is_empty() {
+        return Ball::new(P::zero(), 0.0);
+    }
+    let n = points.len();
+    let mut best: Option<Ball<P>> = None;
+    let mut consider = |b: Ball<P>| {
+        if b.contains_all(points, 1e-9 * (1.0 + b.radius)) {
+            match &best {
+                Some(cur) if cur.radius <= b.radius => {}
+                _ => best = Some(b),
+            }
+        }
+    };
+    for i in 0..n {
+        consider(Ball::new(points[i], 0.0));
+        for j in (i + 1)..n {
+            if let Some(b) = P::circumball(&[points[i], points[j]]) {
+                consider(b);
+            }
+            for k in (j + 1)..n {
+                if let Some(b) = P::circumball(&[points[i], points[j], points[k]]) {
+                    consider(b);
+                }
+                if P::DIM >= 3 {
+                    for l in (k + 1)..n {
+                        if let Some(b) =
+                            P::circumball(&[points[i], points[j], points[k], points[l]])
+                        {
+                            consider(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best.expect("at least one candidate ball encloses the set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec2::Vec2;
+    use crate::vec3::Vec3;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_and_singleton() {
+        let b = smallest_enclosing_ball::<Vec2>(&[]);
+        assert_eq!(b.radius, 0.0);
+        let b = smallest_enclosing_ball(&[Vec2::new(3.0, 4.0)]);
+        assert_eq!(b.center, Vec2::new(3.0, 4.0));
+        assert_eq!(b.radius, 0.0);
+    }
+
+    #[test]
+    fn equilateral_triangle() {
+        let pts = [
+            Vec2::new(1.0, 0.0),
+            Vec2::new(-0.5, 3f64.sqrt() / 2.0),
+            Vec2::new(-0.5, -(3f64.sqrt()) / 2.0),
+        ];
+        let b = smallest_enclosing_ball(&pts);
+        assert!(b.center.norm() < 1e-9);
+        assert!((b.radius - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diameter() {
+        // Very obtuse triangle: SEC is the diametral circle of the long side.
+        let pts = [Vec2::ZERO, Vec2::new(10.0, 0.0), Vec2::new(5.0, 0.1)];
+        let b = smallest_enclosing_ball(&pts);
+        assert!((b.center - Vec2::new(5.0, 0.0)).norm() < 1e-6);
+        assert!((b.radius - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Vec2> = (0..7).map(|i| Vec2::new(i as f64, 0.0)).collect();
+        let b = smallest_enclosing_ball(&pts);
+        assert!((b.center - Vec2::new(3.0, 0.0)).norm() < 1e-9);
+        assert!((b.radius - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welzl_matches_brute_force_2d() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..12);
+            let pts: Vec<Vec2> =
+                (0..n).map(|_| Vec2::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0))).collect();
+            let fast = smallest_enclosing_ball(&pts);
+            let brute = smallest_enclosing_ball_brute(&pts);
+            assert!(
+                (fast.radius - brute.radius).abs() < 1e-6,
+                "radius mismatch {} vs {} for {:?}",
+                fast.radius,
+                brute.radius,
+                pts
+            );
+            assert!(fast.contains_all(&pts, 1e-6));
+        }
+    }
+
+    #[test]
+    fn welzl_matches_brute_force_3d() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..10);
+            let pts: Vec<Vec3> = (0..n)
+                .map(|_| {
+                    Vec3::new(
+                        rng.gen_range(-5.0..5.0),
+                        rng.gen_range(-5.0..5.0),
+                        rng.gen_range(-5.0..5.0),
+                    )
+                })
+                .collect();
+            let fast = smallest_enclosing_ball(&pts);
+            let brute = smallest_enclosing_ball_brute(&pts);
+            assert!(
+                (fast.radius - brute.radius).abs() < 1e-6,
+                "radius mismatch {} vs {}",
+                fast.radius,
+                brute.radius
+            );
+            assert!(fast.contains_all(&pts, 1e-6));
+        }
+    }
+
+    #[test]
+    fn support_points_lie_on_boundary() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..15);
+            let pts: Vec<Vec2> =
+                (0..n).map(|_| Vec2::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0))).collect();
+            let (ball, support) = smallest_enclosing_ball_with_support(&pts);
+            assert!(!support.is_empty());
+            for s in &support {
+                assert!(
+                    (ball.center.dist(*s) - ball.radius).abs() < 1e-6,
+                    "support point {s} not on boundary (r={}, d={})",
+                    ball.radius,
+                    ball.center.dist(*s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_points() {
+        let p = Vec2::new(1.0, 2.0);
+        let b = smallest_enclosing_ball(&[p, p, p, p]);
+        assert_eq!(b.center, p);
+        assert!(b.radius < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! Minimal enclosing cones of direction sets — the d-dimensional
+//! generalization of the paper's “largest sector” target rule (§5, §6.3.2).
+//!
+//! In the plane the rule is exact: the two distant neighbours bounding the
+//! largest angular gap define the sector, the motion direction is its
+//! bisector, and the step length is `r·cos(half-angle)`. In higher dimension
+//! the sector becomes a spherical cap of directions; we compute an enclosing
+//! cap through the minimum enclosing ball of the unit direction vectors,
+//! which reduces to the exact sector computation for coplanar directions and
+//! yields a valid (safe-region respecting) axis/half-angle in general.
+
+use crate::angle::{self};
+use crate::ball::smallest_enclosing_ball;
+use crate::point::Point;
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::FRAC_PI_2;
+
+/// An enclosing cone of a set of directions: all directions lie within
+/// `half_angle` of `axis`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cone<P> {
+    /// Unit vector along the cone axis.
+    pub axis: P,
+    /// Half-aperture in radians, in `[0, π]`.
+    pub half_angle: f64,
+}
+
+/// Outcome of the sector/cone analysis of a robot's distant-neighbour
+/// directions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SectorAnalysis<P> {
+    /// No directions were supplied (no distant neighbours — cannot happen for
+    /// the paper's algorithm, which always has at least one).
+    Empty,
+    /// The directions positively span the space: the robot lies in the convex
+    /// hull of its distant neighbours and must stay put (§5).
+    Surrounded,
+    /// The directions fit in the cone; the axis is the motion direction and
+    /// `half_angle < π/2` guarantees a positive admissible step.
+    Cone(Cone<P>),
+}
+
+/// Exact planar sector analysis via the largest angular gap.
+///
+/// `dirs` need not be normalized; zero vectors are ignored. `eps` is the
+/// angular slack used for the “spans the plane” decision.
+///
+/// ```
+/// use cohesion_geometry::cone::{sector_2d, SectorAnalysis};
+/// use cohesion_geometry::Vec2;
+/// // Two directions 90° apart: axis is the bisector, half-angle 45°.
+/// match sector_2d(&[Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0)], 1e-9) {
+///     SectorAnalysis::Cone(c) => {
+///         assert!((c.half_angle - std::f64::consts::FRAC_PI_4).abs() < 1e-9);
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// ```
+pub fn sector_2d(dirs: &[Vec2], eps: f64) -> SectorAnalysis<Vec2> {
+    let angles: Vec<f64> = dirs
+        .iter()
+        .filter_map(|d| d.normalized(1e-12).map(|u| u.angle()))
+        .collect();
+    if angles.is_empty() {
+        return SectorAnalysis::Empty;
+    }
+    let gap = angle::largest_gap(&angles).expect("nonempty");
+    if gap.width < std::f64::consts::PI - eps {
+        return SectorAnalysis::Surrounded;
+    }
+    // The sector containing all directions is the complement of the gap,
+    // running counterclockwise from `after` to `before`.
+    let a = angle::normalize(angles[gap.after]);
+    let span = (std::f64::consts::TAU - gap.width).max(0.0);
+    if span / 2.0 >= FRAC_PI_2 - eps {
+        // Half-angle ≥ π/2: the safe-region intersection degenerates to the
+        // robot's own position (e.g. two diametrically opposite neighbours),
+        // so the admissible step is zero — report Surrounded.
+        return SectorAnalysis::Surrounded;
+    }
+    let axis = Vec2::from_angle(a + span / 2.0);
+    SectorAnalysis::Cone(Cone { axis, half_angle: span / 2.0 })
+}
+
+/// Generic enclosing-cone analysis through the minimum enclosing ball of the
+/// normalized directions. Works in any dimension; in the plane prefer
+/// [`sector_2d`], which is exact and matches the paper's construction
+/// point-for-point.
+///
+/// Returns [`SectorAnalysis::Surrounded`] when the enclosing cap subtends a
+/// half-angle `≥ π/2 − eps` (no strictly positive step can respect all safe
+/// regions) or when the cap centre direction degenerates.
+pub fn enclosing_cone<P: Point>(dirs: &[P], eps: f64) -> SectorAnalysis<P> {
+    let units: Vec<P> = dirs.iter().filter_map(|d| d.normalized(1e-12)).collect();
+    if units.is_empty() {
+        return SectorAnalysis::Empty;
+    }
+    let ball = smallest_enclosing_ball(&units);
+    let axis = match ball.center.normalized(1e-9) {
+        Some(a) => a,
+        None => return SectorAnalysis::Surrounded,
+    };
+    let mut worst: f64 = 0.0;
+    for u in &units {
+        let c = axis.dot(*u).clamp(-1.0, 1.0);
+        worst = worst.max(c.acos());
+    }
+    if worst >= FRAC_PI_2 - eps {
+        SectorAnalysis::Surrounded
+    } else {
+        SectorAnalysis::Cone(Cone { axis, half_angle: worst })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::Vec3;
+    use std::f64::consts::{FRAC_PI_4, PI};
+
+    #[test]
+    fn sector_single_direction() {
+        match sector_2d(&[Vec2::new(2.0, 0.0)], 1e-9) {
+            SectorAnalysis::Cone(c) => {
+                assert!((c.axis - Vec2::new(1.0, 0.0)).norm() < 1e-12);
+                assert_eq!(c.half_angle, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sector_surrounded() {
+        let dirs = [
+            Vec2::from_angle(0.0),
+            Vec2::from_angle(2.0 * PI / 3.0),
+            Vec2::from_angle(4.0 * PI / 3.0),
+        ];
+        assert_eq!(sector_2d(&dirs, 1e-9), SectorAnalysis::Surrounded);
+    }
+
+    #[test]
+    fn sector_empty() {
+        assert_eq!(sector_2d(&[], 1e-9), SectorAnalysis::Empty);
+        assert_eq!(sector_2d(&[Vec2::ZERO], 1e-9), SectorAnalysis::Empty);
+    }
+
+    #[test]
+    fn sector_bisector() {
+        let dirs = [Vec2::from_angle(0.2), Vec2::from_angle(1.0), Vec2::from_angle(0.5)];
+        match sector_2d(&dirs, 1e-9) {
+            SectorAnalysis::Cone(c) => {
+                assert!((c.axis.angle() - 0.6).abs() < 1e-9);
+                assert!((c.half_angle - 0.4).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sector_opposite_directions_surrounded() {
+        // Gap exactly π on both sides: treated as surrounded (the paper's
+        // intersection of safe regions is the single point Z).
+        let dirs = [Vec2::new(1.0, 0.0), Vec2::new(-1.0, 0.0)];
+        assert_eq!(sector_2d(&dirs, 1e-9), SectorAnalysis::Surrounded);
+    }
+
+    #[test]
+    fn generic_cone_agrees_with_2d_on_plane() {
+        let dirs2 = [Vec2::from_angle(0.3), Vec2::from_angle(0.9)];
+        let c2 = match sector_2d(&dirs2, 1e-9) {
+            SectorAnalysis::Cone(c) => c,
+            other => panic!("unexpected {other:?}"),
+        };
+        let dirs3 = [Vec2::from_angle(0.3), Vec2::from_angle(0.9)];
+        let cg = match enclosing_cone(&dirs3, 1e-9) {
+            SectorAnalysis::Cone(c) => c,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!((c2.axis - cg.axis).norm() < 1e-6);
+        assert!((c2.half_angle - cg.half_angle).abs() < 1e-6);
+    }
+
+    #[test]
+    fn generic_cone_3d() {
+        let dirs = [
+            Vec3::new(1.0, 0.1, 0.0),
+            Vec3::new(1.0, -0.1, 0.0),
+            Vec3::new(1.0, 0.0, 0.1),
+            Vec3::new(1.0, 0.0, -0.1),
+        ];
+        match enclosing_cone(&dirs, 1e-9) {
+            SectorAnalysis::Cone(c) => {
+                assert!((c.axis - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-6);
+                assert!(c.half_angle < FRAC_PI_4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generic_cone_surrounded_3d() {
+        let dirs = [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, -1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 0.0, -1.0),
+        ];
+        assert_eq!(enclosing_cone(&dirs, 1e-9), SectorAnalysis::Surrounded);
+    }
+}

@@ -1,0 +1,280 @@
+//! Convex hulls and the hull-nesting queries behind the paper's congregation
+//! argument (§5: “the convex hulls of successive configurations are properly
+//! nested”).
+
+use crate::predicates::orient2d_value;
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A convex polygon given by its vertices in counterclockwise order
+/// (no three consecutive vertices collinear). May be degenerate: a point
+/// (one vertex) or a segment (two vertices).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvexHull {
+    vertices: Vec<Vec2>,
+}
+
+/// Computes the convex hull of a point set (Andrew's monotone chain,
+/// `O(n log n)`). Duplicate points are tolerated.
+///
+/// ```
+/// use cohesion_geometry::{hull::convex_hull, Vec2};
+/// let h = convex_hull(&[
+///     Vec2::ZERO,
+///     Vec2::new(1.0, 0.0),
+///     Vec2::new(1.0, 1.0),
+///     Vec2::new(0.5, 0.5), // interior
+/// ]);
+/// assert_eq!(h.vertices().len(), 3);
+/// ```
+pub fn convex_hull(points: &[Vec2]) -> ConvexHull {
+    let mut pts: Vec<Vec2> = points.to_vec();
+    pts.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).expect("points must be finite"));
+    pts.dedup();
+    if pts.len() <= 2 {
+        return ConvexHull { vertices: pts };
+    }
+    let mut lower: Vec<Vec2> = Vec::with_capacity(pts.len());
+    for &p in &pts {
+        while lower.len() >= 2
+            && orient2d_value(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Vec2> = Vec::with_capacity(pts.len());
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2
+            && orient2d_value(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.is_empty() {
+        // All points collinear: keep the two extremes.
+        let a = pts[0];
+        let b = *pts.last().expect("nonempty");
+        let vertices = if a == b { vec![a] } else { vec![a, b] };
+        return ConvexHull { vertices };
+    }
+    ConvexHull { vertices: lower }
+}
+
+impl ConvexHull {
+    /// The hull vertices in counterclockwise order.
+    pub fn vertices(&self) -> &[Vec2] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Returns `true` for the hull of an empty point set.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Perimeter of the hull (`0` for a point; `2·len` for a segment, its
+    /// boundary walked both ways, consistent with treating it as a degenerate
+    /// polygon — the paper's shrinkage lemma (Lemma 8) only ever compares
+    /// perimeters of nondegenerate hulls).
+    pub fn perimeter(&self) -> f64 {
+        match self.vertices.len() {
+            0 | 1 => 0.0,
+            2 => 2.0 * self.vertices[0].dist(self.vertices[1]),
+            n => (0..n).map(|i| self.vertices[i].dist(self.vertices[(i + 1) % n])).sum(),
+        }
+    }
+
+    /// Area enclosed by the hull (shoelace formula; `0` for degenerate hulls).
+    pub fn area(&self) -> f64 {
+        let n = self.vertices.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut s = 0.0;
+        for i in 0..n {
+            s += self.vertices[i].cross(self.vertices[(i + 1) % n]);
+        }
+        s / 2.0
+    }
+
+    /// Diameter: the maximum distance between two vertices, via rotating
+    /// calipers (`O(h)` for hulls with at least three vertices; degenerate
+    /// hulls fall back to the direct computation).
+    pub fn diameter(&self) -> f64 {
+        let n = self.vertices.len();
+        if n < 3 {
+            return self.diameter_brute();
+        }
+        // Rotating calipers: walk antipodal pairs around the CCW hull.
+        let area2 = |a: Vec2, b: Vec2, c: Vec2| (b - a).cross(c - a).abs();
+        let mut best = 0.0_f64;
+        let mut j = 1;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            // Advance j while the triangle area (≈ distance from the edge)
+            // keeps growing: j ends at the vertex antipodal to edge (a, b).
+            while area2(a, b, self.vertices[(j + 1) % n]) > area2(a, b, self.vertices[j]) {
+                j = (j + 1) % n;
+            }
+            best = best.max(a.dist(self.vertices[j])).max(b.dist(self.vertices[j]));
+        }
+        best
+    }
+
+    /// Brute-force diameter (`O(h²)`); used by degenerate hulls and as a
+    /// cross-check oracle in tests.
+    pub fn diameter_brute(&self) -> f64 {
+        let mut best = 0.0_f64;
+        for i in 0..self.vertices.len() {
+            for j in (i + 1)..self.vertices.len() {
+                best = best.max(self.vertices[i].dist(self.vertices[j]));
+            }
+        }
+        best
+    }
+
+    /// Returns `true` when `p` lies inside or on the hull, with slack `eps`
+    /// (distance to the hull boundary for outside points).
+    pub fn contains(&self, p: Vec2, eps: f64) -> bool {
+        match self.vertices.len() {
+            0 => false,
+            1 => self.vertices[0].dist(p) <= eps,
+            2 => crate::segment::Segment::new(self.vertices[0], self.vertices[1])
+                .dist_to_point(p)
+                <= eps,
+            n => {
+                for i in 0..n {
+                    let a = self.vertices[i];
+                    let b = self.vertices[(i + 1) % n];
+                    // For a CCW polygon, interior points are on the left of
+                    // every edge. Allow eps slack scaled by edge length (the
+                    // cross product is distance × |ab|).
+                    if orient2d_value(a, b, p) < -eps * a.dist(b).max(1e-300) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Returns `true` when `other` is contained in `self` (every vertex of
+    /// `other` inside, with slack `eps`). For convex polygons this is exact
+    /// containment. This is the nested-hull check `CH_{t⁺} ⊆ CH_t` of §5.
+    pub fn contains_hull(&self, other: &ConvexHull, eps: f64) -> bool {
+        other.vertices.iter().all(|&v| self.contains(v, eps))
+    }
+
+    /// The vertex farthest from `p` (useful for hull-radius style measures);
+    /// `None` for an empty hull.
+    pub fn farthest_vertex(&self, p: Vec2) -> Option<Vec2> {
+        self.vertices
+            .iter()
+            .copied()
+            .max_by(|a, b| a.dist_sq(p).partial_cmp(&b.dist_sq(p)).expect("finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Vec<Vec2> {
+        vec![
+            Vec2::ZERO,
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(0.0, 2.0),
+            Vec2::new(1.0, 1.0), // interior
+            Vec2::new(1.0, 0.0), // edge point
+        ]
+    }
+
+    #[test]
+    fn hull_of_square() {
+        let h = convex_hull(&square());
+        assert_eq!(h.len(), 4);
+        assert!((h.perimeter() - 8.0).abs() < 1e-12);
+        assert!((h.area() - 4.0).abs() < 1e-12);
+        assert!((h.diameter() - 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let h = convex_hull(&square());
+        assert!(h.area() > 0.0, "shoelace area positive ⇒ CCW");
+    }
+
+    #[test]
+    fn degenerate_hulls() {
+        let h = convex_hull(&[]);
+        assert!(h.is_empty());
+        assert_eq!(h.perimeter(), 0.0);
+        let h = convex_hull(&[Vec2::new(1.0, 1.0), Vec2::new(1.0, 1.0)]);
+        assert_eq!(h.len(), 1);
+        let h = convex_hull(&[Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(3.0, 0.0)]);
+        assert_eq!(h.len(), 2);
+        assert!((h.diameter() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment() {
+        let h = convex_hull(&square());
+        assert!(h.contains(Vec2::new(1.0, 1.0), 1e-9));
+        assert!(h.contains(Vec2::new(0.0, 0.0), 1e-9)); // vertex
+        assert!(h.contains(Vec2::new(1.0, 0.0), 1e-9)); // edge
+        assert!(!h.contains(Vec2::new(3.0, 1.0), 1e-9));
+        assert!(!h.contains(Vec2::new(-0.1, 1.0), 1e-9));
+    }
+
+    #[test]
+    fn nested_hulls() {
+        let outer = convex_hull(&square());
+        let inner = convex_hull(&[
+            Vec2::new(0.5, 0.5),
+            Vec2::new(1.5, 0.5),
+            Vec2::new(1.0, 1.5),
+        ]);
+        assert!(outer.contains_hull(&inner, 1e-9));
+        assert!(!inner.contains_hull(&outer, 1e-9));
+    }
+
+    #[test]
+    fn calipers_match_brute_force() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = rng.gen_range(3..40);
+            let pts: Vec<Vec2> = (0..n)
+                .map(|_| Vec2::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+                .collect();
+            let h = convex_hull(&pts);
+            assert!(
+                (h.diameter() - h.diameter_brute()).abs() < 1e-9,
+                "calipers {} vs brute {} on {:?}",
+                h.diameter(),
+                h.diameter_brute(),
+                pts
+            );
+        }
+    }
+
+    #[test]
+    fn farthest_vertex() {
+        let h = convex_hull(&square());
+        let f = h.farthest_vertex(Vec2::ZERO).unwrap();
+        assert_eq!(f, Vec2::new(2.0, 2.0));
+        assert!(convex_hull(&[]).farthest_vertex(Vec2::ZERO).is_none());
+    }
+}

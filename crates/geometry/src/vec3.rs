@@ -1,0 +1,200 @@
+//! Three-dimensional Euclidean vectors/points (paper §6.3.2 extension).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point (or displacement vector) in three-dimensional Euclidean space.
+///
+/// Used by the higher-dimensional generalization of the convergence
+/// algorithm, where safe regions become balls and the “largest sector” rule
+/// becomes a minimal enclosing cone (see `cohesion_geometry::cone`).
+///
+/// ```
+/// use cohesion_geometry::Vec3;
+/// let a = Vec3::new(1.0, 2.0, 2.0);
+/// assert_eq!(a.norm(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// First coordinate.
+    pub x: f64,
+    /// Second coordinate.
+    pub y: f64,
+    /// Third coordinate.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The origin / zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn dist_sq(self, other: Vec3) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// The unit vector in this direction, or `None` for (near-)zero vectors.
+    #[inline]
+    pub fn normalized(self, eps: f64) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= eps {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Returns `true` when all coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6}, {:.6})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 1.0, 0.5);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let a = Vec3::new(2.0, 3.0, 6.0);
+        assert_eq!(a.norm(), 7.0);
+        let u = a.normalized(1e-12).unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec3::ZERO.normalized(1e-12), None);
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+}

@@ -1,0 +1,82 @@
+//! The [`Algorithm`] trait: the Compute phase of a Look–Compute–Move cycle.
+
+use crate::snapshot::Snapshot;
+use cohesion_geometry::point::Point;
+use std::fmt::Debug;
+
+/// A convergence algorithm `A` in the OBLOT sense (§2.2): a deterministic,
+/// oblivious map from a Look snapshot to an intended destination.
+///
+/// * The input snapshot is in the robot's *local frame* with the robot at the
+///   origin; the output is the intended destination in the same frame (the
+///   zero vector means the nil movement).
+/// * Implementations must be memoryless (`&self` receives no mutable state)
+///   and identical across robots — properties the type system enforces by
+///   construction here.
+/// * Implementations must be equivariant under orthogonal maps of the local
+///   frame (robots are disoriented); this is checked by property tests, not
+///   the compiler.
+pub trait Algorithm<P: Point>: Debug + Send + Sync {
+    /// Computes the intended destination for the observed snapshot.
+    fn compute(&self, snapshot: &Snapshot<P>) -> P;
+
+    /// A short human-readable name used in experiment tables.
+    fn name(&self) -> &str;
+}
+
+impl<P: Point, A: Algorithm<P> + ?Sized> Algorithm<P> for &A {
+    fn compute(&self, snapshot: &Snapshot<P>) -> P {
+        (**self).compute(snapshot)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<P: Point, A: Algorithm<P> + ?Sized> Algorithm<P> for Box<A> {
+    fn compute(&self, snapshot: &Snapshot<P>) -> P {
+        (**self).compute(snapshot)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// The algorithm that never moves; useful as a control in scheduler tests
+/// and as the crashed-robot stand-in for fault-tolerance experiments (§6.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NilAlgorithm;
+
+impl<P: Point> Algorithm<P> for NilAlgorithm {
+    fn compute(&self, _snapshot: &Snapshot<P>) -> P {
+        P::zero()
+    }
+
+    fn name(&self) -> &str {
+        "nil"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion_geometry::Vec2;
+
+    #[test]
+    fn nil_never_moves() {
+        let s = Snapshot::from_positions(vec![Vec2::new(1.0, 0.0)]);
+        assert_eq!(NilAlgorithm.compute(&s), Vec2::ZERO);
+        assert_eq!(Algorithm::<Vec2>::name(&NilAlgorithm), "nil");
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let boxed: Box<dyn Algorithm<Vec2>> = Box::new(NilAlgorithm);
+        let s = Snapshot::from_positions(vec![]);
+        assert_eq!(boxed.compute(&s), Vec2::ZERO);
+        let by_ref: &dyn Algorithm<Vec2> = &NilAlgorithm;
+        assert_eq!(by_ref.compute(&s), Vec2::ZERO);
+    }
+}

@@ -1,0 +1,119 @@
+//! Robot identifiers.
+//!
+//! Robots in the OBLOT model are *anonymous*: they carry no identities usable
+//! by the algorithm. [`RobotId`] exists purely on the simulator side — for
+//! indexing state, recording traces, and phrasing predicates like “the edge
+//! `(X, Y)` of the initial visibility graph is preserved”.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simulator-side robot identifier (dense index, assigned in configuration
+/// order). Never visible to the robots' algorithm.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RobotId(pub u32);
+
+impl RobotId {
+    /// The underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for RobotId {
+    fn from(v: u32) -> Self {
+        RobotId(v)
+    }
+}
+
+impl From<usize> for RobotId {
+    fn from(v: usize) -> Self {
+        RobotId(u32::try_from(v).expect("robot index fits in u32"))
+    }
+}
+
+impl fmt::Display for RobotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// An unordered pair of robot ids, normalized so `a ≤ b`; the edge type of
+/// visibility graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RobotPair {
+    /// Smaller id.
+    pub a: RobotId,
+    /// Larger id.
+    pub b: RobotId,
+}
+
+impl RobotPair {
+    /// Creates the normalized unordered pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == y` (a robot is not its own neighbour).
+    pub fn new(x: RobotId, y: RobotId) -> Self {
+        assert_ne!(x, y, "a visibility edge needs two distinct robots");
+        if x < y {
+            RobotPair { a: x, b: y }
+        } else {
+            RobotPair { a: y, b: x }
+        }
+    }
+
+    /// Returns the partner of `id` in this pair, or `None` when `id` is not
+    /// an endpoint.
+    pub fn other(&self, id: RobotId) -> Option<RobotId> {
+        if id == self.a {
+            Some(self.b)
+        } else if id == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for RobotPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_normalizes() {
+        let p = RobotPair::new(RobotId(5), RobotId(2));
+        assert_eq!(p.a, RobotId(2));
+        assert_eq!(p.b, RobotId(5));
+        assert_eq!(p, RobotPair::new(RobotId(2), RobotId(5)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_pair_panics() {
+        let _ = RobotPair::new(RobotId(1), RobotId(1));
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let p = RobotPair::new(RobotId(1), RobotId(3));
+        assert_eq!(p.other(RobotId(1)), Some(RobotId(3)));
+        assert_eq!(p.other(RobotId(3)), Some(RobotId(1)));
+        assert_eq!(p.other(RobotId(7)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RobotId(4).to_string(), "R4");
+        assert_eq!(RobotPair::new(RobotId(1), RobotId(0)).to_string(), "(R0, R1)");
+    }
+}

@@ -1,0 +1,38 @@
+//! The OBLOT model of autonomous mobile robots (paper §2).
+//!
+//! This crate defines everything a *single Look–Compute–Move cycle* touches:
+//!
+//! * robot identities ([`RobotId`]) — used only by the simulator for
+//!   bookkeeping; the robots themselves are anonymous and identical;
+//! * configurations ([`Configuration`]): the multiset of robot positions at
+//!   an instant;
+//! * visibility graphs ([`visibility`]): who sees whom under the limited
+//!   (possibly unknown) visibility range `V`, with the connectivity queries
+//!   the Cohesive Convergence predicate needs;
+//! * snapshots ([`Snapshot`]): what a robot actually receives from its Look
+//!   phase — relative positions in a *private* local frame;
+//! * local frames ([`frame`]): rotations/reflections and the paper's
+//!   symmetric coordinate distortions with bounded skew (§2.3.3, §6.1);
+//! * error models ([`errors`]): relative distance-measurement error `δ`,
+//!   angular skew `λ`, `ξ`-rigidity, and linear/quadratic relative motion
+//!   error (§2.3.2–2.3.3, §6.1, Figure 18);
+//! * the [`Algorithm`] trait every convergence algorithm in the workspace
+//!   implements.
+
+pub mod algorithm;
+pub mod configuration;
+pub mod errors;
+pub mod frame;
+pub mod ids;
+pub mod snapshot;
+pub mod visibility;
+
+pub use algorithm::{Algorithm, NilAlgorithm};
+pub use frame::{Ambient, FrameMode};
+pub use ids::RobotPair;
+pub use configuration::Configuration;
+pub use errors::{MotionError, MotionModel, PerceptionModel};
+pub use frame::{Distortion, Frame, Iso2, Iso3};
+pub use ids::RobotId;
+pub use snapshot::{ObservedRobot, Snapshot};
+pub use visibility::VisibilityGraph;

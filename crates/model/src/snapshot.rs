@@ -1,0 +1,137 @@
+//! Look-phase snapshots (paper §2.2).
+//!
+//! A snapshot is everything a robot's algorithm gets to see: the relative
+//! positions of the robots inside its visibility range, expressed in its
+//! private local frame. The observing robot sits at the origin and is *not*
+//! listed among the observations.
+
+use cohesion_geometry::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// One robot as perceived during a Look phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObservedRobot<P> {
+    /// Perceived displacement from the observer (local frame, possibly
+    /// error-afflicted).
+    pub position: P,
+}
+
+/// The input to an algorithm's Compute phase.
+///
+/// ```
+/// use cohesion_model::Snapshot;
+/// use cohesion_geometry::Vec2;
+/// let s = Snapshot::from_positions(vec![Vec2::new(1.0, 0.0), Vec2::new(0.0, 2.0)]);
+/// assert_eq!(s.len(), 2);
+/// assert!((s.furthest_distance() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot<P> {
+    observations: Vec<ObservedRobot<P>>,
+}
+
+impl<P: Point> Snapshot<P> {
+    /// Creates a snapshot from perceived displacements.
+    pub fn from_positions(positions: Vec<P>) -> Self {
+        Snapshot { observations: positions.into_iter().map(|position| ObservedRobot { position }).collect() }
+    }
+
+    /// Collapses co-located observations (within `eps`) into single ones —
+    /// what a robot *without* multiplicity detection perceives (§2.2,
+    /// footnote 4).
+    pub fn without_multiplicity(mut self, eps: f64) -> Self {
+        let mut kept: Vec<ObservedRobot<P>> = Vec::with_capacity(self.observations.len());
+        for obs in self.observations.drain(..) {
+            if !kept.iter().any(|k| k.position.dist(obs.position) <= eps) {
+                kept.push(obs);
+            }
+        }
+        Snapshot { observations: kept }
+    }
+
+    /// The observations (order is not meaningful — robots are anonymous).
+    pub fn observations(&self) -> &[ObservedRobot<P>] {
+        &self.observations
+    }
+
+    /// Perceived displacements only.
+    pub fn positions(&self) -> impl Iterator<Item = P> + '_ {
+        self.observations.iter().map(|o| o.position)
+    }
+
+    /// Number of perceived robots.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Returns `true` when nothing is visible.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Distance to the furthest perceived robot — the paper's tentative
+    /// visibility lower bound `V_Z` (§3.2). `0` for an empty snapshot.
+    pub fn furthest_distance(&self) -> f64 {
+        self.observations.iter().map(|o| o.position.norm()).fold(0.0, f64::max)
+    }
+
+    /// Distance to the closest perceived robot; `∞` for an empty snapshot.
+    pub fn closest_distance(&self) -> f64 {
+        self.observations.iter().map(|o| o.position.norm()).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Applies a transformation to every observation (used by the engine to
+    /// move between frames and by error models to perturb perception).
+    pub fn map(&self, mut f: impl FnMut(P) -> P) -> Snapshot<P> {
+        Snapshot {
+            observations: self
+                .observations
+                .iter()
+                .map(|o| ObservedRobot { position: f(o.position) })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion_geometry::Vec2;
+
+    #[test]
+    fn basic_queries() {
+        let s = Snapshot::from_positions(vec![Vec2::new(3.0, 4.0), Vec2::new(1.0, 0.0)]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.furthest_distance(), 5.0);
+        assert_eq!(s.closest_distance(), 1.0);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = Snapshot::<Vec2>::from_positions(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.furthest_distance(), 0.0);
+        assert_eq!(s.closest_distance(), f64::INFINITY);
+    }
+
+    #[test]
+    fn multiplicity_collapse() {
+        let s = Snapshot::from_positions(vec![
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1e-12),
+            Vec2::new(0.0, 1.0),
+        ]);
+        let collapsed = s.clone().without_multiplicity(1e-9);
+        assert_eq!(collapsed.len(), 2);
+        assert_eq!(s.len(), 4, "original untouched");
+    }
+
+    #[test]
+    fn map_transforms_positions() {
+        let s = Snapshot::from_positions(vec![Vec2::new(1.0, 2.0)]);
+        let doubled = s.map(|p| p * 2.0);
+        assert_eq!(doubled.observations()[0].position, Vec2::new(2.0, 4.0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Visibility graphs under limited visibility (paper §2.1) and the
+//! connectivity machinery behind the Cohesive Convergence predicate.
+
+use crate::configuration::Configuration;
+use crate::ids::{RobotId, RobotPair};
+use cohesion_geometry::point::Point;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The undirected visibility graph `G(t) = (R, E(t))` where
+/// `(X, Y) ∈ E(t) ⟺ |X(t)Y(t)| ≤ V`.
+///
+/// ```
+/// use cohesion_model::{Configuration, VisibilityGraph};
+/// use cohesion_geometry::Vec2;
+/// let c = Configuration::new(vec![Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(3.0, 0.0)]);
+/// let g = VisibilityGraph::from_configuration(&c, 1.0);
+/// assert_eq!(g.edge_count(), 1);
+/// assert!(!g.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisibilityGraph {
+    n: usize,
+    edges: BTreeSet<RobotPair>,
+}
+
+impl VisibilityGraph {
+    /// Builds the visibility graph of a configuration with common visibility
+    /// radius `radius` (closed: distance exactly `radius` counts, §2.1).
+    pub fn from_configuration<P: Point>(config: &Configuration<P>, radius: f64) -> Self {
+        assert!(radius >= 0.0, "visibility radius must be non-negative");
+        let mut edges = BTreeSet::new();
+        let pos = config.positions();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                if pos[i].dist(pos[j]) <= radius {
+                    edges.insert(RobotPair::new(RobotId::from(i), RobotId::from(j)));
+                }
+            }
+        }
+        VisibilityGraph { n: pos.len(), edges }
+    }
+
+    /// Builds a visibility graph from an explicit edge list over `n` robots.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = RobotPair>) -> Self {
+        let edges: BTreeSet<RobotPair> = edges.into_iter().collect();
+        for e in &edges {
+            assert!(e.b.index() < n, "edge endpoint {} out of range", e.b);
+        }
+        VisibilityGraph { n, edges }
+    }
+
+    /// Number of robots (vertices).
+    #[inline]
+    pub fn robot_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of visibility edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge set.
+    #[inline]
+    pub fn edges(&self) -> &BTreeSet<RobotPair> {
+        &self.edges
+    }
+
+    /// Returns `true` when the pair is mutually visible.
+    pub fn has_edge(&self, x: RobotId, y: RobotId) -> bool {
+        x != y && self.edges.contains(&RobotPair::new(x, y))
+    }
+
+    /// The neighbours of `id`.
+    pub fn neighbors(&self, id: RobotId) -> Vec<RobotId> {
+        self.edges.iter().filter_map(|e| e.other(id)).collect()
+    }
+
+    /// Connected components as sorted id lists (singletons included).
+    pub fn components(&self) -> Vec<Vec<RobotId>> {
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for e in &self.edges {
+            let (ra, rb) = (find(&mut parent, e.a.index()), find(&mut parent, e.b.index()));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let mut buckets: std::collections::BTreeMap<usize, Vec<RobotId>> = Default::default();
+        for i in 0..self.n {
+            let r = find(&mut parent, i);
+            buckets.entry(r).or_default().push(RobotId::from(i));
+        }
+        buckets.into_values().collect()
+    }
+
+    /// Returns `true` when the graph is connected (the paper's standing
+    /// assumption on initial configurations). The empty graph and singletons
+    /// are connected.
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// Returns `true` when every edge of `self` is also an edge of `other` —
+    /// the `E(0) ⊆ E(t)` inclusion of the Cohesive Convergence predicate.
+    pub fn subset_of(&self, other: &VisibilityGraph) -> bool {
+        self.edges.is_subset(&other.edges)
+    }
+
+    /// The edges of `self` missing from `other` (witnesses of a cohesion
+    /// violation).
+    pub fn missing_in(&self, other: &VisibilityGraph) -> Vec<RobotPair> {
+        self.edges.difference(&other.edges).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion_geometry::Vec2;
+
+    fn chain(n: usize, spacing: f64) -> Configuration {
+        Configuration::new((0..n).map(|i| Vec2::new(i as f64 * spacing, 0.0)).collect())
+    }
+
+    #[test]
+    fn chain_visibility() {
+        let g = VisibilityGraph::from_configuration(&chain(4, 1.0), 1.0);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.is_connected());
+        assert!(g.has_edge(RobotId(0), RobotId(1)));
+        assert!(!g.has_edge(RobotId(0), RobotId(2)));
+        assert!(!g.has_edge(RobotId(0), RobotId(0)));
+    }
+
+    #[test]
+    fn closed_range_boundary_counts() {
+        let c = Configuration::new(vec![Vec2::ZERO, Vec2::new(1.0, 0.0)]);
+        let g = VisibilityGraph::from_configuration(&c, 1.0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn disconnection_and_components() {
+        let g = VisibilityGraph::from_configuration(&chain(5, 1.0), 0.5);
+        assert!(!g.is_connected());
+        assert_eq!(g.components().len(), 5);
+        let g = VisibilityGraph::from_configuration(
+            &Configuration::new(vec![
+                Vec2::ZERO,
+                Vec2::new(1.0, 0.0),
+                Vec2::new(10.0, 0.0),
+                Vec2::new(11.0, 0.0),
+            ]),
+            1.5,
+        );
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![RobotId(0), RobotId(1)]);
+        assert_eq!(comps[1], vec![RobotId(2), RobotId(3)]);
+    }
+
+    #[test]
+    fn neighbors_listing() {
+        let g = VisibilityGraph::from_configuration(&chain(3, 1.0), 1.0);
+        assert_eq!(g.neighbors(RobotId(1)), vec![RobotId(0), RobotId(2)]);
+        assert_eq!(g.neighbors(RobotId(0)), vec![RobotId(1)]);
+    }
+
+    #[test]
+    fn subset_and_missing() {
+        let sparse = VisibilityGraph::from_configuration(&chain(3, 1.0), 1.0);
+        let dense = VisibilityGraph::from_configuration(&chain(3, 1.0), 2.0);
+        assert!(sparse.subset_of(&dense));
+        assert!(!dense.subset_of(&sparse));
+        let missing = dense.missing_in(&sparse);
+        assert_eq!(missing, vec![RobotPair::new(RobotId(0), RobotId(2))]);
+    }
+
+    #[test]
+    fn empty_and_singleton_connected() {
+        assert!(VisibilityGraph::from_configuration(&chain(0, 1.0), 1.0).is_connected());
+        assert!(VisibilityGraph::from_configuration(&chain(1, 1.0), 1.0).is_connected());
+    }
+}

@@ -1,0 +1,81 @@
+//! ASCII timeline rendering — the executable analogue of the paper's
+//! Figures 1 and 2.
+//!
+//! Each robot gets a row; time flows left to right. Characters:
+//! `L` marks the instantaneous Look, `c` the Compute phase, `m` the Move
+//! phase, `·` inactivity.
+
+use crate::trace::ScheduleTrace;
+use cohesion_model::RobotId;
+
+/// Renders the trace as one row per robot over `width` columns covering
+/// `[0, horizon]`.
+///
+/// ```
+/// use cohesion_scheduler::{render::render_timeline, ScheduleTrace, ActivationInterval};
+/// use cohesion_model::RobotId;
+/// let t = ScheduleTrace::from_intervals(vec![
+///     ActivationInterval::new(RobotId(0), 0.0, 1.0, 2.0),
+/// ]);
+/// let art = render_timeline(&t, 1, 20);
+/// assert!(art.contains('L'));
+/// assert!(art.contains('m'));
+/// ```
+pub fn render_timeline(trace: &ScheduleTrace, robot_count: usize, width: usize) -> String {
+    let horizon = trace.horizon().max(1e-9);
+    let mut rows: Vec<Vec<char>> = vec![vec!['·'; width]; robot_count];
+    for iv in trace.intervals() {
+        let r = iv.robot.index();
+        if r >= robot_count {
+            continue;
+        }
+        let col = |t: f64| -> usize {
+            (((t / horizon) * (width as f64 - 1.0)).round() as usize).min(width - 1)
+        };
+        let (c_look, c_move, c_end) = (col(iv.look), col(iv.move_start), col(iv.end));
+        for cell in rows[r].iter_mut().take(c_move).skip(c_look) {
+            *cell = 'c';
+        }
+        for cell in rows[r].iter_mut().take(c_end + 1).skip(c_move) {
+            *cell = 'm';
+        }
+        rows[r][c_look] = 'L';
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        out.push_str(&format!("{:>4} |", RobotId::from(r).to_string()));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("      0{:>width$.2}\n", horizon, width = width - 1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::ActivationInterval;
+
+    #[test]
+    fn renders_expected_shape() {
+        let t = ScheduleTrace::from_intervals(vec![
+            ActivationInterval::new(RobotId(0), 0.0, 2.0, 4.0),
+            ActivationInterval::new(RobotId(1), 1.0, 1.5, 2.0),
+        ]);
+        let art = render_timeline(&t, 2, 40);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("  R0 |L"));
+        assert!(lines[0].contains('m'));
+        assert!(lines[1].contains('L'));
+        // Robot 1 is inactive at the end.
+        assert!(lines[1].trim_end().ends_with('·'));
+    }
+
+    #[test]
+    fn empty_trace_renders_blank_rows() {
+        let art = render_timeline(&ScheduleTrace::new(), 2, 10);
+        assert_eq!(art.lines().count(), 3);
+        assert!(!art.contains('L'));
+    }
+}

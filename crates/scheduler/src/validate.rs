@@ -1,0 +1,362 @@
+//! Trace validators: proofs that a schedule obeys (or breaks) each model of
+//! §2.3.1.
+//!
+//! Making the models *checkable* keeps the reproduction honest: every
+//! experiment that claims “under 2-Async scheduling …” can assert that the
+//! schedule it actually ran was 2-Async and not accidentally weaker.
+
+use crate::trace::ScheduleTrace;
+use cohesion_model::RobotId;
+use serde::{Deserialize, Serialize};
+
+/// The scheduling models of the paper, in increasing adversary power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerModel {
+    /// Fully synchronous: rounds, everyone active in each round.
+    FSync,
+    /// Semi-synchronous: rounds, a subset active in each round.
+    SSync,
+    /// Nested activations, at most `k` of one robot inside one of another.
+    KNestA(u32),
+    /// At most `k` activations of one robot within an active interval of
+    /// another.
+    KAsync(u32),
+    /// Unbounded asynchrony (fairness only).
+    Async,
+}
+
+impl std::fmt::Display for SchedulerModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerModel::FSync => write!(f, "FSync"),
+            SchedulerModel::SSync => write!(f, "SSync"),
+            SchedulerModel::KNestA(k) => write!(f, "{k}-NestA"),
+            SchedulerModel::KAsync(k) => write!(f, "{k}-Async"),
+            SchedulerModel::Async => write!(f, "Async"),
+        }
+    }
+}
+
+/// A violated constraint, with the offending interval indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Human-readable description of what failed.
+    pub reason: String,
+    /// Indices (into the trace) of the intervals involved.
+    pub intervals: Vec<usize>,
+}
+
+/// Checks the universal sanity condition: intervals of the *same* robot never
+/// overlap (a robot runs one LCM cycle at a time).
+pub fn validate_no_self_overlap(trace: &ScheduleTrace) -> Result<(), Violation> {
+    let ivs = trace.intervals();
+    for i in 0..ivs.len() {
+        for j in (i + 1)..ivs.len() {
+            if ivs[i].robot == ivs[j].robot && ivs[i].overlaps(&ivs[j]) {
+                return Err(Violation {
+                    reason: format!(
+                        "robot {} has overlapping activations {} and {}",
+                        ivs[i].robot, ivs[i], ivs[j]
+                    ),
+                    intervals: vec![i, j],
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks activation fairness over the traced horizon: every robot is
+/// activated, and no robot waits more than `max_gap` between consecutive
+/// activations (nor before its first or after its last, relative to the
+/// trace horizon).
+pub fn validate_fairness(
+    trace: &ScheduleTrace,
+    robot_count: usize,
+    max_gap: f64,
+) -> Result<(), Violation> {
+    let horizon = trace.horizon();
+    for r in 0..robot_count {
+        let id = RobotId::from(r);
+        let ivs = trace.of_robot(id);
+        if ivs.is_empty() {
+            return Err(Violation {
+                reason: format!("robot {id} never activated"),
+                intervals: vec![],
+            });
+        }
+        let mut last_end = 0.0;
+        for iv in &ivs {
+            if iv.look - last_end > max_gap {
+                return Err(Violation {
+                    reason: format!(
+                        "robot {id} idle for {:.3} (> {max_gap}) before {}",
+                        iv.look - last_end,
+                        iv
+                    ),
+                    intervals: vec![],
+                });
+            }
+            last_end = iv.end;
+        }
+        if horizon - last_end > max_gap {
+            return Err(Violation {
+                reason: format!("robot {id} idle for the trailing {:.3}", horizon - last_end),
+                intervals: vec![],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks the SSync round structure: intervals can be grouped into rounds
+/// such that intervals in the same round are identical in timing, and rounds
+/// do not overlap. Returns the number of rounds.
+pub fn validate_ssync(trace: &ScheduleTrace) -> Result<usize, Violation> {
+    validate_no_self_overlap(trace)?;
+    let ivs = trace.intervals();
+    let mut rounds: Vec<(f64, f64)> = Vec::new();
+    let mut i = 0;
+    while i < ivs.len() {
+        let (look, end) = (ivs[i].look, ivs[i].end);
+        let mut j = i;
+        while j < ivs.len() && ivs[j].look == look {
+            if ivs[j].end != end || ivs[j].move_start != ivs[i].move_start {
+                return Err(Violation {
+                    reason: format!(
+                        "round at t={look} contains unequal intervals {} and {}",
+                        ivs[i], ivs[j]
+                    ),
+                    intervals: vec![i, j],
+                });
+            }
+            j += 1;
+        }
+        if let Some(&(_, prev_end)) = rounds.last() {
+            if look < prev_end {
+                return Err(Violation {
+                    reason: format!("round at t={look} starts before previous round ends"),
+                    intervals: vec![i],
+                });
+            }
+        }
+        rounds.push((look, end));
+        i = j;
+    }
+    Ok(rounds.len())
+}
+
+/// Checks the FSync structure: SSync, plus *every* robot appears in every
+/// round. Returns the number of rounds.
+pub fn validate_fsync(trace: &ScheduleTrace, robot_count: usize) -> Result<usize, Violation> {
+    let rounds = validate_ssync(trace)?;
+    if rounds * robot_count != trace.len() {
+        return Err(Violation {
+            reason: format!(
+                "FSync requires {robot_count} activations per round; got {} across {rounds} rounds",
+                trace.len()
+            ),
+            intervals: vec![],
+        });
+    }
+    Ok(rounds)
+}
+
+/// Checks that all interval pairs are disjoint or nested (the NestA family).
+pub fn validate_nested(trace: &ScheduleTrace) -> Result<(), Violation> {
+    validate_no_self_overlap(trace)?;
+    let ivs = trace.intervals();
+    for i in 0..ivs.len() {
+        for j in (i + 1)..ivs.len() {
+            let (a, b) = (&ivs[i], &ivs[j]);
+            if a.overlaps(b) && !a.nested_in(b) && !b.nested_in(a) {
+                return Err(Violation {
+                    reason: format!("intervals {} and {} overlap without nesting", a, b),
+                    intervals: vec![i, j],
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Counts, for every interval `I` and robot `X ≠ I.robot`, the activations of
+/// `X` whose Look time falls within `I`; returns the maximum count — the
+/// minimal `k` for which the trace is `k`-Async. A trace with no overlapping
+/// cross-robot activity reports `0`.
+pub fn minimal_async_k(trace: &ScheduleTrace) -> u32 {
+    let ivs = trace.intervals();
+    let mut worst = 0u32;
+    for outer in ivs {
+        use std::collections::HashMap;
+        let mut counts: HashMap<RobotId, u32> = HashMap::new();
+        for inner in ivs {
+            if inner.robot != outer.robot && outer.contains_time(inner.look) {
+                let c = counts.entry(inner.robot).or_insert(0);
+                *c += 1;
+                worst = worst.max(*c);
+            }
+        }
+    }
+    worst
+}
+
+/// The deepest chain of strictly nested intervals in the trace (1 for a
+/// non-empty trace with no nesting, 0 for an empty trace).
+pub fn max_nesting_depth(trace: &ScheduleTrace) -> usize {
+    let ivs = trace.intervals();
+    if ivs.is_empty() {
+        return 0;
+    }
+    // Longest-chain DP over the strict-containment partial order. Containers
+    // are strictly longer, so processing by decreasing duration guarantees
+    // each interval's containers are finalized first.
+    let mut order: Vec<usize> = (0..ivs.len()).collect();
+    order.sort_by(|&a, &b| {
+        ivs[b].duration().partial_cmp(&ivs[a].duration()).expect("finite durations")
+    });
+    let mut depth = vec![1usize; ivs.len()];
+    for (pos, &i) in order.iter().enumerate() {
+        for &j in &order[..pos] {
+            let strict = ivs[i].nested_in(&ivs[j])
+                && (ivs[j].look < ivs[i].look || ivs[i].end < ivs[j].end);
+            if strict {
+                depth[i] = depth[i].max(depth[j] + 1);
+            }
+        }
+    }
+    depth.into_iter().max().unwrap_or(0)
+}
+
+/// Checks a trace against a model. `max_gap` bounds the fairness check
+/// (use the horizon for “no fairness check”).
+pub fn validate_model(
+    trace: &ScheduleTrace,
+    model: SchedulerModel,
+    robot_count: usize,
+) -> Result<(), Violation> {
+    validate_no_self_overlap(trace)?;
+    match model {
+        SchedulerModel::FSync => validate_fsync(trace, robot_count).map(|_| ()),
+        SchedulerModel::SSync => validate_ssync(trace).map(|_| ()),
+        SchedulerModel::KNestA(k) => {
+            validate_nested(trace)?;
+            let actual = minimal_async_k(trace);
+            if actual > k {
+                return Err(Violation {
+                    reason: format!("trace needs k ≥ {actual}, model allows {k}"),
+                    intervals: vec![],
+                });
+            }
+            Ok(())
+        }
+        SchedulerModel::KAsync(k) => {
+            let actual = minimal_async_k(trace);
+            if actual > k {
+                return Err(Violation {
+                    reason: format!("trace needs k ≥ {actual}, model allows {k}"),
+                    intervals: vec![],
+                });
+            }
+            Ok(())
+        }
+        SchedulerModel::Async => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::ActivationInterval;
+
+    fn iv(robot: u32, look: f64, ms: f64, end: f64) -> ActivationInterval {
+        ActivationInterval::new(RobotId(robot), look, ms, end)
+    }
+
+    fn round(look: f64, robots: &[u32]) -> Vec<ActivationInterval> {
+        robots.iter().map(|&r| iv(r, look, look + 0.3, look + 0.8)).collect()
+    }
+
+    #[test]
+    fn fsync_accepts_full_rounds() {
+        let mut ivs = round(0.0, &[0, 1, 2]);
+        ivs.extend(round(1.0, &[0, 1, 2]));
+        let t = ScheduleTrace::from_intervals(ivs);
+        assert_eq!(validate_fsync(&t, 3).unwrap(), 2);
+        // Synchronous rounds are 1-Async: the simultaneous Look of a peer
+        // falls (inclusively) inside each interval — this matches the paper's
+        // remark that SSync is a special case of the k = 1 models.
+        assert_eq!(minimal_async_k(&t), 1);
+    }
+
+    #[test]
+    fn fsync_rejects_partial_round() {
+        let mut ivs = round(0.0, &[0, 1, 2]);
+        ivs.extend(round(1.0, &[0, 1]));
+        let t = ScheduleTrace::from_intervals(ivs);
+        assert!(validate_fsync(&t, 3).is_err());
+        assert_eq!(validate_ssync(&t).unwrap(), 2);
+    }
+
+    #[test]
+    fn ssync_rejects_overlapping_rounds() {
+        let t = ScheduleTrace::from_intervals(vec![iv(0, 0.0, 0.3, 1.0), iv(1, 0.5, 0.8, 1.5)]);
+        assert!(validate_ssync(&t).is_err());
+    }
+
+    #[test]
+    fn self_overlap_detected() {
+        let t = ScheduleTrace::from_intervals(vec![iv(0, 0.0, 0.5, 2.0), iv(0, 1.0, 1.5, 3.0)]);
+        assert!(validate_no_self_overlap(&t).is_err());
+    }
+
+    #[test]
+    fn nesting_validation() {
+        // b nested in a: fine. c partially overlaps a: violation.
+        let a = iv(0, 0.0, 0.5, 4.0);
+        let b = iv(1, 1.0, 1.5, 2.0);
+        let t = ScheduleTrace::from_intervals(vec![a, b]);
+        assert!(validate_nested(&t).is_ok());
+        let c = iv(1, 3.0, 3.5, 5.0);
+        let t = ScheduleTrace::from_intervals(vec![a, c]);
+        assert!(validate_nested(&t).is_err());
+    }
+
+    #[test]
+    fn minimal_k_counts_looks_inside() {
+        // Robot 1 activates 3 times inside robot 0's interval.
+        let mut ivs = vec![iv(0, 0.0, 0.5, 10.0)];
+        for s in 0..3 {
+            let t0 = 1.0 + s as f64 * 2.0;
+            ivs.push(iv(1, t0, t0 + 0.5, t0 + 1.0));
+        }
+        let t = ScheduleTrace::from_intervals(ivs);
+        assert_eq!(minimal_async_k(&t), 3);
+        assert!(validate_model(&t, SchedulerModel::KAsync(3), 2).is_ok());
+        assert!(validate_model(&t, SchedulerModel::KAsync(2), 2).is_err());
+        assert!(validate_model(&t, SchedulerModel::Async, 2).is_ok());
+        assert!(validate_model(&t, SchedulerModel::KNestA(3), 2).is_ok());
+    }
+
+    #[test]
+    fn nesting_depth() {
+        let t = ScheduleTrace::from_intervals(vec![
+            iv(0, 0.0, 0.5, 10.0),
+            iv(1, 1.0, 1.5, 8.0),
+            iv(2, 2.0, 2.5, 6.0),
+        ]);
+        assert_eq!(max_nesting_depth(&t), 3);
+        assert_eq!(max_nesting_depth(&ScheduleTrace::new()), 0);
+        let flat = ScheduleTrace::from_intervals(vec![iv(0, 0.0, 0.5, 1.0), iv(1, 2.0, 2.5, 3.0)]);
+        assert_eq!(max_nesting_depth(&flat), 1);
+    }
+
+    #[test]
+    fn fairness() {
+        let t = ScheduleTrace::from_intervals(vec![iv(0, 0.0, 0.5, 1.0), iv(1, 1.0, 1.5, 2.0)]);
+        assert!(validate_fairness(&t, 2, 2.0).is_ok());
+        assert!(validate_fairness(&t, 3, 2.0).is_err(), "robot 2 never runs");
+        let t = ScheduleTrace::from_intervals(vec![iv(0, 0.0, 0.5, 1.0), iv(0, 9.0, 9.5, 10.0)]);
+        assert!(validate_fairness(&t, 1, 2.0).is_err(), "gap of 8 exceeds 2");
+    }
+}

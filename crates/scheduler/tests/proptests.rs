@@ -1,0 +1,74 @@
+//! Property-based tests: every generator's output satisfies its model's
+//! constraints, for arbitrary parameters and horizons.
+
+use cohesion_scheduler::validate::{
+    minimal_async_k, validate_fairness, validate_fsync, validate_nested,
+    validate_no_self_overlap, validate_ssync,
+};
+use cohesion_scheduler::{
+    AsyncScheduler, CentralizedScheduler, FSyncScheduler, KAsyncScheduler, NestAScheduler,
+    SSyncScheduler, ScheduleContext, ScheduleTrace, Scheduler,
+};
+use proptest::prelude::*;
+
+fn collect(mut s: impl Scheduler, robots: usize, count: usize) -> ScheduleTrace {
+    let ctx = ScheduleContext { robot_count: robots };
+    let mut trace = ScheduleTrace::new();
+    for _ in 0..count {
+        match s.next_activation(&ctx) {
+            Some(iv) => trace.push(iv),
+            None => break,
+        }
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fsync_always_validates(robots in 1usize..8, rounds in 1usize..12) {
+        let t = collect(FSyncScheduler::new(), robots, robots * rounds);
+        prop_assert_eq!(validate_fsync(&t, robots).unwrap(), rounds);
+    }
+
+    #[test]
+    fn ssync_always_validates(robots in 1usize..8, n in 10usize..80, seed in any::<u64>()) {
+        let t = collect(SSyncScheduler::new(seed), robots, n);
+        validate_ssync(&t).map_err(|v| TestCaseError::fail(v.reason))?;
+        validate_fairness(&t, robots, 8.0).map_err(|v| TestCaseError::fail(v.reason))?;
+    }
+
+    #[test]
+    fn k_async_respects_its_budget(
+        robots in 2usize..7, k in 1u32..6, n in 20usize..120, seed in any::<u64>()
+    ) {
+        let t = collect(KAsyncScheduler::new(k, seed), robots, n);
+        validate_no_self_overlap(&t).map_err(|v| TestCaseError::fail(v.reason))?;
+        let actual = minimal_async_k(&t);
+        prop_assert!(actual <= k, "k={} scheduler produced a k={} trace", k, actual);
+    }
+
+    #[test]
+    fn nesta_respects_nesting_and_budget(
+        robots in 2usize..6, k in 1u32..5, n in 20usize..100, seed in any::<u64>()
+    ) {
+        let t = collect(NestAScheduler::new(k, seed), robots, n);
+        validate_nested(&t).map_err(|v| TestCaseError::fail(v.reason))?;
+        prop_assert!(minimal_async_k(&t) <= k);
+    }
+
+    #[test]
+    fn async_is_sane_and_fair(robots in 1usize..7, n in 20usize..150, seed in any::<u64>()) {
+        let t = collect(AsyncScheduler::new(seed), robots, n);
+        validate_no_self_overlap(&t).map_err(|v| TestCaseError::fail(v.reason))?;
+        validate_fairness(&t, robots, 60.0).map_err(|v| TestCaseError::fail(v.reason))?;
+    }
+
+    #[test]
+    fn centralized_is_strictly_sequential(robots in 1usize..8, n in 5usize..60) {
+        let t = collect(CentralizedScheduler::new(), robots, n);
+        prop_assert_eq!(minimal_async_k(&t), 0);
+        validate_ssync(&t).map_err(|v| TestCaseError::fail(v.reason))?;
+    }
+}

@@ -1,0 +1,222 @@
+//! Seeded initial-configuration generators.
+//!
+//! Every generator is deterministic in its seed and (where the paper's
+//! predicates require it) guarantees a **connected** visibility graph at the
+//! given radius, which is the standing assumption of Point Convergence
+//! (§2.4). Shapes cover the workloads the experiments need: generic random
+//! clouds, worst-case-ish lines, rings near the visibility threshold, dense
+//! grids, sparse cluster dumbbells, and 3D balls for the §6.3.2 extension.
+
+use cohesion_geometry::{Vec2, Vec3};
+use cohesion_model::{Configuration, VisibilityGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A connected random configuration of `n` robots with visibility `v`.
+///
+/// Grown incrementally: each robot is placed uniformly in an annulus
+/// `[0.3v, 0.9v]` around a uniformly chosen previous robot, guaranteeing
+/// connectivity by construction while keeping the cloud genuinely
+/// two-dimensional.
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `v ≤ 0`.
+///
+/// ```
+/// let c = cohesion_workloads::random_connected(25, 1.0, 7);
+/// assert_eq!(c.len(), 25);
+/// ```
+pub fn random_connected(n: usize, v: f64, seed: u64) -> Configuration {
+    assert!(n >= 1, "need at least one robot");
+    assert!(v > 0.0, "visibility must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pts: Vec<Vec2> = vec![Vec2::ZERO];
+    while pts.len() < n {
+        let anchor = pts[rng.gen_range(0..pts.len())];
+        let r = rng.gen_range(0.3 * v..0.9 * v);
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let candidate = anchor + Vec2::from_angle(theta) * r;
+        // Avoid exact coincidence (multiplicities are legal but make poor
+        // generic workloads).
+        if pts.iter().all(|p| p.dist(candidate) > 1e-6) {
+            pts.push(candidate);
+        }
+    }
+    let config = Configuration::new(pts);
+    debug_assert!(VisibilityGraph::from_configuration(&config, v).is_connected());
+    config
+}
+
+/// `n` robots on a line with the given spacing (spacing ≤ `v` keeps it
+/// connected). The classic slow-convergence workload.
+pub fn line(n: usize, spacing: f64) -> Configuration {
+    assert!(n >= 1, "need at least one robot");
+    Configuration::new((0..n).map(|i| Vec2::new(i as f64 * spacing, 0.0)).collect())
+}
+
+/// `n` robots on a regular `n`-gon with side length `side` — the
+/// configuration the paper's impossibility argument uses to show frozen
+/// algorithms fail (§7.2.1).
+pub fn ring(n: usize, side: f64) -> Configuration {
+    assert!(n >= 3, "a ring needs at least three robots");
+    // Circumradius for side s: R = s / (2 sin(π/n)).
+    let r = side / (2.0 * (std::f64::consts::PI / n as f64).sin());
+    Configuration::new(
+        (0..n)
+            .map(|i| Vec2::from_angle(i as f64 / n as f64 * std::f64::consts::TAU) * r)
+            .collect(),
+    )
+}
+
+/// A `rows × cols` grid with the given spacing.
+pub fn grid(rows: usize, cols: usize, spacing: f64) -> Configuration {
+    assert!(rows >= 1 && cols >= 1, "grid must be non-empty");
+    let mut pts = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            pts.push(Vec2::new(c as f64 * spacing, r as f64 * spacing));
+        }
+    }
+    Configuration::new(pts)
+}
+
+/// Two dense clusters of `per_side` robots bridged by a single chain —
+/// stresses cohesion across a sparse cut.
+pub fn dumbbell(per_side: usize, v: f64, seed: u64) -> Configuration {
+    assert!(per_side >= 1, "need at least one robot per side");
+    assert!(v > 0.0, "visibility must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pts: Vec<Vec2> = Vec::new();
+    let cluster = |center: Vec2, pts: &mut Vec<Vec2>, rng: &mut SmallRng| {
+        let start = pts.len();
+        pts.push(center);
+        while pts.len() - start < per_side {
+            let d = rng.gen_range(0.05 * v..0.45 * v);
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let cand = center + Vec2::from_angle(theta) * d;
+            if pts.iter().all(|p| p.dist(cand) > 1e-6) {
+                pts.push(cand);
+            }
+        }
+    };
+    let gap = 3.0 * v;
+    cluster(Vec2::ZERO, &mut pts, &mut rng);
+    cluster(Vec2::new(gap, 0.0), &mut pts, &mut rng);
+    // Bridge chain at 0.9v spacing.
+    let mut x = 0.9 * v;
+    while x < gap - 0.05 * v {
+        pts.push(Vec2::new(x, 0.0));
+        x += 0.9 * v;
+    }
+    Configuration::new(pts)
+}
+
+/// A generic Archimedean spiral for stress testing. (The *discrete* spiral
+/// tail of the §7 impossibility construction lives in `cohesion-adversary`;
+/// it needs the paper's exact turn-angle bookkeeping.)
+pub fn spiral(n: usize, step: f64) -> Configuration {
+    assert!(n >= 1, "need at least one robot");
+    let mut pts = Vec::with_capacity(n);
+    let mut theta: f64 = 0.0;
+    for i in 0..n {
+        let r = step * (1.0 + i as f64 * 0.15);
+        pts.push(Vec2::from_angle(theta) * r);
+        theta += 0.5;
+    }
+    Configuration::new(pts)
+}
+
+/// A connected random 3D ball of `n` robots with visibility `v` (the §6.3.2
+/// extension workload), grown like [`random_connected`].
+pub fn ball3(n: usize, v: f64, seed: u64) -> Configuration<Vec3> {
+    assert!(n >= 1, "need at least one robot");
+    assert!(v > 0.0, "visibility must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pts: Vec<Vec3> = vec![Vec3::ZERO];
+    while pts.len() < n {
+        let anchor = pts[rng.gen_range(0..pts.len())];
+        let dir = loop {
+            let d = Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            );
+            if d.norm() > 1e-3 && d.norm() <= 1.0 {
+                break d * (1.0 / d.norm());
+            }
+        };
+        let candidate = anchor + dir * rng.gen_range(0.3 * v..0.9 * v);
+        if pts.iter().all(|p| p.dist(candidate) > 1e-6) {
+            pts.push(candidate);
+        }
+    }
+    Configuration::new(pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let c = random_connected(30, 1.0, seed);
+            assert_eq!(c.len(), 30);
+            assert!(VisibilityGraph::from_configuration(&c, 1.0).is_connected());
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(random_connected(20, 1.0, 9), random_connected(20, 1.0, 9));
+        assert_ne!(
+            random_connected(20, 1.0, 9).positions(),
+            random_connected(20, 1.0, 10).positions()
+        );
+    }
+
+    #[test]
+    fn line_spacing() {
+        let c = line(5, 0.9);
+        assert_eq!(c.len(), 5);
+        assert!((c.diameter() - 3.6).abs() < 1e-12);
+        assert!(VisibilityGraph::from_configuration(&c, 1.0).is_connected());
+    }
+
+    #[test]
+    fn ring_has_unit_sides() {
+        let c = ring(8, 1.0);
+        let p = c.positions();
+        for i in 0..8 {
+            let d = p[i].dist(p[(i + 1) % 8]);
+            assert!((d - 1.0).abs() < 1e-9, "side {i} has length {d}");
+        }
+    }
+
+    #[test]
+    fn grid_counts() {
+        let c = grid(3, 4, 0.5);
+        assert_eq!(c.len(), 12);
+        assert!(VisibilityGraph::from_configuration(&c, 0.6).is_connected());
+    }
+
+    #[test]
+    fn dumbbell_connected_at_v() {
+        let c = dumbbell(6, 1.0, 3);
+        assert!(VisibilityGraph::from_configuration(&c, 1.0).is_connected());
+        assert!(c.len() >= 13, "two clusters plus a bridge");
+    }
+
+    #[test]
+    fn ball3_connected() {
+        let c = ball3(15, 1.0, 4);
+        assert_eq!(c.len(), 15);
+        assert!(VisibilityGraph::from_configuration(&c, 1.0).is_connected());
+    }
+
+    #[test]
+    fn spiral_size() {
+        assert_eq!(spiral(12, 0.4).len(), 12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Convergence-rate race: four algorithms on the same workloads under SSync.
+//!
+//! ```text
+//! cargo run --release --example algorithm_race
+//! ```
+//!
+//! Reproduces the shape of the rate results the paper surveys in §1.2.2:
+//! under unlimited visibility CoG converges (slowly), GCM (with axis
+//! agreement) and the SEC-based algorithms converge faster; under *limited*
+//! visibility only the cohesive algorithms keep the swarm connected.
+
+use cohesion::model::FrameMode;
+use cohesion::prelude::*;
+
+fn main() {
+    let n = 24;
+    let v = 1.0;
+    println!("workload: {n} robots, random connected at V = {v}, SSync scheduler\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>9}",
+        "algorithm", "converged", "rounds", "diam", "cohesive"
+    );
+
+    let runs: Vec<(&str, SimulationReport)> = vec![
+        (
+            "kirkpatrick(k=1)",
+            race(KirkpatrickAlgorithm::new(1), v, FrameMode::RandomOrtho),
+        ),
+        ("ando", race(AndoAlgorithm::new(v), v, FrameMode::RandomOrtho)),
+        ("katreniak", race(KatreniakAlgorithm::new(), v, FrameMode::RandomOrtho)),
+        // CoG needs unlimited visibility: give it a huge V (the workload
+        // diameter is ~4), but evaluate cohesion against the same graph.
+        ("cog (unlimited V)", race(CogAlgorithm::new(), 100.0, FrameMode::RandomOrtho)),
+        // GCM needs axis agreement.
+        ("gcm (aligned axes)", race(GcmAlgorithm::new(), 100.0, FrameMode::Aligned)),
+    ];
+
+    for (label, report) in &runs {
+        println!(
+            "{:<22} {:>10} {:>10} {:>10.4} {:>9}",
+            label,
+            report.converged,
+            report.rounds,
+            report.final_diameter,
+            report.cohesion_maintained,
+        );
+    }
+
+    println!("\nrounds to halve the initial diameter:");
+    for (label, report) in &runs {
+        match report.rounds_to_halve_diameter() {
+            Some(r) => println!("  {label:<22} {r}"),
+            None => println!("  {label:<22} (not observed)"),
+        }
+    }
+}
+
+fn race(
+    algorithm: impl cohesion::model::Algorithm<cohesion::geometry::Vec2> + 'static,
+    visibility: f64,
+    frame_mode: FrameMode,
+) -> SimulationReport {
+    SimulationBuilder::new(workloads::random_connected(24, 1.0, 11), algorithm)
+        .visibility(visibility)
+        .scheduler(SSyncScheduler::new(3))
+        .frame_mode(frame_mode)
+        .epsilon(0.05)
+        .max_events(1_500_000)
+        .track_strong_visibility(false)
+        .run()
+}

@@ -1,0 +1,41 @@
+//! The §6.3.2 extension: the same algorithm, same engine, in three
+//! dimensions — safe regions become balls, the “largest sector” becomes a
+//! minimal enclosing cone of direction vectors.
+//!
+//! ```text
+//! cargo run --release --example convergence_3d
+//! ```
+
+use cohesion::core::KirkpatrickAlgorithm;
+use cohesion::engine::SimulationBuilder;
+use cohesion::geometry::Vec3;
+use cohesion::scheduler::KAsyncScheduler;
+use cohesion::workloads;
+
+fn main() {
+    let n = 20;
+    let v = 1.0;
+    let k = 2;
+    let config = workloads::ball3(n, v, 99);
+    println!("3D workload: {n} robots, initial diameter {:.3}", config.diameter());
+
+    let report = SimulationBuilder::<Vec3>::new(config, KirkpatrickAlgorithm::new(k))
+        .visibility(v)
+        .scheduler(KAsyncScheduler::new(k, 13))
+        .epsilon(0.05)
+        .max_events(2_000_000)
+        .run();
+
+    println!("events:              {}", report.events);
+    println!("rounds:              {}", report.rounds);
+    println!("final diameter:      {:.4}", report.final_diameter);
+    println!("converged:           {}", report.converged);
+    println!("cohesion maintained: {}", report.cohesion_maintained);
+    println!("strong visibility:   {:?}", report.strong_visibility_ok);
+
+    assert!(
+        report.cohesively_converged(),
+        "the 3D generalization must converge cohesively (paper §6.3.2)"
+    );
+    println!("\n3D Cohesive Convergence achieved.");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: converge a random connected swarm under bounded asynchrony.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Thirty disoriented, oblivious robots with visibility radius 1 start in a
+//! random connected configuration. The paper's algorithm, provisioned for
+//! `k = 2`, runs under a fair random 2-Async scheduler. The run verifies the
+//! full Cohesive Convergence predicate: the diameter shrinks below ε while
+//! every initially-visible pair stays mutually visible.
+
+use cohesion::prelude::*;
+
+fn main() {
+    let n = 30;
+    let v = 1.0;
+    let k = 2;
+    let config = workloads::random_connected(n, v, 42);
+    println!("initial diameter: {:.3}", config.diameter());
+
+    let report = SimulationBuilder::new(config, KirkpatrickAlgorithm::new(k))
+        .visibility(v)
+        .scheduler(KAsyncScheduler::new(k, 7))
+        .epsilon(0.05)
+        .max_events(2_000_000)
+        .track_strong_visibility(true)
+        .run();
+
+    println!("algorithm:            {}", report.algorithm);
+    println!("scheduler:            {} (k = {k})", report.scheduler);
+    println!("events processed:     {}", report.events);
+    println!("rounds completed:     {}", report.rounds);
+    println!("final diameter:       {:.4}", report.final_diameter);
+    println!("converged:            {}", report.converged);
+    println!("cohesion maintained:  {}", report.cohesion_maintained);
+    println!("strong visibility ok: {:?}", report.strong_visibility_ok);
+    println!("hulls nested:         {:?}", report.hulls_nested);
+    println!();
+    println!("diameter trajectory (time, diameter):");
+    for (t, d) in report.diameter_series.iter().step_by(report.diameter_series.len().div_ceil(12))
+    {
+        println!("  t = {t:8.2}   d = {d:.4}");
+    }
+
+    assert!(report.cohesively_converged(), "Theorem 4 + §5 predict success here");
+    println!("\nCohesive Convergence achieved — exactly what Theorems 3–4 and §5 promise.");
+}

@@ -1,0 +1,176 @@
+//! The §6.1 error-tolerance claims, executed.
+
+use cohesion::geometry::Vec2;
+use cohesion::model::{MotionError, MotionModel, PerceptionModel};
+use cohesion::prelude::*;
+
+fn tolerant_run(
+    perception: PerceptionModel,
+    motion: MotionModel,
+    delta: f64,
+    skew: f64,
+    seed: u64,
+) -> SimulationReport {
+    let k = 2;
+    SimulationBuilder::new(
+        workloads::random_connected(10, 1.0, seed),
+        KirkpatrickAlgorithm::with_error_tolerance(k, delta, skew),
+    )
+    .visibility(1.0)
+    .scheduler(KAsyncScheduler::new(k, seed))
+    .perception(perception)
+    .motion(motion)
+    .epsilon(0.08)
+    .max_events(600_000)
+    .run()
+}
+
+#[test]
+fn tolerates_distance_measurement_error() {
+    let delta = 0.05;
+    let report = tolerant_run(
+        PerceptionModel::new(delta, 0.0),
+        MotionModel::RIGID,
+        delta,
+        0.0,
+        21,
+    );
+    assert!(report.cohesively_converged(), "δ = {delta}: diameter {}", report.final_diameter);
+}
+
+#[test]
+fn tolerates_angular_skew() {
+    let skew = 0.1;
+    let report =
+        tolerant_run(PerceptionModel::new(0.0, skew), MotionModel::RIGID, 0.0, skew, 22);
+    assert!(report.cohesively_converged(), "λ = {skew}: diameter {}", report.final_diameter);
+}
+
+#[test]
+fn tolerates_non_rigid_motion() {
+    let report = tolerant_run(
+        PerceptionModel::EXACT,
+        MotionModel::with_rigidity(0.3),
+        0.0,
+        0.0,
+        23,
+    );
+    assert!(report.cohesively_converged(), "ξ = 0.3: diameter {}", report.final_diameter);
+}
+
+#[test]
+fn tolerates_quadratic_motion_error() {
+    let report = tolerant_run(
+        PerceptionModel::EXACT,
+        MotionModel::new(1.0, MotionError::Quadratic { coefficient: 0.5 }),
+        0.0,
+        0.0,
+        24,
+    );
+    assert!(report.converged, "quadratic error: diameter {}", report.final_diameter);
+    assert!(report.cohesion_maintained, "quadratic error must not break edges (§6.1)");
+}
+
+#[test]
+fn tolerates_everything_at_once() {
+    let report = tolerant_run(
+        PerceptionModel::new(0.03, 0.05),
+        MotionModel::new(0.5, MotionError::Quadratic { coefficient: 0.2 }),
+        0.03,
+        0.05,
+        25,
+    );
+    assert!(report.cohesively_converged(), "combined errors: diameter {}", report.final_diameter);
+}
+
+/// Figure 18 as geometry: with linear relative motion error at least
+/// `tan φ`, two robots at exactly distance `V` moving perpendicular to their
+/// separation can be driven apart — no algorithm survives this error regime.
+#[test]
+fn linear_motion_error_breaks_visibility_geometrically() {
+    let v = 1.0;
+    let b = Vec2::new(0.0, 0.0);
+    let c = Vec2::new(v, 0.0);
+    // Both robots plan a move of length d perpendicular to BC (any cohesive
+    // algorithm may legitimately plan such moves, e.g. toward a third robot
+    // above). The adversary realizes each with a relative deviation
+    // coefficient `e`, bending B's trajectory left and C's right.
+    let d = 0.1;
+    let e = 0.3; // deviation budget e·d
+    let b_end = b + Vec2::new(0.0, d) + Vec2::new(-e * d, 0.0);
+    let c_end = c + Vec2::new(0.0, d) + Vec2::new(e * d, 0.0);
+    assert!(
+        b_end.dist(c_end) > v,
+        "deviated endpoints must separate: {}",
+        b_end.dist(c_end)
+    );
+    // Whereas quadratic error O(d²/V) cannot reach the deviation needed for
+    // small d: e_quad·d²/V < e·d for d < V·e/e_quad.
+    let e_quad = 0.3;
+    let dev = e_quad * d * d / v;
+    let b_end = b + Vec2::new(0.0, d) + Vec2::new(-dev, 0.0);
+    let c_end = c + Vec2::new(0.0, d) + Vec2::new(dev, 0.0);
+    assert!(b_end.dist(c_end) > v, "quadratic deviation still separates at the boundary…");
+    // …but the safe-region shortfall absorbs it: the paper's point is that a
+    // *fixed fraction* of the planned trajectory stays inside the safe
+    // region intersection, so the algorithm plans with margin. Our target is
+    // strictly inside each safe disk whenever the sector is nondegenerate:
+    let alg = KirkpatrickAlgorithm::new(1);
+    let snap = cohesion::model::Snapshot::from_positions(vec![
+        Vec2::from_angle(0.4),
+        Vec2::from_angle(-0.4),
+    ]);
+    let target = cohesion::model::Algorithm::compute(&alg, &snap);
+    let r = 1.0 / 8.0;
+    for dir in [Vec2::from_angle(0.4), Vec2::from_angle(-0.4)] {
+        let margin = r - target.dist(dir * r);
+        assert!(margin > 0.01, "interior margin absorbs quadratic error; got {margin}");
+    }
+}
+
+#[test]
+fn crash_fault_tolerated() {
+    // §6.1: a single fail-stop robot is tolerated — the rest converge toward
+    // it. Model the crashed robot as one that is never activated (scripted
+    // exclusion via a scheduler over the remaining ids is equivalent to a
+    // fair scheduler whose crashed robot performs nil cycles; we use the nil
+    // algorithm composition instead).
+    #[derive(Debug)]
+    struct CrashFirst<A> {
+        inner: A,
+    }
+    // The engine is anonymous, so "crash" must be positional: we emulate it
+    // by freezing any robot that sees the distinctive beacon pattern — too
+    // contrived. Instead: run with a scripted scheduler that never activates
+    // robot 0 but is fair to the others over the horizon.
+    let _ = CrashFirst { inner: () };
+    use cohesion::scheduler::{ActivationInterval, ScriptedScheduler};
+    let n = 6;
+    let config = workloads::line(n, 0.9);
+    let crashed = config.position(RobotId(0));
+    let mut script = Vec::new();
+    for round in 0..3000u32 {
+        let t = f64::from(round);
+        for r in 1..n {
+            script.push(ActivationInterval::new(
+                RobotId::from(r),
+                t,
+                t + 0.25,
+                t + 0.75,
+            ));
+        }
+    }
+    let report = SimulationBuilder::new(config, KirkpatrickAlgorithm::new(1))
+        .visibility(1.0)
+        .scheduler(ScriptedScheduler::new("crash-0", script))
+        .epsilon(0.05)
+        .max_events(200_000)
+        .run();
+    assert!(report.converged, "survivors converge (diameter {})", report.final_diameter);
+    let gather_point = report.final_configuration.position(RobotId(1));
+    assert!(
+        gather_point.dist(crashed) < 0.1,
+        "convergence happens at the crashed robot's position (paper §6.1)"
+    );
+    assert!(report.cohesion_maintained);
+}

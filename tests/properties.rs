@@ -1,0 +1,176 @@
+//! Property-based tests of the paper's core invariants (proptest).
+
+use cohesion::core::analysis::lemma5::COS_THETA_MIN;
+use cohesion::core::{KirkpatrickAlgorithm, ReachRegion, SafeRegion};
+use cohesion::geometry::ball::{smallest_enclosing_ball, smallest_enclosing_ball_brute};
+use cohesion::geometry::hull::convex_hull;
+use cohesion::geometry::Vec2;
+use cohesion::model::{Algorithm, Snapshot};
+use cohesion::prelude::*;
+use proptest::prelude::*;
+
+fn vec2_strategy(range: f64) -> impl Strategy<Value = Vec2> {
+    (-range..range, -range..range).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Welzl's algorithm agrees with the brute-force smallest enclosing ball.
+    #[test]
+    fn sec_matches_brute_force(pts in proptest::collection::vec(vec2_strategy(5.0), 1..10)) {
+        let fast = smallest_enclosing_ball(&pts);
+        let brute = smallest_enclosing_ball_brute(&pts);
+        prop_assert!((fast.radius - brute.radius).abs() < 1e-6);
+        prop_assert!(fast.contains_all(&pts, 1e-6));
+    }
+
+    /// The hull of a subset is contained in the hull of the set.
+    #[test]
+    fn hull_monotone_under_subset(pts in proptest::collection::vec(vec2_strategy(5.0), 3..14)) {
+        let full = convex_hull(&pts);
+        let sub = convex_hull(&pts[..pts.len() / 2 + 1]);
+        prop_assert!(full.contains_hull(&sub, 1e-9));
+    }
+
+    /// §5 / Figure 15: the algorithm's target lies in the 1/k-scaled safe
+    /// region of every distant neighbour, and the step is at most V_Z/(8k).
+    #[test]
+    fn target_respects_every_distant_safe_region(
+        pts in proptest::collection::vec(vec2_strategy(1.0), 1..8),
+        k in 1u32..5,
+    ) {
+        let pts: Vec<Vec2> = pts.into_iter().filter(|p| p.norm() > 1e-3).collect();
+        prop_assume!(!pts.is_empty());
+        let alg = KirkpatrickAlgorithm::new(k);
+        let snap = Snapshot::from_positions(pts.clone());
+        let target = alg.compute(&snap);
+        let hood = alg.neighborhood(&snap);
+        let r = hood.v_z / (8.0 * f64::from(k));
+        prop_assert!(target.norm() <= r + 1e-9, "step {} exceeds r {}", target.norm(), r);
+        for d in &hood.distant {
+            let region = SafeRegion::new(Vec2::ZERO, *d, r).expect("distant neighbour has direction");
+            prop_assert!(region.contains(target, 1e-9), "target {target} outside region of {d}");
+        }
+    }
+
+    /// Disorientation: the algorithm is equivariant under rotations and
+    /// reflections of the local frame.
+    #[test]
+    fn algorithm_is_orthogonally_equivariant(
+        pts in proptest::collection::vec(vec2_strategy(1.0), 1..6),
+        angle in 0.0..std::f64::consts::TAU,
+        reflect in any::<bool>(),
+    ) {
+        let pts: Vec<Vec2> = pts.into_iter().filter(|p| p.norm() > 1e-3).collect();
+        prop_assume!(!pts.is_empty());
+        let alg = KirkpatrickAlgorithm::new(2);
+        let apply = |p: Vec2| {
+            let q = if reflect { p.reflect_x() } else { p };
+            q.rotate(angle)
+        };
+        let t0 = alg.compute(&Snapshot::from_positions(pts.clone()));
+        let t1 = alg.compute(&Snapshot::from_positions(pts.iter().map(|&p| apply(p)).collect()));
+        prop_assert!((apply(t0) - t1).norm() < 1e-9);
+    }
+
+    /// Lemma 1 (Monte-Carlo form): j ≤ k successive moves, each confined to
+    /// the current 1/k-scaled safe region w.r.t. a stationary neighbour,
+    /// stay inside R^{j·r/k}_{Y0}(X0, X0).
+    #[test]
+    fn lemma1_reach_containment(
+        seed in any::<u64>(),
+        k in 1u32..5,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let x0 = Vec2::new(1.0, 0.0);
+        let r_full = 1.0 / 8.0;
+        let r_step = r_full / f64::from(k);
+        let mut y = Vec2::ZERO;
+        for j in 1..=k {
+            // A random admissible move: any point of S^{r/k}_{y}(x0).
+            let dir = (x0 - y).normalized(1e-12).expect("offset");
+            let center = y + dir * r_step;
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let rho = rng.gen_range(0.0..r_step);
+            y = center + Vec2::from_angle(theta) * rho;
+            let region = ReachRegion::new(Vec2::ZERO, x0, x0, f64::from(j) * r_step);
+            prop_assert!(region.contains(y, 1e-7), "escaped after {j} moves: {y}");
+        }
+    }
+
+    /// Lemma 2 (Monte-Carlo form): the same with the neighbour moving from
+    /// X0 to X1, each move seeing some X* on the segment (sampled monotone,
+    /// as in a real trajectory).
+    #[test]
+    fn lemma2_reach_containment(
+        seed in any::<u64>(),
+        k in 1u32..4,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let x0 = Vec2::new(1.0, 0.0);
+        let x1 = Vec2::new(0.9, 0.35);
+        let r_full = 1.0 / 8.0;
+        let r_step = r_full / f64::from(k);
+        let mut y = Vec2::ZERO;
+        let mut s_prev = 0.0;
+        for j in 1..=k {
+            let s = rng.gen_range(s_prev..=1.0);
+            s_prev = s;
+            let x_star = x0.lerp(x1, s);
+            let dir = (x_star - y).normalized(1e-12).expect("offset");
+            let center = y + dir * r_step;
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let rho = rng.gen_range(0.0..r_step);
+            y = center + Vec2::from_angle(theta) * rho;
+            let region = ReachRegion::new(Vec2::ZERO, x0, x1, f64::from(j) * r_step);
+            prop_assert!(region.contains(y, 1e-7), "escaped after {j} moves: {y}");
+        }
+    }
+}
+
+proptest! {
+    // Engine-in-the-loop properties are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Theorem 4, statistically: random connected configurations under
+    /// random k-Async schedules preserve all initial visibility edges and
+    /// the strong-visibility clause.
+    #[test]
+    fn visibility_preservation_under_k_async(
+        seed in 0u64..1000,
+        k in 1u32..4,
+    ) {
+        let config = workloads::random_connected(8, 1.0, seed);
+        let report = SimulationBuilder::new(config, KirkpatrickAlgorithm::new(k))
+            .visibility(1.0)
+            .scheduler(KAsyncScheduler::new(k, seed.wrapping_add(1)))
+            .seed(seed.wrapping_add(2))
+            .epsilon(0.05)
+            .max_events(60_000)
+            .run();
+        prop_assert!(report.cohesion_maintained, "violations: {:?}", report.cohesion_violations);
+        prop_assert_eq!(report.strong_visibility_ok, Some(true));
+    }
+
+    /// The Lemma 5 constant: along engagement chains realized by actual
+    /// k-Async runs, consecutive-edge turn angles of the X–Y checkpoint
+    /// chain never certify a separation (the chain checker never finds a
+    /// final separation above V with all constraints satisfied).
+    #[test]
+    fn no_separating_chains_in_real_runs(seed in 0u64..500) {
+        let config = workloads::line(2, 0.98);
+        let report = SimulationBuilder::new(config, KirkpatrickAlgorithm::new(2))
+            .visibility(1.0)
+            .scheduler(KAsyncScheduler::new(2, seed))
+            .seed(seed)
+            .epsilon(0.01)
+            .max_events(20_000)
+            .run();
+        prop_assert!(report.cohesion_maintained);
+        // Sanity on the constant itself.
+        prop_assert!((COS_THETA_MIN - (std::f64::consts::PI / 12.0).cos()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! The separation story, end to end: bounded asynchrony is strictly weaker
+//! than unbounded asynchrony for Cohesive Convergence.
+
+use cohesion::adversary::ando_counterexample::{
+    figure4a_schedule, figure4b_schedule, run_figure4, xy_separation,
+};
+use cohesion::adversary::{run_impossibility, SpiralConstruction};
+use cohesion::prelude::*;
+
+#[test]
+fn figure4_breaks_ando_but_not_kirkpatrick() {
+    let ando_a = run_figure4(AndoAlgorithm::new(1.0), figure4a_schedule());
+    assert!(!ando_a.cohesion_maintained, "Figure 4(a)");
+    assert!(xy_separation(&ando_a) > 1.0);
+
+    let ando_b = run_figure4(AndoAlgorithm::new(1.0), figure4b_schedule());
+    assert!(!ando_b.cohesion_maintained, "Figure 4(b)");
+
+    let ours_a = run_figure4(KirkpatrickAlgorithm::new(1), figure4a_schedule());
+    assert!(ours_a.cohesion_maintained, "Theorem 4, k = 1");
+    let ours_b = run_figure4(KirkpatrickAlgorithm::new(2), figure4b_schedule());
+    assert!(ours_b.cohesion_maintained, "Theorem 3, k = 2");
+}
+
+#[test]
+fn impossibility_spiral_separates_ando() {
+    let outcome = run_impossibility(&AndoAlgorithm::new(1.0), 0.3, 20_000);
+    assert!(outcome.separated);
+    assert!(outcome.final_ab_distance > 1.0);
+    // Ando's ζ is so large that very shallow nesting already suffices —
+    // consistent with it failing at 2-NestA in Figure 4(b).
+    assert!(outcome.nesting_k >= 1, "nesting k = {}", outcome.nesting_k);
+}
+
+#[test]
+fn impossibility_spiral_separates_katreniak() {
+    let outcome = run_impossibility(&KatreniakAlgorithm::new(), 0.3, 20_000);
+    assert!(outcome.separated);
+    // Katreniak is 1-Async-correct, so the k this schedule needed must be
+    // large — it is the unboundedness doing the damage.
+    assert!(outcome.nesting_k > 10, "nesting k = {}", outcome.nesting_k);
+}
+
+#[test]
+fn impossibility_spiral_separates_kirkpatrick() {
+    let outcome = run_impossibility(&KirkpatrickAlgorithm::new(1), 0.3, 20_000);
+    assert!(outcome.separated, "outcome {outcome:?}");
+    assert!(
+        outcome.nesting_k > 100,
+        "the k-Async-sound victim requires very deep nesting; got {}",
+        outcome.nesting_k
+    );
+}
+
+#[test]
+fn spiral_scale_matches_paper_formula() {
+    for psi in [0.35, 0.3] {
+        let s = SpiralConstruction::paper(psi);
+        // n grows when ψ shrinks, in the ballpark of 3 + e^{3π/(8 sin ψ)}.
+        let est = SpiralConstruction::paper_size_estimate(psi);
+        assert!((s.robot_count() as f64) < 5.0 * est);
+        assert!((s.robot_count() as f64) > est / 5.0);
+    }
+}
+
+#[test]
+fn bounded_schedulers_cannot_reproduce_the_separation() {
+    // Random k-Async schedulers (the strongest bounded adversaries we can
+    // generate) never break the matched algorithm on the same spiral
+    // configuration the Async adversary defeats.
+    let spiral = SpiralConstruction::paper(0.35);
+    for (k, seed) in [(1u32, 41u64), (2, 43)] {
+        let report = SimulationBuilder::new(
+            spiral.configuration.clone(),
+            KirkpatrickAlgorithm::new(k),
+        )
+        .visibility(1.0)
+        .scheduler(KAsyncScheduler::new(k, seed))
+        .epsilon(0.05)
+        .max_events(150_000)
+        .track_strong_visibility(false)
+        .run();
+        assert!(
+            report.cohesion_maintained,
+            "k={k}: bounded asynchrony must preserve the spiral's edges"
+        );
+    }
+}
