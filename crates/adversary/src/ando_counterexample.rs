@@ -49,11 +49,11 @@ pub const V: f64 = 1.0;
 /// The five-robot initial configuration (order: `X, Y, A, B, C`).
 pub fn figure4_configuration() -> Configuration {
     Configuration::new(vec![
-        Vec2::new(0.0, 0.0),    // X
-        Vec2::new(0.5, 0.0),    // Y
-        Vec2::new(1.49, 0.0),   // A  (visible to Y only)
-        Vec2::new(-0.41, 0.91), // B  (visible to X only)
-        Vec2::new(-0.41, -0.91) // C  (visible to X only)
+        Vec2::new(0.0, 0.0),     // X
+        Vec2::new(0.5, 0.0),     // Y
+        Vec2::new(1.49, 0.0),    // A  (visible to Y only)
+        Vec2::new(-0.41, 0.91),  // B  (visible to X only)
+        Vec2::new(-0.41, -0.91), // C  (visible to X only)
     ])
 }
 

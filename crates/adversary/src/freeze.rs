@@ -37,7 +37,11 @@ impl<A> FrozenNearCollinear<A> {
             tolerance > 0.0 && tolerance < std::f64::consts::PI,
             "tolerance must be in (0, π)"
         );
-        FrozenNearCollinear { inner, tolerance, name: format!("frozen(tol={tolerance})") }
+        FrozenNearCollinear {
+            inner,
+            tolerance,
+            name: format!("frozen(tol={tolerance})"),
+        }
     }
 }
 
@@ -85,7 +89,9 @@ mod tests {
     #[test]
     fn interior_angle_formula() {
         assert!((regular_polygon_interior_angle(4) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
-        assert!((regular_polygon_interior_angle(6) - 2.0 * std::f64::consts::PI / 3.0).abs() < 1e-12);
+        assert!(
+            (regular_polygon_interior_angle(6) - 2.0 * std::f64::consts::PI / 3.0).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -118,7 +124,11 @@ mod tests {
             .epsilon(0.05)
             .max_events(100_000)
             .run();
-        assert!(report.converged, "diameter left at {}", report.final_diameter);
+        assert!(
+            report.converged,
+            "diameter left at {}",
+            report.final_diameter
+        );
     }
 
     /// Local copy of the ring workload (avoids a dev-dependency cycle). The

@@ -77,11 +77,17 @@ struct VisibilityGrid {
 
 impl VisibilityGrid {
     fn key(&self, p: Vec2) -> (i64, i64) {
-        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
     }
 
     fn build(positions: &[Vec2], cell: f64) -> Self {
-        let mut grid = VisibilityGrid { cell, map: Default::default() };
+        let mut grid = VisibilityGrid {
+            cell,
+            map: Default::default(),
+        };
         for (i, &p) in positions.iter().enumerate() {
             let k = grid.key(p);
             grid.map.entry(k).or_default().push(i);
@@ -232,7 +238,6 @@ pub fn run_impossibility(
 mod tests {
     use super::*;
     use cohesion_algorithms::AndoAlgorithm;
-    use cohesion_model::Algorithm as _;
 
     #[test]
     fn a_plans_a_bisector_move() {
@@ -245,9 +250,16 @@ mod tests {
             spiral.configuration.position(robots::C),
         ]);
         let mv = ando.compute(&rel);
-        assert!(mv.norm() > 0.3, "Ando's ζ should be large, got {}", mv.norm());
+        assert!(
+            mv.norm() > 0.3,
+            "Ando's ζ should be large, got {}",
+            mv.norm()
+        );
         let angle = mv.angle().to_degrees();
-        assert!((angle + 67.5).abs() < 1.0, "move at {angle}° instead of −67.5°");
+        assert!(
+            (angle + 67.5).abs() < 1.0,
+            "move at {angle}° instead of −67.5°"
+        );
     }
 
     #[test]
@@ -255,12 +267,17 @@ mod tests {
         let outcome = run_impossibility(&AndoAlgorithm::new(V), 0.3, 50_000);
         assert!(outcome.separated, "outcome: {outcome:?}");
         assert!(
-            outcome.broken_initial_edges.contains(&(robots::A.index(), robots::B.index())),
+            outcome
+                .broken_initial_edges
+                .contains(&(robots::A.index(), robots::B.index())),
             "the A–B edge must be the break: {:?}",
             outcome.broken_initial_edges
         );
         assert!(outcome.final_ab_distance > V);
-        assert!(outcome.nesting_k > 1, "the schedule must need unbounded nesting");
+        assert!(
+            outcome.nesting_k > 1,
+            "the schedule must need unbounded nesting"
+        );
     }
 
     #[test]

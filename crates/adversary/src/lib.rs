@@ -17,7 +17,9 @@ pub mod freeze;
 pub mod impossibility;
 pub mod spiral;
 
-pub use ando_counterexample::{figure4_configuration, figure4a_schedule, figure4b_schedule, run_figure4};
+pub use ando_counterexample::{
+    figure4_configuration, figure4a_schedule, figure4b_schedule, run_figure4,
+};
 pub use freeze::FrozenNearCollinear;
 pub use impossibility::{run_impossibility, ImpossibilityOutcome};
 pub use spiral::SpiralConstruction;

@@ -114,13 +114,19 @@ mod tests {
         let pos = s.configuration.positions();
         // Tail robots start at index 2.
         for i in 2..pos.len() - 1 {
-            assert!((pos[i].dist(pos[i + 1]) - 1.0).abs() < 2e-9, "step {i} not unit");
+            assert!(
+                (pos[i].dist(pos[i + 1]) - 1.0).abs() < 2e-9,
+                "step {i} not unit"
+            );
         }
         // Paper: i(1 − ψ²/2) < d_i < i (for i ≥ 1; d_0 = 1).
         for (i, d) in s.chord_lengths.iter().enumerate().skip(1) {
             let i1 = (i + 1) as f64;
             assert!(*d < i1, "d_{i} = {d} ≥ {i1}");
-            assert!(*d > i1 * (1.0 - 0.3f64 * 0.3 / 2.0) - 1.0, "d_{i} = {d} too short");
+            assert!(
+                *d > i1 * (1.0 - 0.3f64 * 0.3 / 2.0) - 1.0,
+                "d_{i} = {d} too short"
+            );
         }
         // Chords strictly grow.
         for w in s.chord_lengths.windows(2) {
@@ -154,7 +160,11 @@ mod tests {
         let g = VisibilityGraph::from_configuration(&s.configuration, 1.0);
         assert!(g.is_connected());
         // A–C, A–B, and the tail chain: exactly n − 1 edges (a tree).
-        assert_eq!(g.edge_count(), s.robot_count() - 1, "graph must be the chain + A–C");
+        assert_eq!(
+            g.edge_count(),
+            s.robot_count() - 1,
+            "graph must be the chain + A–C"
+        );
         assert!(g.has_edge(robots::A, robots::C));
         assert!(g.has_edge(robots::A, robots::B));
     }

@@ -38,7 +38,10 @@ impl AndoAlgorithm {
     /// Panics unless `V > 0`.
     pub fn new(visibility: f64) -> Self {
         assert!(visibility > 0.0, "visibility radius must be positive");
-        AndoAlgorithm { visibility, name: format!("ando(V={visibility})") }
+        AndoAlgorithm {
+            visibility,
+            name: format!("ando(V={visibility})"),
+        }
     }
 
     /// The built-in visibility radius.
@@ -56,7 +59,7 @@ impl AndoAlgorithm {
         }
         let half = self.visibility / 2.0;
         let m = p * 0.5; // midpoint of robot and neighbour
-        // Travel x along u stays safe while |x·u − m| ≤ V/2.
+                         // Travel x along u stays safe while |x·u − m| ≤ V/2.
         let along = m.dot(u);
         let perp_sq = m.norm_sq() - along * along;
         let disc = half * half - perp_sq;
@@ -184,7 +187,9 @@ mod tests {
         // For a neighbour on the motion axis at distance d, the limit is
         // d/2 + V/2 (reach the far side of the midpoint disk).
         let alg = AndoAlgorithm::new(1.0);
-        let l = alg.limit_toward(Vec2::new(1.0, 0.0), Vec2::new(0.6, 0.0)).unwrap();
+        let l = alg
+            .limit_toward(Vec2::new(1.0, 0.0), Vec2::new(0.6, 0.0))
+            .unwrap();
         assert!((l - (0.3 + 0.5)).abs() < 1e-12);
     }
 }

@@ -35,8 +35,13 @@ impl CogAlgorithm {
     ///
     /// Panics when `fraction ∉ (0, 1]`.
     pub fn restricted(fraction: f64) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "step fraction must be in (0, 1]");
-        CogAlgorithm { step_fraction: fraction }
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "step fraction must be in (0, 1]"
+        );
+        CogAlgorithm {
+            step_fraction: fraction,
+        }
     }
 }
 

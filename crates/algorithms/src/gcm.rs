@@ -33,8 +33,13 @@ impl GcmAlgorithm {
     ///
     /// Panics when `fraction ∉ (0, 1]`.
     pub fn damped(fraction: f64) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "step fraction must be in (0, 1]");
-        GcmAlgorithm { step_fraction: fraction }
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "step fraction must be in (0, 1]"
+        );
+        GcmAlgorithm {
+            step_fraction: fraction,
+        }
     }
 }
 
@@ -84,6 +89,9 @@ mod tests {
 
     #[test]
     fn empty_stays() {
-        assert_eq!(GcmAlgorithm::new().compute(&Snapshot::from_positions(vec![])), Vec2::ZERO);
+        assert_eq!(
+            GcmAlgorithm::new().compute(&Snapshot::from_positions(vec![])),
+            Vec2::ZERO
+        );
     }
 }

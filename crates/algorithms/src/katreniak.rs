@@ -139,8 +139,10 @@ mod tests {
         for _ in 0..200 {
             let n = rng.gen_range(1..6);
             let pts: Vec<Vec2> = (0..n)
-                .map(|_| Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU))
-                    * rng.gen_range(0.05..1.0))
+                .map(|_| {
+                    Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU))
+                        * rng.gen_range(0.05..1.0)
+                })
                 .collect();
             let v_z = pts.iter().map(|p| p.norm()).fold(0.0, f64::max);
             let t = alg.compute(&snap(&pts));

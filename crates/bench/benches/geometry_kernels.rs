@@ -12,7 +12,9 @@ use rand::{Rng, SeedableRng};
 
 fn points(n: usize, seed: u64) -> Vec<Vec2> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| Vec2::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    (0..n)
+        .map(|_| Vec2::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect()
 }
 
 fn bench_sec(c: &mut Criterion) {

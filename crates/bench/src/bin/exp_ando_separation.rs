@@ -2,8 +2,8 @@
 //! and the survival of the paper's algorithm on identical timelines.
 
 use cohesion_adversary::ando_counterexample::{
-    figure4_configuration, figure4a_schedule, figure4b_schedule, run_figure4,
-    schedule_properties, xy_separation, V,
+    figure4_configuration, figure4a_schedule, figure4b_schedule, run_figure4, schedule_properties,
+    xy_separation, V,
 };
 use cohesion_algorithms::{AndoAlgorithm, KatreniakAlgorithm};
 use cohesion_bench::{banner, dump_json, mark};
@@ -30,19 +30,29 @@ fn main() {
         println!("  {id} at {p}");
     }
     let mut rows = Vec::new();
-    for (figure, schedule) in
-        [("4a (1-Async)", figure4a_schedule()), ("4b (2-NestA)", figure4b_schedule())]
-    {
+    for (figure, schedule) in [
+        ("4a (1-Async)", figure4a_schedule()),
+        ("4b (2-NestA)", figure4b_schedule()),
+    ] {
         let (k, nested) = schedule_properties(&schedule);
         println!("\n--- Figure {figure}: minimal k = {k}, nested = {nested} ---");
         println!(
             "{}",
             render_timeline(&ScheduleTrace::from_intervals(schedule.clone()), 2, 64)
         );
-        println!("{:<22} {:>12} {:>10}", "algorithm", "|XY| final", "cohesive");
+        println!(
+            "{:<22} {:>12} {:>10}",
+            "algorithm", "|XY| final", "cohesive"
+        );
         let runs: Vec<(String, cohesion_engine::SimulationReport)> = vec![
-            ("ando".into(), run_figure4(AndoAlgorithm::new(V), schedule.clone())),
-            ("katreniak".into(), run_figure4(KatreniakAlgorithm::new(), schedule.clone())),
+            (
+                "ando".into(),
+                run_figure4(AndoAlgorithm::new(V), schedule.clone()),
+            ),
+            (
+                "katreniak".into(),
+                run_figure4(KatreniakAlgorithm::new(), schedule.clone()),
+            ),
             (
                 format!("kirkpatrick(k={k})"),
                 run_figure4(KirkpatrickAlgorithm::new(k.max(1)), schedule.clone()),
@@ -50,7 +60,12 @@ fn main() {
         ];
         for (name, report) in runs {
             let sep = xy_separation(&report);
-            println!("{:<22} {:>12.4} {:>10}", name, sep, mark(report.cohesion_maintained));
+            println!(
+                "{:<22} {:>12.4} {:>10}",
+                name,
+                sep,
+                mark(report.cohesion_maintained)
+            );
             rows.push(Row {
                 figure: figure.to_string(),
                 algorithm: name,

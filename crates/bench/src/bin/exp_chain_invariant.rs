@@ -50,14 +50,24 @@ fn random_engagement(seed: u64, k: u32) -> (f64, f64) {
         let x_cluster = rng.gen_range(1..=k);
         let x_start = t;
         let x_end = t + 1.0;
-        script.push(ActivationInterval::new(RobotId(0), x_start, x_start + 0.1, x_end));
+        script.push(ActivationInterval::new(
+            RobotId(0),
+            x_start,
+            x_start + 0.1,
+            x_end,
+        ));
         let mut s = x_start + 0.15;
         for _ in 0..x_cluster {
             let dur = rng.gen_range(0.08..(0.8 / f64::from(k)));
             if s + dur >= x_end {
                 break;
             }
-            script.push(ActivationInterval::new(RobotId(1), s, s + dur * 0.4, s + dur));
+            script.push(ActivationInterval::new(
+                RobotId(1),
+                s,
+                s + dur * 0.4,
+                s + dur,
+            ));
             s += dur + 0.01;
         }
         t = x_end + rng.gen_range(0.01..0.1);
@@ -96,7 +106,10 @@ fn random_engagement(seed: u64, k: u32) -> (f64, f64) {
 }
 
 fn main() {
-    banner("F10-F14", "chain-invariant search: can interleaved k-Async schedules separate a pair?");
+    banner(
+        "F10-F14",
+        "chain-invariant search: can interleaved k-Async schedules separate a pair?",
+    );
     println!("Lemma 5 constant: cos θ ≥ √((2+√3)/4) = {COS_THETA_MIN:.6} (= cos 15°)");
     println!();
     println!(
@@ -130,9 +143,14 @@ fn main() {
         });
     }
     println!("\npaper: Theorem 4 — no legal k-Async schedule separates the pair; worst |XY| stays ≤ V = 1.");
-    println!("(The min-cosθ column describes realized checkpoint chains; Lemma 5's bound constrains");
+    println!(
+        "(The min-cosθ column describes realized checkpoint chains; Lemma 5's bound constrains"
+    );
     println!("only *separating* chains, whose nonexistence is exactly the 0 in the last column.)");
     let total: usize = rows.iter().map(|r| r.violations).sum();
     dump_json("f10_chain_invariant", &rows);
-    assert_eq!(total, 0, "found a separating k-Async engagement — contradicting Theorem 4");
+    assert_eq!(
+        total, 0,
+        "found a separating k-Async engagement — contradicting Theorem 4"
+    );
 }

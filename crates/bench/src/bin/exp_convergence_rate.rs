@@ -24,12 +24,7 @@ struct Row {
     converged: bool,
 }
 
-fn rate(
-    alg: impl Algorithm<Vec2> + 'static,
-    n: usize,
-    visibility: f64,
-    frame: FrameMode,
-) -> Row {
+fn rate(alg: impl Algorithm<Vec2> + 'static, n: usize, visibility: f64, frame: FrameMode) -> Row {
     // The line at near-threshold spacing is the classic worst case: hop
     // diameter = n − 1.
     let config = cohesion_workloads::line(n, 0.9);
@@ -53,7 +48,10 @@ fn rate(
 }
 
 fn main() {
-    banner("T2", "rounds to halve the diameter vs n (FSync, line workload)");
+    banner(
+        "T2",
+        "rounds to halve the diameter vs n (FSync, line workload)",
+    );
     println!(
         "{:<22} {:>4} {:>14} {:>12} {:>10}",
         "algorithm", "n", "halve rounds", "eps rounds", "converged"

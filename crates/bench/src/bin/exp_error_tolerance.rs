@@ -69,7 +69,10 @@ fn sweep(
 fn main() {
     banner("T3+F18", "error-tolerance sweeps under 2-Async");
     let mut rows = Vec::new();
-    println!("{:<28} {:>8} {:>10} {:>12} {:>12}", "knob", "value", "runs", "cohesive+ε", "edge breaks");
+    println!(
+        "{:<28} {:>8} {:>10} {:>12} {:>12}",
+        "knob", "value", "runs", "cohesive+ε", "edge breaks"
+    );
 
     for &delta in &[0.0, 0.02, 0.05, 0.1] {
         let r = sweep(
@@ -147,7 +150,10 @@ fn main() {
         );
         rows.push(r);
     }
-    println!("\npaper (§6.1): all tolerated knobs keep 'cohesive+ε' at {}/{}; linear motion", 8, 8);
+    println!(
+        "\npaper (§6.1): all tolerated knobs keep 'cohesive+ε' at {}/{}; linear motion",
+        8, 8
+    );
     println!("error is the regime Figure 18 proves fatal — random (non-worst-case) linear noise");
     println!("may still let runs through, so its row is diagnostic, not a guarantee; the");
     println!("worst-case geometric break is asserted in tests/error_tolerance.rs.");

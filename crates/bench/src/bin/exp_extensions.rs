@@ -19,7 +19,10 @@ struct Row {
 }
 
 fn main() {
-    banner("T5", "extensions: unlimited-V Async, disconnected start, 3D");
+    banner(
+        "T5",
+        "extensions: unlimited-V Async, disconnected start, 3D",
+    );
     let mut rows = Vec::new();
     println!(
         "{:<38} {:>10} {:>9} {:>12} {:>9}",
@@ -54,7 +57,9 @@ fn main() {
 
     // Disconnected start (§6.3.1): two far-apart clusters converge
     // per-component.
-    let mut pts: Vec<Vec2> = cohesion_workloads::random_connected(6, 1.0, 72).positions().to_vec();
+    let mut pts: Vec<Vec2> = cohesion_workloads::random_connected(6, 1.0, 72)
+        .positions()
+        .to_vec();
     pts.extend(
         cohesion_workloads::random_connected(6, 1.0, 73)
             .positions()

@@ -48,7 +48,10 @@ fn run(algorithm_k: u32, scheduler_k: u32, seed: u64) -> Row {
 }
 
 fn main() {
-    banner("T4", "1/k scaling: convergence cost vs provisioned k, and safety margins");
+    banner(
+        "T4",
+        "1/k scaling: convergence cost vs provisioned k, and safety margins",
+    );
     println!(
         "{:>6} {:>6} {:>10} {:>9} {:>8} {:>10}",
         "alg k", "sched k", "converged", "cohesive", "rounds", "end time"

@@ -29,7 +29,10 @@ struct LemmaRow {
 }
 
 fn main() {
-    banner("F5-F9/F16-F17", "reach-region and congregation lemmas (Monte Carlo)");
+    banner(
+        "F5-F9/F16-F17",
+        "reach-region and congregation lemmas (Monte Carlo)",
+    );
     let mut rng = SmallRng::seed_from_u64(0xF1C);
     let mut rows = Vec::new();
 
@@ -38,8 +41,8 @@ fn main() {
     let mut violations = 0;
     for _ in 0..trials {
         let k = rng.gen_range(1..=6u32);
-        let x0 = Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU))
-            * rng.gen_range(0.55..1.0);
+        let x0 =
+            Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU)) * rng.gen_range(0.55..1.0);
         let r_step = 1.0 / (8.0 * f64::from(k));
         let mut y = Vec2::ZERO;
         for j in 1..=k {
@@ -57,7 +60,11 @@ fn main() {
         }
     }
     println!("Lemma 1 (stationary neighbour): {trials} chains, {violations} escapes");
-    rows.push(LemmaRow { lemma: "lemma1".into(), trials, violations });
+    rows.push(LemmaRow {
+        lemma: "lemma1".into(),
+        trials,
+        violations,
+    });
 
     // Lemma 2: moving neighbour, monotone trajectory samples.
     let mut violations = 0;
@@ -85,7 +92,11 @@ fn main() {
         }
     }
     println!("Lemma 2 (moving neighbour):     {trials} chains, {violations} escapes");
-    rows.push(LemmaRow { lemma: "lemma2".into(), trials, violations });
+    rows.push(LemmaRow {
+        lemma: "lemma2".into(),
+        trials,
+        violations,
+    });
 
     // Lemma 6: post-move distance from the critical point.
     let alg = KirkpatrickAlgorithm::new(1);
@@ -110,7 +121,11 @@ fn main() {
         }
     }
     println!("Lemma 6 (critical-point clearance): {trials6} moves, {violations} below bound");
-    rows.push(LemmaRow { lemma: "lemma6".into(), trials: trials6, violations });
+    rows.push(LemmaRow {
+        lemma: "lemma6".into(),
+        trials: trials6,
+        violations,
+    });
     println!(
         "  bound examples: ζ=0.5,ξ=1 → {:.3e}·r_H ; ζ=0.5,ξ=0.25 → {:.3e}·r_H ; lemma7(µ=0.5) → {:.3e}·r_H",
         lemma6_bound(0.5, 1.0, 1.0),
@@ -124,11 +139,15 @@ fn main() {
     for _ in 0..trials8 {
         let n = rng.gen_range(8..40);
         let pts: Vec<Vec2> = (0..n)
-            .map(|_| Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU))
-                * rng.gen_range(0.5..1.0))
+            .map(|_| {
+                Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU))
+                    * rng.gen_range(0.5..1.0)
+            })
             .collect();
         let (center, r_h, critical) = hull_radius_and_critical_points(&pts);
-        let Some(&a_h) = critical.first() else { continue };
+        let Some(&a_h) = critical.first() else {
+            continue;
+        };
         let d = rng.gen_range(0.01..0.2) * r_h;
         let emptied: Vec<Vec2> = pts.iter().copied().filter(|p| p.dist(a_h) > d).collect();
         if emptied.len() < 3 {
@@ -144,7 +163,11 @@ fn main() {
         }
     }
     println!("Lemma 8 (perimeter drop):       {trials8} hulls, {violations} below d³/(4r_H²)");
-    rows.push(LemmaRow { lemma: "lemma8".into(), trials: trials8, violations });
+    rows.push(LemmaRow {
+        lemma: "lemma8".into(),
+        trials: trials8,
+        violations,
+    });
 
     let total_violations: usize = rows.iter().map(|r| r.violations).sum();
     println!(

@@ -29,7 +29,10 @@ struct Row {
 }
 
 fn main() {
-    banner("F3+F15", "safe regions: Ando vs Katreniak vs the paper's rule");
+    banner(
+        "F3+F15",
+        "safe regions: Ando vs Katreniak vs the paper's rule",
+    );
     let v = 1.0;
     println!(
         "{:>6} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
@@ -74,8 +77,8 @@ fn main() {
     // F15: the target rule.
     println!("\nF15 — target rule checks (γ = half-sector angle, r = V_Z/8):");
     let alg = KirkpatrickAlgorithm::new(1);
-    for gamma_deg in [10.0, 30.0, 60.0, 80.0, 89.0] {
-        let g = (gamma_deg as f64).to_radians();
+    for gamma_deg in [10.0f64, 30.0, 60.0, 80.0, 89.0] {
+        let g = gamma_deg.to_radians();
         let snap = Snapshot::from_positions(vec![Vec2::from_angle(g), Vec2::from_angle(-g)]);
         let t = alg.compute(&snap);
         println!(

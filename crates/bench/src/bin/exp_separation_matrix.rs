@@ -53,24 +53,41 @@ fn main() {
         "algorithm", "SSync", "2-NestA", "2-Async", "8-Async", "1-Async script", "Async spiral"
     );
     let mut rows: Vec<Cell> = Vec::new();
-    let algs: Vec<(&str, Box<dyn Fn() -> Box<dyn Algorithm<Vec2>>>)> = vec![
-        ("kirkpatrick", Box::new(|| Box::new(KirkpatrickAlgorithm::new(8)))),
+    type AlgorithmFactory = Box<dyn Fn() -> Box<dyn Algorithm<Vec2>>>;
+    let algs: Vec<(&str, AlgorithmFactory)> = vec![
+        (
+            "kirkpatrick",
+            Box::new(|| Box::new(KirkpatrickAlgorithm::new(8))),
+        ),
         ("ando", Box::new(|| Box::new(AndoAlgorithm::new(1.0)))),
-        ("katreniak", Box::new(|| Box::new(KatreniakAlgorithm::new()))),
+        (
+            "katreniak",
+            Box::new(|| Box::new(KatreniakAlgorithm::new())),
+        ),
     ];
     for (name, make) in &algs {
         let mut cells: Vec<(String, bool, bool)> = Vec::new();
         for (sname, run) in [
             ("SSync", random_run(make(), SSyncScheduler::new(3), 51)),
             ("2-NestA", random_run(make(), NestAScheduler::new(2, 5), 52)),
-            ("2-Async", random_run(make(), KAsyncScheduler::new(2, 7), 53)),
-            ("8-Async", random_run(make(), KAsyncScheduler::new(8, 9), 54)),
+            (
+                "2-Async",
+                random_run(make(), KAsyncScheduler::new(2, 7), 53),
+            ),
+            (
+                "8-Async",
+                random_run(make(), KAsyncScheduler::new(8, 9), 54),
+            ),
         ] {
             cells.push((sname.to_string(), run.0, run.1));
         }
         // The scripted 1-Async counterexample (Figure 4a geometry).
         let fig = fig4::run_figure4(make(), fig4::figure4a_schedule());
-        cells.push(("1-Async script".into(), fig.converged, fig.cohesion_maintained));
+        cells.push((
+            "1-Async script".into(),
+            fig.converged,
+            fig.cohesion_maintained,
+        ));
         // The §7 unbounded-asynchrony spiral adversary. For the paper's
         // algorithm the victim is the base k = 1 variant: under Async no
         // finite k is "matched", and the adversary's leverage scales with
@@ -99,7 +116,9 @@ fn main() {
         }
     }
     println!("\ncell = cohesion maintained? (\"NO\" marks a lost initial visibility edge)");
-    println!("kirkpatrick runs with k = 8 (covers every bounded column; scripted 1-Async uses k≥1).");
+    println!(
+        "kirkpatrick runs with k = 8 (covers every bounded column; scripted 1-Async uses k≥1)."
+    );
     println!("paper: Theorems 3–4 (bounded columns yes), §3.1/Fig. 4 (Ando loses async columns),");
     println!("       §7 (everyone loses the Async spiral column).");
     dump_json("t1_separation_matrix", &rows);

@@ -12,7 +12,9 @@ use cohesion_scheduler::{
 };
 
 fn collect(mut s: impl Scheduler, robots: usize, count: usize) -> ScheduleTrace {
-    let ctx = ScheduleContext { robot_count: robots };
+    let ctx = ScheduleContext {
+        robot_count: robots,
+    };
     let mut trace = ScheduleTrace::new();
     for _ in 0..count {
         match s.next_activation(&ctx) {
@@ -24,7 +26,10 @@ fn collect(mut s: impl Scheduler, robots: usize, count: usize) -> ScheduleTrace 
 }
 
 fn main() {
-    banner("F1-F2", "scheduler timelines (L = Look, c = Compute, m = Move)");
+    banner(
+        "F1-F2",
+        "scheduler timelines (L = Look, c = Compute, m = Move)",
+    );
     let robots = 3;
 
     println!("\nFSync (Figure 1 top):");
@@ -44,7 +49,10 @@ fn main() {
     println!("\nAsync (Figure 1 bottom):");
     let t = collect(AsyncScheduler::new(5), robots, 14);
     print!("{}", render_timeline(&t, robots, 68));
-    println!("  minimal k over this prefix: {} (unbounded in the limit)", minimal_async_k(&t));
+    println!(
+        "  minimal k over this prefix: {} (unbounded in the limit)",
+        minimal_async_k(&t)
+    );
 
     println!("\n1-NestA (Figure 2 top):");
     let t = collect(NestAScheduler::new(1, 5), robots, 10);

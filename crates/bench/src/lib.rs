@@ -60,8 +60,7 @@ mod tests {
             x: u32,
         }
         dump_json("selftest", &[Row { x: 1 }, Row { x: 2 }]);
-        let content =
-            std::fs::read_to_string(experiments_dir().join("selftest.jsonl")).unwrap();
+        let content = std::fs::read_to_string(experiments_dir().join("selftest.jsonl")).unwrap();
         assert_eq!(content.lines().count(), 2);
     }
 }

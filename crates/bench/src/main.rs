@@ -4,17 +4,41 @@
 fn main() {
     println!("cohesion experiment harness — one binary per paper figure/table family\n");
     let experiments = [
-        ("exp_timelines", "F1-F2: scheduler model timelines + validators"),
-        ("exp_safe_regions", "F3 + F15: safe-region geometry comparison and target rule"),
-        ("exp_ando_separation", "F4(a)/(b): Ando counterexamples, ours surviving"),
-        ("exp_lemmas", "F5-F9, F16-F17: reach-region and congregation lemmas"),
-        ("exp_chain_invariant", "F10-F14: Lemma 5 chain invariant under adversarial search"),
-        ("exp_separation_matrix", "T1: the headline algorithm x scheduler matrix"),
+        (
+            "exp_timelines",
+            "F1-F2: scheduler model timelines + validators",
+        ),
+        (
+            "exp_safe_regions",
+            "F3 + F15: safe-region geometry comparison and target rule",
+        ),
+        (
+            "exp_ando_separation",
+            "F4(a)/(b): Ando counterexamples, ours surviving",
+        ),
+        (
+            "exp_lemmas",
+            "F5-F9, F16-F17: reach-region and congregation lemmas",
+        ),
+        (
+            "exp_chain_invariant",
+            "F10-F14: Lemma 5 chain invariant under adversarial search",
+        ),
+        (
+            "exp_separation_matrix",
+            "T1: the headline algorithm x scheduler matrix",
+        ),
         ("exp_convergence_rate", "T2: rounds-to-halve-diameter vs n"),
-        ("exp_error_tolerance", "T3 + F18: delta/lambda/xi/motion-error sweeps"),
+        (
+            "exp_error_tolerance",
+            "T3 + F18: delta/lambda/xi/motion-error sweeps",
+        ),
         ("exp_k_scaling", "T4: the 1/k scaling: cost and safety"),
         ("exp_impossibility", "F19-F22: the §7 spiral adversary"),
-        ("exp_extensions", "T5: unlimited-V Async, disconnected starts, 3D"),
+        (
+            "exp_extensions",
+            "T5: unlimited-V Async, disconnected starts, 3D",
+        ),
     ];
     for (bin, what) in experiments {
         println!("  {bin:<24} {what}");

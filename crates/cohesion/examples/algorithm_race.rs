@@ -26,13 +26,25 @@ fn main() {
             "kirkpatrick(k=1)",
             race(KirkpatrickAlgorithm::new(1), v, FrameMode::RandomOrtho),
         ),
-        ("ando", race(AndoAlgorithm::new(v), v, FrameMode::RandomOrtho)),
-        ("katreniak", race(KatreniakAlgorithm::new(), v, FrameMode::RandomOrtho)),
+        (
+            "ando",
+            race(AndoAlgorithm::new(v), v, FrameMode::RandomOrtho),
+        ),
+        (
+            "katreniak",
+            race(KatreniakAlgorithm::new(), v, FrameMode::RandomOrtho),
+        ),
         // CoG needs unlimited visibility: give it a huge V (the workload
         // diameter is ~4), but evaluate cohesion against the same graph.
-        ("cog (unlimited V)", race(CogAlgorithm::new(), 100.0, FrameMode::RandomOrtho)),
+        (
+            "cog (unlimited V)",
+            race(CogAlgorithm::new(), 100.0, FrameMode::RandomOrtho),
+        ),
         // GCM needs axis agreement.
-        ("gcm (aligned axes)", race(GcmAlgorithm::new(), 100.0, FrameMode::Aligned)),
+        (
+            "gcm (aligned axes)",
+            race(GcmAlgorithm::new(), 100.0, FrameMode::Aligned),
+        ),
     ];
 
     for (label, report) in &runs {

@@ -17,7 +17,10 @@ fn main() {
     let v = 1.0;
     let k = 2;
     let config = workloads::ball3(n, v, 99);
-    println!("3D workload: {n} robots, initial diameter {:.3}", config.diameter());
+    println!(
+        "3D workload: {n} robots, initial diameter {:.3}",
+        config.diameter()
+    );
 
     let report = SimulationBuilder::<Vec3>::new(config, KirkpatrickAlgorithm::new(k))
         .visibility(v)

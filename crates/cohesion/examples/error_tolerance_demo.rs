@@ -30,7 +30,10 @@ fn main() {
     .visibility(v)
     .scheduler(KAsyncScheduler::new(k, 31))
     .perception(PerceptionModel::new(delta, skew))
-    .motion(MotionModel::new(xi, MotionError::Quadratic { coefficient: quad }))
+    .motion(MotionModel::new(
+        xi,
+        MotionError::Quadratic { coefficient: quad },
+    ))
     .epsilon(0.05)
     .max_events(2_000_000)
     .run();

@@ -29,7 +29,10 @@ fn main() {
     println!("\nvictim: Ando et al. (error-tolerant in the §7 sense, large ζ)");
     let outcome = run_impossibility(&AndoAlgorithm::new(1.0), psi, 50_000);
     print_outcome(&outcome);
-    assert!(outcome.separated, "the adversary must break cohesion for Ando");
+    assert!(
+        outcome.separated,
+        "the adversary must break cohesion for Ando"
+    );
 
     println!("\nvictim: Katreniak (1-Async-correct)");
     let outcome = run_impossibility(&KatreniakAlgorithm::new(), psi, 50_000);
@@ -48,13 +51,28 @@ fn main() {
 
 fn print_outcome(outcome: &cohesion::adversary::ImpossibilityOutcome) {
     println!("  ζ (stale move length)     = {:.4}", outcome.zeta);
-    println!("  sweeps / tail activations = {} / {}", outcome.sweeps, outcome.tail_activations);
+    println!(
+        "  sweeps / tail activations = {} / {}",
+        outcome.sweeps, outcome.tail_activations
+    );
     println!("  nested k required         = {}", outcome.nesting_k);
-    println!("  |A B| before release      = {:.4}", outcome.b_radius_before_release);
-    println!("  |A B| after release       = {:.4}", outcome.final_ab_distance);
-    println!("  max radial drift          = {:.4}", outcome.max_radial_drift);
+    println!(
+        "  |A B| before release      = {:.4}",
+        outcome.b_radius_before_release
+    );
+    println!(
+        "  |A B| after release       = {:.4}",
+        outcome.final_ab_distance
+    );
+    println!(
+        "  max radial drift          = {:.4}",
+        outcome.max_radial_drift
+    );
     println!("  cohesion broken           = {}", outcome.separated);
     if !outcome.broken_initial_edges.is_empty() {
-        println!("  broken edges              = {:?}", outcome.broken_initial_edges);
+        println!(
+            "  broken edges              = {:?}",
+            outcome.broken_initial_edges
+        );
     }
 }

@@ -38,11 +38,17 @@ fn main() {
     println!("hulls nested:         {:?}", report.hulls_nested);
     println!();
     println!("diameter trajectory (time, diameter):");
-    for (t, d) in report.diameter_series.iter().step_by(report.diameter_series.len().div_ceil(12))
+    for (t, d) in report
+        .diameter_series
+        .iter()
+        .step_by(report.diameter_series.len().div_ceil(12))
     {
         println!("  t = {t:8.2}   d = {d:.4}");
     }
 
-    assert!(report.cohesively_converged(), "Theorem 4 + §5 predict success here");
+    assert!(
+        report.cohesively_converged(),
+        "Theorem 4 + §5 predict success here"
+    );
     println!("\nCohesive Convergence achieved — exactly what Theorems 3–4 and §5 promise.");
 }

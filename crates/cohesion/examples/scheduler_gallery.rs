@@ -13,7 +13,9 @@ use cohesion::scheduler::validate::{
 use cohesion::scheduler::{ScheduleContext, ScheduleTrace, Scheduler};
 
 fn collect(mut s: impl Scheduler, robots: usize, count: usize) -> ScheduleTrace {
-    let ctx = ScheduleContext { robot_count: robots };
+    let ctx = ScheduleContext {
+        robot_count: robots,
+    };
     let mut trace = ScheduleTrace::new();
     for _ in 0..count {
         match s.next_activation(&ctx) {
@@ -30,12 +32,18 @@ fn main() {
     println!("=== FSync (Figure 1, top) ===");
     let t = collect(FSyncScheduler::new(), robots, 12);
     println!("{}", render_timeline(&t, robots, 72));
-    println!("validated: {} rounds, every robot in every round\n", validate_fsync(&t, robots).unwrap());
+    println!(
+        "validated: {} rounds, every robot in every round\n",
+        validate_fsync(&t, robots).unwrap()
+    );
 
     println!("=== SSync (Figure 1, middle) ===");
     let t = collect(SSyncScheduler::new(5), robots, 12);
     println!("{}", render_timeline(&t, robots, 72));
-    println!("validated: {} rounds (subsets per round)\n", validate_ssync(&t).unwrap());
+    println!(
+        "validated: {} rounds (subsets per round)\n",
+        validate_ssync(&t).unwrap()
+    );
 
     println!("=== 1-NestA (Figure 2, top) ===");
     let t = collect(NestAScheduler::new(1, 5), robots, 12);
@@ -50,10 +58,16 @@ fn main() {
     println!("=== 2-Async (Figure 2, bottom, generalized) ===");
     let t = collect(KAsyncScheduler::new(2, 5), robots, 14);
     println!("{}", render_timeline(&t, robots, 72));
-    println!("validated: minimal k = {} (≤ 2 by construction)\n", minimal_async_k(&t));
+    println!(
+        "validated: minimal k = {} (≤ 2 by construction)\n",
+        minimal_async_k(&t)
+    );
 
     println!("=== Async (Figure 1, bottom) ===");
     let t = collect(AsyncScheduler::new(5), robots, 14);
     println!("{}", render_timeline(&t, robots, 72));
-    println!("unbounded: minimal k = {} over this prefix", minimal_async_k(&t));
+    println!(
+        "unbounded: minimal k = {} over this prefix",
+        minimal_async_k(&t)
+    );
 }

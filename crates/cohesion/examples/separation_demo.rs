@@ -7,8 +7,8 @@
 //! ```
 
 use cohesion::adversary::ando_counterexample::{
-    figure4_configuration, figure4a_schedule, figure4b_schedule, run_figure4,
-    schedule_properties, xy_separation, V,
+    figure4_configuration, figure4a_schedule, figure4b_schedule, run_figure4, schedule_properties,
+    xy_separation, V,
 };
 use cohesion::prelude::*;
 use cohesion::scheduler::render::render_timeline;
@@ -21,13 +21,17 @@ fn main() {
         println!("  {id} at {p}");
     }
 
-    for (label, schedule) in
-        [("Figure 4(a) — 1-Async", figure4a_schedule()), ("Figure 4(b) — 2-NestA", figure4b_schedule())]
-    {
+    for (label, schedule) in [
+        ("Figure 4(a) — 1-Async", figure4a_schedule()),
+        ("Figure 4(b) — 2-NestA", figure4b_schedule()),
+    ] {
         let (k, nested) = schedule_properties(&schedule);
         println!("\n=== {label} ===");
         println!("schedule: minimal k = {k}, nested = {nested}");
-        println!("{}", render_timeline(&ScheduleTrace::from_intervals(schedule.clone()), 2, 64));
+        println!(
+            "{}",
+            render_timeline(&ScheduleTrace::from_intervals(schedule.clone()), 2, 64)
+        );
 
         let ando = run_figure4(AndoAlgorithm::new(V), schedule.clone());
         println!(
@@ -36,7 +40,7 @@ fn main() {
             ando.cohesion_maintained
         );
 
-        let ours = run_figure4(KirkpatrickAlgorithm::new(u32::from(k)), schedule.clone());
+        let ours = run_figure4(KirkpatrickAlgorithm::new(k), schedule.clone());
         println!(
             "kirkpatrick: X–Y separation = {:.4}  cohesion = {}",
             xy_separation(&ours),
@@ -44,8 +48,13 @@ fn main() {
         );
 
         assert!(!ando.cohesion_maintained, "Ando must separate (Figure 4)");
-        assert!(ours.cohesion_maintained, "the paper's algorithm must survive (Thm 4)");
+        assert!(
+            ours.cohesion_maintained,
+            "the paper's algorithm must survive (Thm 4)"
+        );
     }
 
-    println!("\nReproduced: the same timelines that break Ando leave the k-Async algorithm intact.");
+    println!(
+        "\nReproduced: the same timelines that break Ando leave the k-Async algorithm intact."
+    );
 }

@@ -23,37 +23,67 @@ fn run(
 
 #[test]
 fn converges_cohesively_under_fsync() {
-    let report = run(workloads::random_connected(12, 1.0, 1), 1, FSyncScheduler::new(), 1);
-    assert!(report.cohesively_converged(), "final diameter {}", report.final_diameter);
+    let report = run(
+        workloads::random_connected(12, 1.0, 1),
+        1,
+        FSyncScheduler::new(),
+        1,
+    );
+    assert!(
+        report.cohesively_converged(),
+        "final diameter {}",
+        report.final_diameter
+    );
     assert_eq!(report.strong_visibility_ok, Some(true));
     assert_eq!(report.hulls_nested, Some(true));
 }
 
 #[test]
 fn converges_cohesively_under_ssync() {
-    let report = run(workloads::random_connected(12, 1.0, 2), 1, SSyncScheduler::new(5), 2);
-    assert!(report.cohesively_converged(), "final diameter {}", report.final_diameter);
+    let report = run(
+        workloads::random_connected(12, 1.0, 2),
+        1,
+        SSyncScheduler::new(5),
+        2,
+    );
+    assert!(
+        report.cohesively_converged(),
+        "final diameter {}",
+        report.final_diameter
+    );
 }
 
 #[test]
 fn converges_cohesively_under_k_nesta() {
     for k in [1u32, 3] {
-        let report =
-            run(workloads::random_connected(10, 1.0, 3), k, NestAScheduler::new(k, 11), 3);
+        let report = run(
+            workloads::random_connected(10, 1.0, 3),
+            k,
+            NestAScheduler::new(k, 11),
+            3,
+        );
         assert!(
             report.cohesively_converged(),
             "k={k}: final diameter {}",
             report.final_diameter
         );
-        assert_eq!(report.strong_visibility_ok, Some(true), "acquired-visibility clause (k={k})");
+        assert_eq!(
+            report.strong_visibility_ok,
+            Some(true),
+            "acquired-visibility clause (k={k})"
+        );
     }
 }
 
 #[test]
 fn converges_cohesively_under_k_async() {
     for k in [1u32, 2, 4] {
-        let report =
-            run(workloads::random_connected(10, 1.0, 4), k, KAsyncScheduler::new(k, 13), 4);
+        let report = run(
+            workloads::random_connected(10, 1.0, 4),
+            k,
+            KAsyncScheduler::new(k, 13),
+            4,
+        );
         assert!(
             report.cohesively_converged(),
             "k={k}: final diameter {}",
@@ -66,27 +96,53 @@ fn converges_cohesively_under_k_async() {
 fn line_workload_converges() {
     // The near-threshold line is the classic worst case for cohesion.
     let report = run(workloads::line(8, 0.95), 2, KAsyncScheduler::new(2, 17), 5);
-    assert!(report.cohesively_converged(), "final diameter {}", report.final_diameter);
+    assert!(
+        report.cohesively_converged(),
+        "final diameter {}",
+        report.final_diameter
+    );
 }
 
 #[test]
 fn ring_workload_converges() {
     let report = run(workloads::ring(9, 0.95), 2, KAsyncScheduler::new(2, 19), 6);
-    assert!(report.cohesively_converged(), "final diameter {}", report.final_diameter);
+    assert!(
+        report.cohesively_converged(),
+        "final diameter {}",
+        report.final_diameter
+    );
 }
 
 #[test]
 fn dumbbell_workload_converges() {
-    let report = run(workloads::dumbbell(4, 1.0, 7), 2, KAsyncScheduler::new(2, 23), 7);
-    assert!(report.cohesively_converged(), "final diameter {}", report.final_diameter);
+    let report = run(
+        workloads::dumbbell(4, 1.0, 7),
+        2,
+        KAsyncScheduler::new(2, 23),
+        7,
+    );
+    assert!(
+        report.cohesively_converged(),
+        "final diameter {}",
+        report.final_diameter
+    );
 }
 
 #[test]
 fn over_provisioned_k_still_converges() {
     // Algorithm provisioned for k = 6 under a 2-Async scheduler: smaller
     // steps, same guarantees (the paper's scaling is monotone in k).
-    let report = run(workloads::random_connected(8, 1.0, 8), 6, KAsyncScheduler::new(2, 29), 8);
-    assert!(report.cohesively_converged(), "final diameter {}", report.final_diameter);
+    let report = run(
+        workloads::random_connected(8, 1.0, 8),
+        6,
+        KAsyncScheduler::new(2, 29),
+        8,
+    );
+    assert!(
+        report.cohesively_converged(),
+        "final diameter {}",
+        report.final_diameter
+    );
 }
 
 #[test]
@@ -125,10 +181,22 @@ fn engine_trace_respects_the_scheduling_model() {
 
 #[test]
 fn rounds_are_counted() {
-    let report = run(workloads::random_connected(8, 1.0, 11), 1, FSyncScheduler::new(), 11);
-    assert!(report.rounds >= 5, "FSync run must complete many rounds, got {}", report.rounds);
+    let report = run(
+        workloads::random_connected(8, 1.0, 11),
+        1,
+        FSyncScheduler::new(),
+        11,
+    );
     assert!(
-        report.round_diameters.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-9),
+        report.rounds >= 5,
+        "FSync run must complete many rounds, got {}",
+        report.rounds
+    );
+    assert!(
+        report
+            .round_diameters
+            .windows(2)
+            .all(|w| w[1].1 <= w[0].1 + 1e-9),
         "diameter must be non-increasing across rounds for a hull-diminishing algorithm"
     );
 }

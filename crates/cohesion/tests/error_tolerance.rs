@@ -35,15 +35,28 @@ fn tolerates_distance_measurement_error() {
         0.0,
         21,
     );
-    assert!(report.cohesively_converged(), "δ = {delta}: diameter {}", report.final_diameter);
+    assert!(
+        report.cohesively_converged(),
+        "δ = {delta}: diameter {}",
+        report.final_diameter
+    );
 }
 
 #[test]
 fn tolerates_angular_skew() {
     let skew = 0.1;
-    let report =
-        tolerant_run(PerceptionModel::new(0.0, skew), MotionModel::RIGID, 0.0, skew, 22);
-    assert!(report.cohesively_converged(), "λ = {skew}: diameter {}", report.final_diameter);
+    let report = tolerant_run(
+        PerceptionModel::new(0.0, skew),
+        MotionModel::RIGID,
+        0.0,
+        skew,
+        22,
+    );
+    assert!(
+        report.cohesively_converged(),
+        "λ = {skew}: diameter {}",
+        report.final_diameter
+    );
 }
 
 #[test]
@@ -55,7 +68,11 @@ fn tolerates_non_rigid_motion() {
         0.0,
         23,
     );
-    assert!(report.cohesively_converged(), "ξ = 0.3: diameter {}", report.final_diameter);
+    assert!(
+        report.cohesively_converged(),
+        "ξ = 0.3: diameter {}",
+        report.final_diameter
+    );
 }
 
 #[test]
@@ -67,8 +84,15 @@ fn tolerates_quadratic_motion_error() {
         0.0,
         24,
     );
-    assert!(report.converged, "quadratic error: diameter {}", report.final_diameter);
-    assert!(report.cohesion_maintained, "quadratic error must not break edges (§6.1)");
+    assert!(
+        report.converged,
+        "quadratic error: diameter {}",
+        report.final_diameter
+    );
+    assert!(
+        report.cohesion_maintained,
+        "quadratic error must not break edges (§6.1)"
+    );
 }
 
 #[test]
@@ -80,7 +104,11 @@ fn tolerates_everything_at_once() {
         0.05,
         25,
     );
-    assert!(report.cohesively_converged(), "combined errors: diameter {}", report.final_diameter);
+    assert!(
+        report.cohesively_converged(),
+        "combined errors: diameter {}",
+        report.final_diameter
+    );
 }
 
 /// Figure 18 as geometry: with linear relative motion error at least
@@ -110,7 +138,10 @@ fn linear_motion_error_breaks_visibility_geometrically() {
     let dev = e_quad * d * d / v;
     let b_end = b + Vec2::new(0.0, d) + Vec2::new(-dev, 0.0);
     let c_end = c + Vec2::new(0.0, d) + Vec2::new(dev, 0.0);
-    assert!(b_end.dist(c_end) > v, "quadratic deviation still separates at the boundary…");
+    assert!(
+        b_end.dist(c_end) > v,
+        "quadratic deviation still separates at the boundary…"
+    );
     // …but the safe-region shortfall absorbs it: the paper's point is that a
     // *fixed fraction* of the planned trajectory stays inside the safe
     // region intersection, so the algorithm plans with margin. Our target is
@@ -124,26 +155,20 @@ fn linear_motion_error_breaks_visibility_geometrically() {
     let r = 1.0 / 8.0;
     for dir in [Vec2::from_angle(0.4), Vec2::from_angle(-0.4)] {
         let margin = r - target.dist(dir * r);
-        assert!(margin > 0.01, "interior margin absorbs quadratic error; got {margin}");
+        assert!(
+            margin > 0.01,
+            "interior margin absorbs quadratic error; got {margin}"
+        );
     }
 }
 
 #[test]
 fn crash_fault_tolerated() {
     // §6.1: a single fail-stop robot is tolerated — the rest converge toward
-    // it. Model the crashed robot as one that is never activated (scripted
-    // exclusion via a scheduler over the remaining ids is equivalent to a
-    // fair scheduler whose crashed robot performs nil cycles; we use the nil
-    // algorithm composition instead).
-    #[derive(Debug)]
-    struct CrashFirst<A> {
-        inner: A,
-    }
-    // The engine is anonymous, so "crash" must be positional: we emulate it
-    // by freezing any robot that sees the distinctive beacon pattern — too
-    // contrived. Instead: run with a scripted scheduler that never activates
-    // robot 0 but is fair to the others over the horizon.
-    let _ = CrashFirst { inner: () };
+    // it. The engine is anonymous, so the crash must be positional: run with
+    // a scripted scheduler that never activates robot 0 but is fair to the
+    // others over the horizon (equivalent to a fair scheduler whose crashed
+    // robot performs nil cycles).
     use cohesion::scheduler::{ActivationInterval, ScriptedScheduler};
     let n = 6;
     let config = workloads::line(n, 0.9);
@@ -166,7 +191,11 @@ fn crash_fault_tolerated() {
         .epsilon(0.05)
         .max_events(200_000)
         .run();
-    assert!(report.converged, "survivors converge (diameter {})", report.final_diameter);
+    assert!(
+        report.converged,
+        "survivors converge (diameter {})",
+        report.final_diameter
+    );
     let gather_point = report.final_configuration.position(RobotId(1));
     assert!(
         gather_point.dist(crashed) < 0.1,

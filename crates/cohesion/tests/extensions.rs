@@ -30,7 +30,12 @@ fn disconnected_start_converges_per_component() {
     let mut pts: Vec<cohesion::geometry::Vec2> =
         workloads::random_connected(5, 1.0, 32).positions().to_vec();
     let offset = cohesion::geometry::Vec2::new(50.0, 0.0);
-    pts.extend(workloads::random_connected(5, 1.0, 33).positions().iter().map(|&p| p + offset));
+    pts.extend(
+        workloads::random_connected(5, 1.0, 33)
+            .positions()
+            .iter()
+            .map(|&p| p + offset),
+    );
     let config = Configuration::new(pts);
     let graph = VisibilityGraph::from_configuration(&config, 1.0);
     assert_eq!(graph.components().len(), 2);
@@ -54,8 +59,16 @@ fn disconnected_start_converges_per_component() {
         }
         best
     };
-    assert!(comp_diam(0..5) < 0.1, "component 1 diameter {}", comp_diam(0..5));
-    assert!(comp_diam(5..10) < 0.1, "component 2 diameter {}", comp_diam(5..10));
+    assert!(
+        comp_diam(0..5) < 0.1,
+        "component 1 diameter {}",
+        comp_diam(0..5)
+    );
+    assert!(
+        comp_diam(5..10) < 0.1,
+        "component 2 diameter {}",
+        comp_diam(5..10)
+    );
     assert!(report.cohesion_maintained);
 }
 
@@ -69,9 +82,16 @@ fn three_dimensional_convergence() {
         .epsilon(0.08)
         .max_events(600_000)
         .run();
-    assert!(report.cohesively_converged(), "3D diameter {}", report.final_diameter);
+    assert!(
+        report.cohesively_converged(),
+        "3D diameter {}",
+        report.final_diameter
+    );
     assert_eq!(report.strong_visibility_ok, Some(true));
-    assert_eq!(report.hulls_nested, None, "hull checks are planar-only by design");
+    assert_eq!(
+        report.hulls_nested, None,
+        "hull checks are planar-only by design"
+    );
 }
 
 #[test]
@@ -120,7 +140,9 @@ fn heterogeneous_radii_converge_cohesively() {
     let base = 0.8;
     let config = workloads::random_connected(9, base, 44);
     let mut rng = SmallRng::seed_from_u64(45);
-    let radii: Vec<f64> = (0..config.len()).map(|_| rng.gen_range(base..base * 1.25)).collect();
+    let radii: Vec<f64> = (0..config.len())
+        .map(|_| rng.gen_range(base..base * 1.25))
+        .collect();
     let report = SimulationBuilder::new(config, KirkpatrickAlgorithm::new(2))
         .visibility(base)
         .visibility_radii(radii)
@@ -176,7 +198,10 @@ fn gcm_requires_axis_agreement() {
         .epsilon(0.01)
         .max_events(30_000)
         .run();
-    assert!(aligned.converged, "GCM with axis agreement converges in O(1) rounds");
+    assert!(
+        aligned.converged,
+        "GCM with axis agreement converges in O(1) rounds"
+    );
     let disoriented = SimulationBuilder::new(config, GcmAlgorithm::new())
         .visibility(100.0)
         .scheduler(FSyncScheduler::new())

@@ -1,7 +1,6 @@
 //! Property tests for the model layer: frames, distortions, error models,
 //! and visibility-graph invariants.
 
-use cohesion::geometry::point::Point as _;
 use cohesion::geometry::{Vec2, Vec3};
 use cohesion::model::frame::{Ambient, FrameMode};
 use cohesion::model::{
@@ -38,7 +37,7 @@ proptest! {
     /// Distortions preserve norms, are symmetric (µ(θ+π) = µ(θ)+π), honour
     /// their skew bound on relative angles, and invert exactly.
     #[test]
-    fn distortions_behave(lambda in 0.0..0.8f64, phase in 0.0..6.28f64, v in vec2(3.0)) {
+    fn distortions_behave(lambda in 0.0..0.8f64, phase in 0.0..std::f64::consts::TAU, v in vec2(3.0)) {
         let d = Distortion::with_skew(lambda, phase);
         prop_assert!((d.apply(v).norm() - v.norm()).abs() < 1e-9);
         prop_assert!((d.unapply(d.apply(v)) - v).norm() < 1e-7);

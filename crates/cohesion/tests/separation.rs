@@ -70,16 +70,14 @@ fn bounded_schedulers_cannot_reproduce_the_separation() {
     // configuration the Async adversary defeats.
     let spiral = SpiralConstruction::paper(0.35);
     for (k, seed) in [(1u32, 41u64), (2, 43)] {
-        let report = SimulationBuilder::new(
-            spiral.configuration.clone(),
-            KirkpatrickAlgorithm::new(k),
-        )
-        .visibility(1.0)
-        .scheduler(KAsyncScheduler::new(k, seed))
-        .epsilon(0.05)
-        .max_events(150_000)
-        .track_strong_visibility(false)
-        .run();
+        let report =
+            SimulationBuilder::new(spiral.configuration.clone(), KirkpatrickAlgorithm::new(k))
+                .visibility(1.0)
+                .scheduler(KAsyncScheduler::new(k, seed))
+                .epsilon(0.05)
+                .max_events(150_000)
+                .track_strong_visibility(false)
+                .run();
         assert!(
             report.cohesion_maintained,
             "k={k}: bounded asynchrony must preserve the spiral's edges"

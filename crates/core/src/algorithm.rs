@@ -84,7 +84,12 @@ impl KirkpatrickAlgorithm {
         } else {
             format!("kirkpatrick(k={k},δ={distance_error},λ={skew})")
         };
-        KirkpatrickAlgorithm { k, distance_error, skew, name }
+        KirkpatrickAlgorithm {
+            k,
+            distance_error,
+            skew,
+            name,
+        }
     }
 
     /// The asynchrony bound `k`.
@@ -115,7 +120,10 @@ impl KirkpatrickAlgorithm {
         hood: &Neighborhood<P>,
         analysis: SectorAnalysis<P>,
     ) -> P {
-        let Cone { axis, half_angle: gamma } = match analysis {
+        let Cone {
+            axis,
+            half_angle: gamma,
+        } = match analysis {
             SectorAnalysis::Empty | SectorAnalysis::Surrounded => return P::zero(),
             SectorAnalysis::Cone(c) => c,
         };
@@ -189,7 +197,10 @@ mod tests {
     fn single_neighbor_moves_an_eighth() {
         let alg = KirkpatrickAlgorithm::new(1);
         let t = alg.compute(&snap(&[Vec2::new(0.8, 0.0)]));
-        assert!((t - Vec2::new(0.1, 0.0)).norm() < 1e-12, "V_Z/8 toward the neighbour");
+        assert!(
+            (t - Vec2::new(0.1, 0.0)).norm() < 1e-12,
+            "V_Z/8 toward the neighbour"
+        );
     }
 
     #[test]
@@ -238,7 +249,9 @@ mod tests {
 
     #[test]
     fn surrounded_robot_stays() {
-        let dirs: Vec<Vec2> = (0..3).map(|i| Vec2::from_angle(i as f64 * 2.0 * PI / 3.0)).collect();
+        let dirs: Vec<Vec2> = (0..3)
+            .map(|i| Vec2::from_angle(i as f64 * 2.0 * PI / 3.0))
+            .collect();
         let alg = KirkpatrickAlgorithm::new(1);
         assert_eq!(alg.compute(&snap(&dirs)), Vec2::ZERO);
     }
@@ -290,8 +303,8 @@ mod tests {
         // 2r·cos(γ/(1−λ)) > r·cos γ there.
         let a = Vec2::from_angle(0.2);
         let b = Vec2::from_angle(-0.2);
-        let t: Vec2 = KirkpatrickAlgorithm::with_error_tolerance(1, 0.0, 0.3)
-            .compute(&snap(&[a, b]));
+        let t: Vec2 =
+            KirkpatrickAlgorithm::with_error_tolerance(1, 0.0, 0.3).compute(&snap(&[a, b]));
         let expect = (1.0 / 8.0) * 0.2f64.cos();
         assert!((t.norm() - expect).abs() < 1e-12);
     }
@@ -320,7 +333,11 @@ mod tests {
     fn rotation_equivariance() {
         // A rotated snapshot must yield the rotated target (disorientation).
         let alg = KirkpatrickAlgorithm::new(2);
-        let pts = [Vec2::from_angle(0.4), Vec2::from_angle(-0.9) * 0.8, Vec2::new(0.2, 0.1)];
+        let pts = [
+            Vec2::from_angle(0.4),
+            Vec2::from_angle(-0.9) * 0.8,
+            Vec2::new(0.2, 0.1),
+        ];
         let t: Vec2 = alg.compute(&snap(&pts));
         for rot in [0.7, 2.1, -1.3] {
             let rotated: Vec<Vec2> = pts.iter().map(|p| p.rotate(rot)).collect();

@@ -112,7 +112,10 @@ mod tests {
             let emptied: Vec<Vec2> = full.iter().copied().filter(|p| p.dist(apex) > d).collect();
             let drop = convex_hull(&full).perimeter() - convex_hull(&emptied).perimeter();
             let bound = lemma8_perimeter_drop(d, r_h);
-            assert!(drop >= bound, "measured drop {drop} below Lemma 8 bound {bound} (d={d})");
+            assert!(
+                drop >= bound,
+                "measured drop {drop} below Lemma 8 bound {bound} (d={d})"
+            );
         }
     }
 

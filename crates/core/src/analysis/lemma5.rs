@@ -86,7 +86,11 @@ pub fn verify_chain(xs: &[Vec2], ys: &[Vec2], v: f64) -> ChainReport {
         let ok = length >= v * cos_turn - 1e-9;
         all_ok &= ok;
         min_cos = min_cos.min(cos_turn);
-        edges.push(ChainEdge { length, cos_turn, length_bound_ok: ok });
+        edges.push(ChainEdge {
+            length,
+            cos_turn,
+            length_bound_ok: ok,
+        });
     }
     ChainReport {
         final_separation: ys[i].dist(xs[i]),

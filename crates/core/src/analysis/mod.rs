@@ -10,5 +10,7 @@
 pub mod congregation;
 pub mod lemma5;
 
-pub use congregation::{hull_radius_and_critical_points, lemma6_bound, lemma7_bound, lemma8_perimeter_drop};
+pub use congregation::{
+    hull_radius_and_critical_points, lemma6_bound, lemma7_bound, lemma8_perimeter_drop,
+};
 pub use lemma5::{verify_chain, ChainReport, COS_THETA_MIN};

@@ -55,13 +55,19 @@ impl<P: Point> Neighborhood<P> {
 /// assert_eq!(hood.close.len(), 1);
 /// assert!((hood.v_z - 1.0).abs() < 1e-12);
 /// ```
-pub fn classify_neighbors<P: Point>(snapshot: &Snapshot<P>, distance_rescale: f64) -> Neighborhood<P> {
+pub fn classify_neighbors<P: Point>(
+    snapshot: &Snapshot<P>,
+    distance_rescale: f64,
+) -> Neighborhood<P> {
     assert!(
         distance_rescale > 0.0 && distance_rescale <= 1.0,
         "distance rescale must be in (0, 1]"
     );
-    let positions: Vec<P> =
-        snapshot.positions().map(|p| p * distance_rescale).filter(|p| p.norm() > 1e-12).collect();
+    let positions: Vec<P> = snapshot
+        .positions()
+        .map(|p| p * distance_rescale)
+        .filter(|p| p.norm() > 1e-12)
+        .collect();
     let v_z = positions.iter().map(|p| p.norm()).fold(0.0, f64::max);
     let mut distant = Vec::new();
     let mut close = Vec::new();
@@ -72,7 +78,11 @@ pub fn classify_neighbors<P: Point>(snapshot: &Snapshot<P>, distance_rescale: f6
             close.push(p);
         }
     }
-    Neighborhood { v_z, distant, close }
+    Neighborhood {
+        v_z,
+        distant,
+        close,
+    }
 }
 
 #[cfg(test)]

@@ -31,17 +31,27 @@ impl ReachRegion {
     /// Panics if `radius` is not positive and finite or the origin coincides
     /// with an endpoint of the neighbour's trajectory (no direction).
     pub fn new(origin: Vec2, x0: Vec2, x1: Vec2, radius: f64) -> Self {
-        assert!(radius > 0.0 && radius.is_finite(), "invalid reach radius {radius}");
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "invalid reach radius {radius}"
+        );
         assert!(
             origin.dist(x0) > 1e-12 && origin.dist(x1) > 1e-12,
             "Y0 must not coincide with the neighbour trajectory endpoints"
         );
-        ReachRegion { origin, x0, x1, radius }
+        ReachRegion {
+            origin,
+            x0,
+            x1,
+            radius,
+        }
     }
 
     /// Centre of the safe region seen when the neighbour is at `x_star`.
     fn core_center(&self, x_star: Vec2) -> Option<Vec2> {
-        (x_star - self.origin).normalized(1e-12).map(|u| self.origin + u * self.radius)
+        (x_star - self.origin)
+            .normalized(1e-12)
+            .map(|u| self.origin + u * self.radius)
     }
 
     /// Membership in the core: some `X* ∈ X0X1` has `p ∈ S^r_{Y0}(X*)`.
@@ -107,10 +117,23 @@ impl ReachRegion {
 
     /// Membership in the bulge (§3.2.1, clauses (ii)(a) and (ii)(b)).
     pub fn bulge_contains(&self, p: Vec2, eps: f64) -> bool {
+        // The corner construction below is meaningful only for *distant*
+        // neighbours (`|X· − Y0| > r`, the only case the paper invokes
+        // reach regions for). When a trajectory endpoint sits within the
+        // region radius, the safe-disk centre lies beyond the neighbour and
+        // the "far corner" Y0± flips to the outside of the disk,
+        // manufacturing a spurious bulge — violating Observation 1(i)
+        // (R = S) in the stationary limit. Such endpoints contribute no
+        // chasing slack, so the bulge is empty.
+        if self.origin.dist(self.x0) <= self.radius || self.origin.dist(self.x1) <= self.radius {
+            return false;
+        }
         let yp = self.y0_plus();
         let ym = self.y0_minus();
-        let a = p.dist(self.x1) <= self.x1.dist(yp) + eps && p.dist(self.origin) <= self.origin.dist(yp) + eps;
-        let b = p.dist(self.x0) <= self.x0.dist(ym) + eps && p.dist(self.origin) <= self.origin.dist(ym) + eps;
+        let a = p.dist(self.x1) <= self.x1.dist(yp) + eps
+            && p.dist(self.origin) <= self.origin.dist(yp) + eps;
+        let b = p.dist(self.x0) <= self.x0.dist(ym) + eps
+            && p.dist(self.origin) <= self.origin.dist(ym) + eps;
         a && b
     }
 
@@ -164,7 +187,10 @@ mod tests {
     #[test]
     fn origin_is_always_reachable() {
         let region = ReachRegion::new(Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(0.5, 0.9), 0.2);
-        assert!(region.contains(Vec2::ZERO, 1e-9), "the nil move stays at Y0");
+        assert!(
+            region.contains(Vec2::ZERO, 1e-9),
+            "the nil move stays at Y0"
+        );
     }
 
     #[test]

@@ -31,9 +31,16 @@ impl<P: Point> SafeRegion<P> {
     ///
     /// Panics if `radius` is negative or non-finite.
     pub fn new(origin: P, neighbor: P, radius: f64) -> Option<Self> {
-        assert!(radius >= 0.0 && radius.is_finite(), "invalid safe-region radius {radius}");
+        assert!(
+            radius >= 0.0 && radius.is_finite(),
+            "invalid safe-region radius {radius}"
+        );
         let direction = (neighbor - origin).normalized(1e-12)?;
-        Some(SafeRegion { origin, direction, radius })
+        Some(SafeRegion {
+            origin,
+            direction,
+            radius,
+        })
     }
 
     /// The centre of the region: the point at distance `radius` from the
@@ -60,8 +67,15 @@ impl<P: Point> SafeRegion<P> {
     /// §3.2.1: `S^{αV_Y/8}`). Scaling moves the centre toward the origin and
     /// shrinks the radius by the same factor, so `Y0` stays on the boundary.
     pub fn scaled(&self, alpha: f64) -> SafeRegion<P> {
-        assert!(alpha > 0.0 && alpha <= 1.0, "scale factor must be in (0, 1]");
-        SafeRegion { origin: self.origin, direction: self.direction, radius: self.radius * alpha }
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
+        SafeRegion {
+            origin: self.origin,
+            direction: self.direction,
+            radius: self.radius * alpha,
+        }
     }
 
     /// Verifies the scaling identity of §3.2.1: if `p ∈ S^r`, then the point

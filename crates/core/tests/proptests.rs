@@ -5,7 +5,6 @@
 use cohesion_core::analysis::congregation::{lemma6_bound, lemma7_bound, lemma8_perimeter_drop};
 use cohesion_core::neighbors::classify_neighbors;
 use cohesion_core::{KirkpatrickAlgorithm, ReachRegion, SafeRegion};
-use cohesion_geometry::point::Point as _;
 use cohesion_geometry::{Vec2, Vec3};
 use cohesion_model::{Algorithm, Snapshot};
 use proptest::prelude::*;

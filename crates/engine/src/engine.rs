@@ -3,9 +3,7 @@
 
 use crate::state::RobotState;
 use cohesion_model::frame::{Ambient, Frame, FrameMode};
-use cohesion_model::{
-    Algorithm, Configuration, MotionModel, PerceptionModel, RobotId, Snapshot,
-};
+use cohesion_model::{Algorithm, Configuration, MotionModel, PerceptionModel, RobotId, Snapshot};
 use cohesion_scheduler::{ActivationInterval, ScheduleContext, ScheduleTrace, Scheduler};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -165,7 +163,10 @@ where
     /// Panics when a supplied tolerance is not positive and finite.
     pub fn set_occlusion(&mut self, tolerance: Option<f64>) {
         if let Some(t) = tolerance {
-            assert!(t > 0.0 && t.is_finite(), "occlusion tolerance must be positive");
+            assert!(
+                t > 0.0 && t.is_finite(),
+                "occlusion tolerance must be positive"
+            );
         }
         self.occlusion_tolerance = tolerance;
     }
@@ -173,7 +174,9 @@ where
     /// Returns `true` when `target` is hidden from `origin` by any robot in
     /// `all` (positions at the Look time), under the configured tolerance.
     fn is_occluded(&self, origin: P, target: P, all: &[P]) -> bool {
-        let Some(tol) = self.occlusion_tolerance else { return false };
+        let Some(tol) = self.occlusion_tolerance else {
+            return false;
+        };
         let line = target - origin;
         let len_sq = line.norm_sq();
         if len_sq == 0.0 {
@@ -254,7 +257,11 @@ where
     /// Current positions plus all pending (planned or in-flight) destinations
     /// — the vertex set of the paper's `CH_t`.
     pub fn positions_with_targets(&self) -> Vec<P> {
-        let mut pts: Vec<P> = self.states.iter().map(|s| s.position_at(self.time)).collect();
+        let mut pts: Vec<P> = self
+            .states
+            .iter()
+            .map(|s| s.position_at(self.time))
+            .collect();
         pts.extend(self.states.iter().filter_map(|s| s.pending_target()));
         pts
     }
@@ -285,7 +292,9 @@ where
         // Keep one upcoming activation staged so we can order it against
         // pending phase events.
         if self.staged.is_none() {
-            let ctx = ScheduleContext { robot_count: self.states.len() };
+            let ctx = ScheduleContext {
+                robot_count: self.states.len(),
+            };
             self.staged = self.scheduler.next_activation(&ctx);
         }
         let take_staged = match (&self.staged, self.heap.peek()) {
@@ -328,16 +337,14 @@ where
         // local frame → symmetric distortion → distance error.
         let frame = P::sample_frame(self.frame_mode, &mut self.rng);
         let distortion = self.perception.sample_distortion(&mut self.rng);
-        let all_positions: Vec<P> =
-            self.states.iter().map(|s| s.position_at(iv.look)).collect();
+        let all_positions: Vec<P> = self.states.iter().map(|s| s.position_at(iv.look)).collect();
         let mut observed: Vec<P> = Vec::new();
         for (j, &pos) in all_positions.iter().enumerate() {
             if j == robot.index() {
                 continue;
             }
             let rel = pos - here;
-            if rel.norm() <= self.radius_of(robot) && !self.is_occluded(here, pos, &all_positions)
-            {
+            if rel.norm() <= self.radius_of(robot) && !self.is_occluded(here, pos, &all_positions) {
                 let local = frame.to_local(rel);
                 let distorted = P::distort(local, &distortion);
                 let factor = self.perception.sample_distance_factor(&mut self.rng);
@@ -367,20 +374,33 @@ where
             robot,
             kind: EngineEventKind::MoveStart,
         });
-        Some(EngineEvent { time: iv.look, robot, kind: EngineEventKind::Look })
+        Some(EngineEvent {
+            time: iv.look,
+            robot,
+            kind: EngineEventKind::Look,
+        })
     }
 
     fn dispatch_move_start(&mut self, p: Pending) -> Option<EngineEvent> {
         let idx = p.robot.index();
         let (position, target, move_end) = match self.states[idx] {
-            RobotState::Computing { position, target, move_end, .. } => {
-                (position, target, move_end)
-            }
+            RobotState::Computing {
+                position,
+                target,
+                move_end,
+                ..
+            } => (position, target, move_end),
             ref other => unreachable!("MoveStart in state {other:?}"),
         };
-        let realized = self.motion.resolve(position, target, self.visibility, &mut self.rng);
-        self.states[idx] =
-            RobotState::Moving { from: position, to: realized, t0: p.time, t1: move_end };
+        let realized = self
+            .motion
+            .resolve(position, target, self.visibility, &mut self.rng);
+        self.states[idx] = RobotState::Moving {
+            from: position,
+            to: realized,
+            t0: p.time,
+            t1: move_end,
+        };
         self.seq += 1;
         self.heap.push(Pending {
             time: move_end,
@@ -388,7 +408,11 @@ where
             robot: p.robot,
             kind: EngineEventKind::MoveEnd,
         });
-        Some(EngineEvent { time: p.time, robot: p.robot, kind: EngineEventKind::MoveStart })
+        Some(EngineEvent {
+            time: p.time,
+            robot: p.robot,
+            kind: EngineEventKind::MoveStart,
+        })
     }
 
     fn dispatch_move_end(&mut self, p: Pending) -> Option<EngineEvent> {
@@ -397,9 +421,15 @@ where
             RobotState::Moving { to, .. } => to,
             ref other => unreachable!("MoveEnd in state {other:?}"),
         };
-        self.states[idx] = RobotState::Idle { position: final_pos };
+        self.states[idx] = RobotState::Idle {
+            position: final_pos,
+        };
         self.completed_cycles[idx] += 1;
-        Some(EngineEvent { time: p.time, robot: p.robot, kind: EngineEventKind::MoveEnd })
+        Some(EngineEvent {
+            time: p.time,
+            robot: p.robot,
+            kind: EngineEventKind::MoveEnd,
+        })
     }
 }
 
@@ -428,8 +458,7 @@ mod tests {
 
     #[test]
     fn nil_algorithm_never_moves() {
-        let mut engine =
-            Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
+        let mut engine = Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
         for _ in 0..30 {
             engine.step().unwrap();
         }
@@ -441,24 +470,31 @@ mod tests {
 
     #[test]
     fn events_are_time_ordered() {
-        let mut engine =
-            Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
+        let mut engine = Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
         let mut last = f64::NEG_INFINITY;
         for _ in 0..50 {
             let ev = engine.step().unwrap();
-            assert!(ev.time >= last - 1e-12, "event at {} after {}", ev.time, last);
+            assert!(
+                ev.time >= last - 1e-12,
+                "event at {} after {}",
+                ev.time,
+                last
+            );
             last = ev.time;
         }
     }
 
     #[test]
     fn trace_is_recorded() {
-        let mut engine =
-            Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
+        let mut engine = Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
         for _ in 0..30 {
             engine.step().unwrap();
         }
-        assert_eq!(engine.trace().len(), 10, "30 events = 10 full cycles of 3 events");
+        assert_eq!(
+            engine.trace().len(),
+            10,
+            "30 events = 10 full cycles of 3 events"
+        );
         cohesion_scheduler::validate::validate_fsync(engine.trace(), 2).unwrap();
     }
 
@@ -466,11 +502,7 @@ mod tests {
     fn occlusion_hides_robots_behind_others() {
         use cohesion_scheduler::ScriptedScheduler;
         // Three collinear robots: the middle one blocks the far one.
-        let config = Configuration::new(vec![
-            Vec2::ZERO,
-            Vec2::new(0.4, 0.0),
-            Vec2::new(0.8, 0.0),
-        ]);
+        let config = Configuration::new(vec![Vec2::ZERO, Vec2::new(0.4, 0.0), Vec2::new(0.8, 0.0)]);
         let run = |occlusion: Option<f64>| {
             let script = ScriptedScheduler::new(
                 "one-look",
@@ -484,7 +516,10 @@ mod tests {
         };
         // The counting algorithm moves by 0.001 per visible robot.
         assert!((run(None) - 0.002).abs() < 1e-12, "no occlusion: sees both");
-        assert!((run(Some(0.01)) - 0.001).abs() < 1e-12, "occlusion: middle hides far");
+        assert!(
+            (run(Some(0.01)) - 0.001).abs() < 1e-12,
+            "occlusion: middle hides far"
+        );
     }
 
     /// Moves 0.001·(number of visible robots) along +x; test-only probe.
@@ -523,8 +558,15 @@ mod tests {
         assert_eq!(engine.radius_of(RobotId(0)), 1.5);
         while engine.step().is_some() {}
         let c = engine.configuration();
-        assert!(c.position(RobotId(0)).x > 0.0, "robot 0 saw its neighbour and moved");
-        assert_eq!(c.position(RobotId(1)), Vec2::new(1.0, 0.0), "robot 1 saw nobody");
+        assert!(
+            c.position(RobotId(0)).x > 0.0,
+            "robot 0 saw its neighbour and moved"
+        );
+        assert_eq!(
+            c.position(RobotId(1)),
+            Vec2::new(1.0, 0.0),
+            "robot 1 saw nobody"
+        );
     }
 
     /// Minimal local algorithm for the heterogeneous-radii test (avoids a

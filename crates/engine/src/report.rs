@@ -69,12 +69,18 @@ impl<P: Point> SimulationReport<P> {
     /// (§1.2.2).
     pub fn rounds_to_halve_diameter(&self) -> Option<usize> {
         let target = self.initial_diameter / 2.0;
-        self.round_diameters.iter().find(|(_, d)| *d <= target).map(|(r, _)| *r)
+        self.round_diameters
+            .iter()
+            .find(|(_, d)| *d <= target)
+            .map(|(r, _)| *r)
     }
 
     /// Rounds needed to reach diameter ≤ `eps`, if observed.
     pub fn rounds_to_reach(&self, eps: f64) -> Option<usize> {
-        self.round_diameters.iter().find(|(_, d)| *d <= eps).map(|(r, _)| *r)
+        self.round_diameters
+            .iter()
+            .find(|(_, d)| *d <= eps)
+            .map(|(r, _)| *r)
     }
 
     /// `true` when the run satisfied the full Cohesive Convergence predicate

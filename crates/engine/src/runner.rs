@@ -187,7 +187,10 @@ impl<P: Ambient> SimulationBuilder<P> {
         let initial_edges: Vec<(usize, usize)> = match &self.visibility_radii {
             None => {
                 let g = VisibilityGraph::from_configuration(&self.initial, self.visibility);
-                g.edges().iter().map(|e| (e.a.index(), e.b.index())).collect()
+                g.edges()
+                    .iter()
+                    .map(|e| (e.a.index(), e.b.index()))
+                    .collect()
             }
             Some(radii) => {
                 assert_eq!(radii.len(), n, "one radius per robot");
@@ -283,7 +286,9 @@ impl<P: Ambient> SimulationBuilder<P> {
             }
 
             // Hull nesting (sampled).
-            if hull_checks_possible && self.hull_check_every > 0 && events % self.hull_check_every == 0
+            if hull_checks_possible
+                && self.hull_check_every > 0
+                && events % self.hull_check_every == 0
             {
                 let pts: Vec<Vec2> = engine
                     .positions_with_targets()
@@ -336,7 +341,11 @@ impl<P: Ambient> SimulationBuilder<P> {
             converged,
             cohesion_maintained: violations.is_empty(),
             cohesion_violations: violations,
-            strong_visibility_ok: if self.track_strong_visibility { Some(strong_ok) } else { None },
+            strong_visibility_ok: if self.track_strong_visibility {
+                Some(strong_ok)
+            } else {
+                None
+            },
             hulls_nested: if hull_checks_possible && self.hull_check_every > 0 {
                 Some(hulls_nested)
             } else {
@@ -422,7 +431,11 @@ mod tests {
                     .run(),
             ),
         ] {
-            assert!(report.converged, "{name}: diameter {}", report.final_diameter);
+            assert!(
+                report.converged,
+                "{name}: diameter {}",
+                report.final_diameter
+            );
             assert!(report.cohesion_maintained, "{name}");
         }
     }

@@ -89,7 +89,9 @@ mod tests {
 
     #[test]
     fn idle_and_computing_are_stationary() {
-        let idle = RobotState::Idle { position: Vec2::new(1.0, 2.0) };
+        let idle = RobotState::Idle {
+            position: Vec2::new(1.0, 2.0),
+        };
         assert_eq!(idle.position_at(0.0), Vec2::new(1.0, 2.0));
         assert_eq!(idle.position_at(99.0), Vec2::new(1.0, 2.0));
         assert!(idle.is_idle());

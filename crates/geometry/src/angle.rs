@@ -85,12 +85,20 @@ pub fn largest_gap(angles: &[f64]) -> Option<AngularGap> {
         return None;
     }
     if angles.len() == 1 {
-        return Some(AngularGap { width: TAU, after: 0, before: 0 });
+        return Some(AngularGap {
+            width: TAU,
+            after: 0,
+            before: 0,
+        });
     }
     // Sort indices by normalized angle.
     let mut idx: Vec<usize> = (0..angles.len()).collect();
     let norm: Vec<f64> = angles.iter().map(|&a| normalize(a)).collect();
-    idx.sort_by(|&i, &j| norm[i].partial_cmp(&norm[j]).expect("angles must be finite"));
+    idx.sort_by(|&i, &j| {
+        norm[i]
+            .partial_cmp(&norm[j])
+            .expect("angles must be finite")
+    });
     let mut best_width = f64::NEG_INFINITY;
     let mut best = (0usize, 0usize);
     for w in 0..idx.len() {
@@ -105,7 +113,11 @@ pub fn largest_gap(angles: &[f64]) -> Option<AngularGap> {
             best = (j, i);
         }
     }
-    Some(AngularGap { width: best_width, after: best.0, before: best.1 })
+    Some(AngularGap {
+        width: best_width,
+        after: best.0,
+        before: best.1,
+    })
 }
 
 /// Returns `true` when the given directions positively span the plane, i.e.
@@ -235,7 +247,12 @@ mod tests {
                     }
                 }
             }
-            assert!((g.width - best).abs() < 1e-9, "gap {} vs brute {}", g.width, best);
+            assert!(
+                (g.width - best).abs() < 1e-9,
+                "gap {} vs brute {}",
+                g.width,
+                best
+            );
         }
     }
 }

@@ -27,7 +27,10 @@ impl<P: Point> Ball<P> {
     ///
     /// Panics if `radius` is negative or non-finite.
     pub fn new(center: P, radius: f64) -> Self {
-        assert!(radius >= 0.0 && radius.is_finite(), "invalid ball radius {radius}");
+        assert!(
+            radius >= 0.0 && radius.is_finite(),
+            "invalid ball radius {radius}"
+        );
         Ball { center, radius }
     }
 
@@ -77,7 +80,7 @@ pub fn smallest_enclosing_ball_with_support<P: Point>(points: &[P]) -> (Ball<P>,
     let tol = WELZL_EPS * (1.0 + ball.radius) * 10.0;
     let mut support: Vec<P> = Vec::new();
     for &p in points {
-        if (ball.center.dist(p) - ball.radius).abs() <= tol && !support.iter().any(|q| *q == p) {
+        if (ball.center.dist(p) - ball.radius).abs() <= tol && !support.contains(&p) {
             support.push(p);
             if support.len() == P::DIM + 1 {
                 break;
@@ -248,8 +251,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..60 {
             let n = rng.gen_range(1..12);
-            let pts: Vec<Vec2> =
-                (0..n).map(|_| Vec2::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0))).collect();
+            let pts: Vec<Vec2> = (0..n)
+                .map(|_| Vec2::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+                .collect();
             let fast = smallest_enclosing_ball(&pts);
             let brute = smallest_enclosing_ball_brute(&pts);
             assert!(
@@ -294,8 +298,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(23);
         for _ in 0..20 {
             let n = rng.gen_range(3..15);
-            let pts: Vec<Vec2> =
-                (0..n).map(|_| Vec2::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0))).collect();
+            let pts: Vec<Vec2> = (0..n)
+                .map(|_| Vec2::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+                .collect();
             let (ball, support) = smallest_enclosing_ball_with_support(&pts);
             assert!(!support.is_empty());
             for s in &support {

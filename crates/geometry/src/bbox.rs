@@ -63,7 +63,10 @@ impl Aabb {
 
     /// The smallest box containing both `self` and `other`.
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Returns `true` when `other` fits inside `self` with slack `eps`.

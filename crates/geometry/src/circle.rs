@@ -25,7 +25,10 @@ impl Circle {
     ///
     /// Panics if `radius` is negative or non-finite.
     pub fn new(center: Vec2, radius: f64) -> Self {
-        assert!(radius >= 0.0 && radius.is_finite(), "invalid circle radius {radius}");
+        assert!(
+            radius >= 0.0 && radius.is_finite(),
+            "invalid circle radius {radius}"
+        );
         Circle { center, radius }
     }
 
@@ -64,7 +67,11 @@ impl Circle {
     pub fn ray_exit(&self, origin: Vec2, dir: Vec2) -> Option<f64> {
         let d = dir.norm_sq();
         if d == 0.0 {
-            return if self.contains(origin, 0.0) { Some(0.0) } else { None };
+            return if self.contains(origin, 0.0) {
+                Some(0.0)
+            } else {
+                None
+            };
         }
         // Solve |origin + t dir − c|² = r².
         let oc = origin - self.center;
@@ -132,8 +139,12 @@ impl Circle {
             let m = r.min(s);
             return std::f64::consts::PI * m * m;
         }
-        let alpha = ((d * d + r * r - s * s) / (2.0 * d * r)).clamp(-1.0, 1.0).acos();
-        let beta = ((d * d + s * s - r * r) / (2.0 * d * s)).clamp(-1.0, 1.0).acos();
+        let alpha = ((d * d + r * r - s * s) / (2.0 * d * r))
+            .clamp(-1.0, 1.0)
+            .acos();
+        let beta = ((d * d + s * s - r * r) / (2.0 * d * s))
+            .clamp(-1.0, 1.0)
+            .acos();
         r * r * (alpha - alpha.sin() * alpha.cos()) + s * s * (beta - beta.sin() * beta.cos())
     }
 }
@@ -162,7 +173,9 @@ mod tests {
     #[test]
     fn ray_exit_from_inside() {
         let c = Circle::new(Vec2::ZERO, 2.0);
-        let t = c.ray_exit(Vec2::new(1.0, 0.0), Vec2::new(1.0, 0.0)).unwrap();
+        let t = c
+            .ray_exit(Vec2::new(1.0, 0.0), Vec2::new(1.0, 0.0))
+            .unwrap();
         assert!((t - 1.0).abs() < 1e-12);
     }
 
@@ -195,7 +208,9 @@ mod tests {
         assert_eq!(pts.len(), 1);
         assert!((pts[0] - Vec2::new(1.0, 0.0)).norm() < 1e-9);
         // Disjoint.
-        assert!(a.intersect(&Circle::new(Vec2::new(5.0, 0.0), 1.0)).is_empty());
+        assert!(a
+            .intersect(&Circle::new(Vec2::new(5.0, 0.0), 1.0))
+            .is_empty());
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub fn sector_2d(dirs: &[Vec2], eps: f64) -> SectorAnalysis<Vec2> {
         return SectorAnalysis::Surrounded;
     }
     let axis = Vec2::from_angle(a + span / 2.0);
-    SectorAnalysis::Cone(Cone { axis, half_angle: span / 2.0 })
+    SectorAnalysis::Cone(Cone {
+        axis,
+        half_angle: span / 2.0,
+    })
 }
 
 /// Generic enclosing-cone analysis through the minimum enclosing ball of the
@@ -109,7 +112,10 @@ pub fn enclosing_cone<P: Point>(dirs: &[P], eps: f64) -> SectorAnalysis<P> {
     if worst >= FRAC_PI_2 - eps {
         SectorAnalysis::Surrounded
     } else {
-        SectorAnalysis::Cone(Cone { axis, half_angle: worst })
+        SectorAnalysis::Cone(Cone {
+            axis,
+            half_angle: worst,
+        })
     }
 }
 
@@ -148,7 +154,11 @@ mod tests {
 
     #[test]
     fn sector_bisector() {
-        let dirs = [Vec2::from_angle(0.2), Vec2::from_angle(1.0), Vec2::from_angle(0.5)];
+        let dirs = [
+            Vec2::from_angle(0.2),
+            Vec2::from_angle(1.0),
+            Vec2::from_angle(0.5),
+        ];
         match sector_2d(&dirs, 1e-9) {
             SectorAnalysis::Cone(c) => {
                 assert!((c.axis.angle() - 0.6).abs() < 1e-9);

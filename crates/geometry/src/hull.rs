@@ -29,7 +29,11 @@ pub struct ConvexHull {
 /// ```
 pub fn convex_hull(points: &[Vec2]) -> ConvexHull {
     let mut pts: Vec<Vec2> = points.to_vec();
-    pts.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).expect("points must be finite"));
+    pts.sort_by(|a, b| {
+        (a.x, a.y)
+            .partial_cmp(&(b.x, b.y))
+            .expect("points must be finite")
+    });
     pts.dedup();
     if pts.len() <= 2 {
         return ConvexHull { vertices: pts };
@@ -89,7 +93,9 @@ impl ConvexHull {
         match self.vertices.len() {
             0 | 1 => 0.0,
             2 => 2.0 * self.vertices[0].dist(self.vertices[1]),
-            n => (0..n).map(|i| self.vertices[i].dist(self.vertices[(i + 1) % n])).sum(),
+            n => (0..n)
+                .map(|i| self.vertices[i].dist(self.vertices[(i + 1) % n]))
+                .sum(),
         }
     }
 
@@ -126,7 +132,9 @@ impl ConvexHull {
             while area2(a, b, self.vertices[(j + 1) % n]) > area2(a, b, self.vertices[j]) {
                 j = (j + 1) % n;
             }
-            best = best.max(a.dist(self.vertices[j])).max(b.dist(self.vertices[j]));
+            best = best
+                .max(a.dist(self.vertices[j]))
+                .max(b.dist(self.vertices[j]));
         }
         best
     }
@@ -149,9 +157,10 @@ impl ConvexHull {
         match self.vertices.len() {
             0 => false,
             1 => self.vertices[0].dist(p) <= eps,
-            2 => crate::segment::Segment::new(self.vertices[0], self.vertices[1])
-                .dist_to_point(p)
-                <= eps,
+            2 => {
+                crate::segment::Segment::new(self.vertices[0], self.vertices[1]).dist_to_point(p)
+                    <= eps
+            }
             n => {
                 for i in 0..n {
                     let a = self.vertices[i];

@@ -250,14 +250,17 @@ mod tests {
     #[test]
     fn circumcircle_right_triangle() {
         // Right triangle: circumcentre at hypotenuse midpoint.
-        let ball = Vec2::circumball(&[Vec2::ZERO, Vec2::new(2.0, 0.0), Vec2::new(0.0, 2.0)]).unwrap();
+        let ball =
+            Vec2::circumball(&[Vec2::ZERO, Vec2::new(2.0, 0.0), Vec2::new(0.0, 2.0)]).unwrap();
         assert!((ball.center - Vec2::new(1.0, 1.0)).norm() < 1e-12);
         assert!((ball.radius - 2f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]
     fn circumcircle_collinear_is_none() {
-        assert!(Vec2::circumball(&[Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(2.0, 0.0)]).is_none());
+        assert!(
+            Vec2::circumball(&[Vec2::ZERO, Vec2::new(1.0, 0.0), Vec2::new(2.0, 0.0)]).is_none()
+        );
     }
 
     #[test]

@@ -84,9 +84,18 @@ mod tests {
     fn orientation_cases() {
         let a = Vec2::ZERO;
         let b = Vec2::new(1.0, 0.0);
-        assert_eq!(orient2d(a, b, Vec2::new(0.5, 1.0), 1e-12), Orientation::CounterClockwise);
-        assert_eq!(orient2d(a, b, Vec2::new(0.5, -1.0), 1e-12), Orientation::Clockwise);
-        assert_eq!(orient2d(a, b, Vec2::new(2.0, 0.0), 1e-12), Orientation::Collinear);
+        assert_eq!(
+            orient2d(a, b, Vec2::new(0.5, 1.0), 1e-12),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orient2d(a, b, Vec2::new(0.5, -1.0), 1e-12),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orient2d(a, b, Vec2::new(2.0, 0.0), 1e-12),
+            Orientation::Collinear
+        );
     }
 
     #[test]

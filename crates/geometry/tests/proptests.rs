@@ -109,7 +109,7 @@ proptest! {
 
     #[test]
     fn ray_exit_point_is_on_boundary_or_none(
-        center in vec2(3.0), radius in 0.1..3.0f64, dir_angle in 0.0..6.28f64
+        center in vec2(3.0), radius in 0.1..3.0f64, dir_angle in 0.0..std::f64::consts::TAU
     ) {
         let c = Circle::new(center, radius);
         let dir = Vec2::from_angle(dir_angle);

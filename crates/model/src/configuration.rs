@@ -73,7 +73,10 @@ impl<P: Point> Configuration<P> {
 
     /// Iterator over `(id, position)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (RobotId, P)> + '_ {
-        self.positions.iter().enumerate().map(|(i, &p)| (RobotId::from(i), p))
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (RobotId::from(i), p))
     }
 
     /// All robot ids.
@@ -133,11 +136,7 @@ mod tests {
     use super::*;
 
     fn config() -> Configuration {
-        Configuration::new(vec![
-            Vec2::ZERO,
-            Vec2::new(3.0, 0.0),
-            Vec2::new(0.0, 4.0),
-        ])
+        Configuration::new(vec![Vec2::ZERO, Vec2::new(3.0, 0.0), Vec2::new(0.0, 4.0)])
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct PerceptionModel {
 
 impl PerceptionModel {
     /// Error-free perception.
-    pub const EXACT: PerceptionModel = PerceptionModel { distance_error: 0.0, skew: 0.0 };
+    pub const EXACT: PerceptionModel = PerceptionModel {
+        distance_error: 0.0,
+        skew: 0.0,
+    };
 
     /// Creates a perception model.
     ///
@@ -41,7 +44,10 @@ impl PerceptionModel {
     pub fn new(distance_error: f64, skew: f64) -> Self {
         assert!(distance_error >= 0.0, "distance error must be non-negative");
         assert!((0.0..1.0).contains(&skew), "skew must be in [0, 1)");
-        PerceptionModel { distance_error, skew }
+        PerceptionModel {
+            distance_error,
+            skew,
+        }
     }
 
     /// Returns `true` when perception is exact.
@@ -117,7 +123,10 @@ pub struct MotionModel {
 
 impl MotionModel {
     /// Rigid, error-free motion (`ξ = 1`).
-    pub const RIGID: MotionModel = MotionModel { rigidity: 1.0, error: MotionError::None };
+    pub const RIGID: MotionModel = MotionModel {
+        rigidity: 1.0,
+        error: MotionError::None,
+    };
 
     /// Creates a motion model.
     ///
@@ -125,7 +134,10 @@ impl MotionModel {
     ///
     /// Panics unless `0 < ξ ≤ 1` and the error coefficient is non-negative.
     pub fn new(rigidity: f64, error: MotionError) -> Self {
-        assert!(rigidity > 0.0 && rigidity <= 1.0, "rigidity must be in (0, 1]");
+        assert!(
+            rigidity > 0.0 && rigidity <= 1.0,
+            "rigidity must be in (0, 1]"
+        );
         match error {
             MotionError::Linear { coefficient } | MotionError::Quadratic { coefficient } => {
                 assert!(coefficient >= 0.0, "error coefficient must be non-negative");
@@ -146,13 +158,7 @@ impl MotionModel {
     /// destination; the adversary (driven by `rng`) picks the realized
     /// fraction in `[ξ, 1]` and a deviation within the error bound.
     /// `visibility` scales quadratic error.
-    pub fn resolve<P: Point>(
-        &self,
-        from: P,
-        target: P,
-        visibility: f64,
-        rng: &mut SmallRng,
-    ) -> P {
+    pub fn resolve<P: Point>(&self, from: P, target: P, visibility: f64, rng: &mut SmallRng) -> P {
         let planned = target - from;
         let d_planned = planned.norm();
         if d_planned == 0.0 {
@@ -266,7 +272,10 @@ mod tests {
             MotionError::Quadratic { coefficient: 1.0 }.max_deviation(0.5, 2.0),
             0.125
         );
-        assert_eq!(MotionError::Linear { coefficient: 2.0 }.max_deviation(0.5, 2.0), 1.0);
+        assert_eq!(
+            MotionError::Linear { coefficient: 2.0 }.max_deviation(0.5, 2.0),
+            1.0
+        );
         assert_eq!(MotionError::None.max_deviation(0.5, 2.0), 0.0);
     }
 

@@ -59,16 +59,23 @@ pub struct Iso2 {
 
 impl Iso2 {
     /// The identity frame.
-    pub const IDENTITY: Iso2 = Iso2 { angle: 0.0, reflect: false };
+    pub const IDENTITY: Iso2 = Iso2 {
+        angle: 0.0,
+        reflect: false,
+    };
 
     /// Samples a frame according to `mode`.
     pub fn sample(mode: FrameMode, rng: &mut SmallRng) -> Iso2 {
         match mode {
             FrameMode::Aligned => Iso2::IDENTITY,
-            FrameMode::RandomRotation => Iso2 { angle: rng.gen_range(0.0..TAU), reflect: false },
-            FrameMode::RandomOrtho => {
-                Iso2 { angle: rng.gen_range(0.0..TAU), reflect: rng.gen_bool(0.5) }
-            }
+            FrameMode::RandomRotation => Iso2 {
+                angle: rng.gen_range(0.0..TAU),
+                reflect: false,
+            },
+            FrameMode::RandomOrtho => Iso2 {
+                angle: rng.gen_range(0.0..TAU),
+                reflect: rng.gen_bool(0.5),
+            },
         }
     }
 }
@@ -102,9 +109,21 @@ impl Iso3 {
     /// The identity frame.
     pub const IDENTITY: Iso3 = Iso3 {
         basis: [
-            Vec3 { x: 1.0, y: 0.0, z: 0.0 },
-            Vec3 { x: 0.0, y: 1.0, z: 0.0 },
-            Vec3 { x: 0.0, y: 0.0, z: 1.0 },
+            Vec3 {
+                x: 1.0,
+                y: 0.0,
+                z: 0.0,
+            },
+            Vec3 {
+                x: 0.0,
+                y: 1.0,
+                z: 0.0,
+            },
+            Vec3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         ],
     };
 
@@ -137,14 +156,18 @@ impl Iso3 {
                         } else {
                             Vec3::new(0.0, 1.0, 0.0)
                         };
-                        (alt - e0 * e0.dot(alt)).normalized(1e-12).expect("perpendicular exists")
+                        (alt - e0 * e0.dot(alt))
+                            .normalized(1e-12)
+                            .expect("perpendicular exists")
                     }
                 };
                 let mut e2 = e0.cross(e1);
                 if mode == FrameMode::RandomOrtho && rng.gen_bool(0.5) {
                     e2 = -e2; // reflected frame
                 }
-                Iso3 { basis: [e0, e1, e2] }
+                Iso3 {
+                    basis: [e0, e1, e2],
+                }
             }
         }
     }
@@ -152,7 +175,11 @@ impl Iso3 {
 
 impl Frame<Vec3> for Iso3 {
     fn to_local(&self, v: Vec3) -> Vec3 {
-        Vec3::new(self.basis[0].dot(v), self.basis[1].dot(v), self.basis[2].dot(v))
+        Vec3::new(
+            self.basis[0].dot(v),
+            self.basis[1].dot(v),
+            self.basis[2].dot(v),
+        )
     }
 
     fn to_global(&self, v: Vec3) -> Vec3 {
@@ -172,7 +199,10 @@ pub struct Distortion {
 
 impl Distortion {
     /// The identity distortion.
-    pub const IDENTITY: Distortion = Distortion { amplitude: 0.0, phase: 0.0 };
+    pub const IDENTITY: Distortion = Distortion {
+        amplitude: 0.0,
+        phase: 0.0,
+    };
 
     /// Creates a distortion with the given skew bound `λ` and phase; the
     /// realized skew is exactly `λ`.
@@ -182,7 +212,10 @@ impl Distortion {
     /// Panics unless `0 ≤ λ < 1`.
     pub fn with_skew(lambda: f64, phase: f64) -> Distortion {
         assert!((0.0..1.0).contains(&lambda), "skew must be in [0, 1)");
-        Distortion { amplitude: lambda / 2.0, phase }
+        Distortion {
+            amplitude: lambda / 2.0,
+            phase,
+        }
     }
 
     /// Samples a distortion with skew at most `lambda`.
@@ -334,7 +367,10 @@ mod tests {
 
     #[test]
     fn iso2_reflection_flips_orientation() {
-        let f = Iso2 { angle: 0.3, reflect: true };
+        let f = Iso2 {
+            angle: 0.3,
+            reflect: true,
+        };
         let a = Vec2::new(1.0, 0.0);
         let b = Vec2::new(0.0, 1.0);
         let cross_global = a.cross(b);

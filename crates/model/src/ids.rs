@@ -114,6 +114,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(RobotId(4).to_string(), "R4");
-        assert_eq!(RobotPair::new(RobotId(1), RobotId(0)).to_string(), "(R0, R1)");
+        assert_eq!(
+            RobotPair::new(RobotId(1), RobotId(0)).to_string(),
+            "(R0, R1)"
+        );
     }
 }

@@ -28,11 +28,11 @@ pub mod snapshot;
 pub mod visibility;
 
 pub use algorithm::{Algorithm, NilAlgorithm};
-pub use frame::{Ambient, FrameMode};
-pub use ids::RobotPair;
 pub use configuration::Configuration;
 pub use errors::{MotionError, MotionModel, PerceptionModel};
+pub use frame::{Ambient, FrameMode};
 pub use frame::{Distortion, Frame, Iso2, Iso3};
 pub use ids::RobotId;
+pub use ids::RobotPair;
 pub use snapshot::{ObservedRobot, Snapshot};
 pub use visibility::VisibilityGraph;

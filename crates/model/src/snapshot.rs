@@ -33,7 +33,12 @@ pub struct Snapshot<P> {
 impl<P: Point> Snapshot<P> {
     /// Creates a snapshot from perceived displacements.
     pub fn from_positions(positions: Vec<P>) -> Self {
-        Snapshot { observations: positions.into_iter().map(|position| ObservedRobot { position }).collect() }
+        Snapshot {
+            observations: positions
+                .into_iter()
+                .map(|position| ObservedRobot { position })
+                .collect(),
+        }
     }
 
     /// Collapses co-located observations (within `eps`) into single ones —
@@ -72,12 +77,18 @@ impl<P: Point> Snapshot<P> {
     /// Distance to the furthest perceived robot — the paper's tentative
     /// visibility lower bound `V_Z` (§3.2). `0` for an empty snapshot.
     pub fn furthest_distance(&self) -> f64 {
-        self.observations.iter().map(|o| o.position.norm()).fold(0.0, f64::max)
+        self.observations
+            .iter()
+            .map(|o| o.position.norm())
+            .fold(0.0, f64::max)
     }
 
     /// Distance to the closest perceived robot; `∞` for an empty snapshot.
     pub fn closest_distance(&self) -> f64 {
-        self.observations.iter().map(|o| o.position.norm()).fold(f64::INFINITY, f64::min)
+        self.observations
+            .iter()
+            .map(|o| o.position.norm())
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Applies a transformation to every observation (used by the engine to
@@ -87,7 +98,9 @@ impl<P: Point> Snapshot<P> {
             observations: self
                 .observations
                 .iter()
-                .map(|o| ObservedRobot { position: f(o.position) })
+                .map(|o| ObservedRobot {
+                    position: f(o.position),
+                })
                 .collect(),
         }
     }

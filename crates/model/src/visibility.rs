@@ -38,7 +38,10 @@ impl VisibilityGraph {
                 }
             }
         }
-        VisibilityGraph { n: pos.len(), edges }
+        VisibilityGraph {
+            n: pos.len(),
+            edges,
+        }
     }
 
     /// Builds a visibility graph from an explicit edge list over `n` robots.
@@ -95,7 +98,10 @@ impl VisibilityGraph {
             root
         }
         for e in &self.edges {
-            let (ra, rb) = (find(&mut parent, e.a.index()), find(&mut parent, e.b.index()));
+            let (ra, rb) = (
+                find(&mut parent, e.a.index()),
+                find(&mut parent, e.b.index()),
+            );
             if ra != rb {
                 parent[ra] = rb;
             }

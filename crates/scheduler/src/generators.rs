@@ -27,7 +27,11 @@ pub struct DurationProfile {
 
 impl Default for DurationProfile {
     fn default() -> Self {
-        DurationProfile { compute: (0.05, 0.35), move_phase: (0.1, 1.2), jitter: 0.08 }
+        DurationProfile {
+            compute: (0.05, 0.35),
+            move_phase: (0.1, 1.2),
+            jitter: 0.08,
+        }
     }
 }
 
@@ -60,7 +64,10 @@ pub struct FSyncScheduler {
 impl FSyncScheduler {
     /// Creates the scheduler (deterministic, no seed needed).
     pub fn new() -> Self {
-        FSyncScheduler { round: 0, queue: VecDeque::new() }
+        FSyncScheduler {
+            round: 0,
+            queue: VecDeque::new(),
+        }
     }
 }
 
@@ -221,9 +228,14 @@ impl Scheduler for KAsyncScheduler {
         }
         // Fairness: activate the robot that has been free the longest.
         let robot = (0..ctx.robot_count)
-            .min_by(|&a, &b| self.next_free[a].partial_cmp(&self.next_free[b]).expect("finite"))
+            .min_by(|&a, &b| {
+                self.next_free[a]
+                    .partial_cmp(&self.next_free[b])
+                    .expect("finite")
+            })
             .expect("at least one robot");
-        let mut look = self.next_free[robot].max(self.clock) + self.profile.sample_jitter(&mut self.rng);
+        let mut look =
+            self.next_free[robot].max(self.clock) + self.profile.sample_jitter(&mut self.rng);
         // Repair loop: postpone past any interval whose per-robot budget the
         // proposal would blow.
         loop {
@@ -369,7 +381,12 @@ impl NestAScheduler {
             let look = t + 0.02;
             let move_start = look + 0.1;
             let end = t + slot - 0.02;
-            self.queue.push_back(ActivationInterval::new(RobotId::from(r), look, move_start, end));
+            self.queue.push_back(ActivationInterval::new(
+                RobotId::from(r),
+                look,
+                move_start,
+                end,
+            ));
             t += slot;
         }
         self.clock = outer_end + 0.1;
@@ -435,15 +452,21 @@ impl Scheduler for AsyncScheduler {
             self.next_free = vec![0.0; ctx.robot_count];
         }
         let robot = (0..ctx.robot_count)
-            .min_by(|&a, &b| self.next_free[a].partial_cmp(&self.next_free[b]).expect("finite"))
+            .min_by(|&a, &b| {
+                self.next_free[a]
+                    .partial_cmp(&self.next_free[b])
+                    .expect("finite")
+            })
             .expect("at least one robot");
-        let look = self.next_free[robot].max(self.clock) + self.profile.sample_jitter(&mut self.rng);
+        let look =
+            self.next_free[robot].max(self.clock) + self.profile.sample_jitter(&mut self.rng);
         let move_start = look + self.profile.sample_compute(&mut self.rng);
         let mut move_d = self.profile.sample_move(&mut self.rng);
         if self.rng.gen_bool(self.stretch_probability) {
             move_d *= self.rng.gen_range(10.0..30.0);
         }
-        let iv = ActivationInterval::new(RobotId::from(robot), look, move_start, move_start + move_d);
+        let iv =
+            ActivationInterval::new(RobotId::from(robot), look, move_start, move_start + move_d);
         self.clock = look;
         self.next_free[robot] = iv.end + 1e-9;
         Some(iv)
@@ -471,7 +494,10 @@ pub struct CentralizedScheduler {
 impl CentralizedScheduler {
     /// Creates the scheduler (deterministic).
     pub fn new() -> Self {
-        CentralizedScheduler { next: 0, clock: 0.0 }
+        CentralizedScheduler {
+            next: 0,
+            clock: 0.0,
+        }
     }
 }
 
@@ -516,7 +542,10 @@ impl ScriptedScheduler {
     /// Creates a scripted scheduler from intervals (sorted by Look time).
     pub fn new(name: impl Into<String>, mut intervals: Vec<ActivationInterval>) -> Self {
         intervals.sort_by(|a, b| a.look.partial_cmp(&b.look).expect("finite times"));
-        ScriptedScheduler { queue: intervals.into(), name: name.into() }
+        ScriptedScheduler {
+            queue: intervals.into(),
+            name: name.into(),
+        }
     }
 
     /// Remaining activations.
@@ -588,7 +617,9 @@ mod tests {
         let t = collect(KAsyncScheduler::new(2, 3), 3, 60);
         let ivs = t.intervals();
         let overlapping = ivs.iter().enumerate().any(|(i, a)| {
-            ivs.iter().skip(i + 1).any(|b| a.robot != b.robot && a.overlaps(b))
+            ivs.iter()
+                .skip(i + 1)
+                .any(|b| a.robot != b.robot && a.overlaps(b))
         });
         assert!(overlapping);
     }
@@ -608,10 +639,11 @@ mod tests {
     fn nesta_produces_nesting() {
         let t = collect(NestAScheduler::new(2, 5), 3, 60);
         let ivs = t.intervals();
-        let nested = ivs
-            .iter()
-            .enumerate()
-            .any(|(i, a)| ivs.iter().enumerate().any(|(j, b)| i != j && a.nested_in(b)));
+        let nested = ivs.iter().enumerate().any(|(i, a)| {
+            ivs.iter()
+                .enumerate()
+                .any(|(j, b)| i != j && a.nested_in(b))
+        });
         assert!(nested);
     }
 

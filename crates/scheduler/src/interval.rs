@@ -48,7 +48,12 @@ impl ActivationInterval {
             look < move_start && move_start <= end,
             "activation phases out of order: look={look}, move_start={move_start}, end={end}"
         );
-        ActivationInterval { robot, look, move_start, end }
+        ActivationInterval {
+            robot,
+            look,
+            move_start,
+            end,
+        }
     }
 
     /// Total interval duration.

@@ -47,7 +47,11 @@ pub fn render_timeline(trace: &ScheduleTrace, robot_count: usize, width: usize) 
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!("      0{:>width$.2}\n", horizon, width = width - 1));
+    out.push_str(&format!(
+        "      0{:>width$.2}\n",
+        horizon,
+        width = width - 1
+    ));
     out
 }
 

@@ -59,7 +59,11 @@ impl ScheduleTrace {
 
     /// The intervals of one robot, in time order.
     pub fn of_robot(&self, id: RobotId) -> Vec<ActivationInterval> {
-        self.intervals.iter().copied().filter(|iv| iv.robot == id).collect()
+        self.intervals
+            .iter()
+            .copied()
+            .filter(|iv| iv.robot == id)
+            .collect()
     }
 
     /// Number of activations per robot (indexed by robot id); robots never

@@ -213,13 +213,16 @@ pub fn max_nesting_depth(trace: &ScheduleTrace) -> usize {
     // each interval's containers are finalized first.
     let mut order: Vec<usize> = (0..ivs.len()).collect();
     order.sort_by(|&a, &b| {
-        ivs[b].duration().partial_cmp(&ivs[a].duration()).expect("finite durations")
+        ivs[b]
+            .duration()
+            .partial_cmp(&ivs[a].duration())
+            .expect("finite durations")
     });
     let mut depth = vec![1usize; ivs.len()];
     for (pos, &i) in order.iter().enumerate() {
         for &j in &order[..pos] {
-            let strict = ivs[i].nested_in(&ivs[j])
-                && (ivs[j].look < ivs[i].look || ivs[i].end < ivs[j].end);
+            let strict =
+                ivs[i].nested_in(&ivs[j]) && (ivs[j].look < ivs[i].look || ivs[i].end < ivs[j].end);
             if strict {
                 depth[i] = depth[i].max(depth[j] + 1);
             }
@@ -274,7 +277,10 @@ mod tests {
     }
 
     fn round(look: f64, robots: &[u32]) -> Vec<ActivationInterval> {
-        robots.iter().map(|&r| iv(r, look, look + 0.3, look + 0.8)).collect()
+        robots
+            .iter()
+            .map(|&r| iv(r, look, look + 0.3, look + 0.8))
+            .collect()
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! constraints, for arbitrary parameters and horizons.
 
 use cohesion_scheduler::validate::{
-    minimal_async_k, validate_fairness, validate_fsync, validate_nested,
-    validate_no_self_overlap, validate_ssync,
+    minimal_async_k, validate_fairness, validate_fsync, validate_nested, validate_no_self_overlap,
+    validate_ssync,
 };
 use cohesion_scheduler::{
     AsyncScheduler, CentralizedScheduler, FSyncScheduler, KAsyncScheduler, NestAScheduler,
@@ -12,7 +12,9 @@ use cohesion_scheduler::{
 use proptest::prelude::*;
 
 fn collect(mut s: impl Scheduler, robots: usize, count: usize) -> ScheduleTrace {
-    let ctx = ScheduleContext { robot_count: robots };
+    let ctx = ScheduleContext {
+        robot_count: robots,
+    };
     let mut trace = ScheduleTrace::new();
     for _ in 0..count {
         match s.next_activation(&ctx) {

@@ -1,0 +1,402 @@
+//! Offline stand-in for the crates.io `criterion` benchmark harness
+//! (modeled on 0.5.x).
+//!
+//! No network access is available in the build environment, so this crate
+//! provides the criterion API surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`Throughput`], [`black_box`], [`criterion_group!`], [`criterion_main!`]
+//! — backed by a simple but honest timer:
+//!
+//! 1. a calibration pass sizes the per-sample iteration count so one sample
+//!    takes ≈ [`TARGET_SAMPLE_NANOS`];
+//! 2. `sample_size` samples are measured (default 10);
+//! 3. the **median** ns/iter is reported (robust to scheduler noise), along
+//!    with min and max.
+//!
+//! Results are printed per benchmark and appended as JSON lines to
+//! `target/criterion-stub/<group>.json` so baselines can be committed and
+//! diffed (see `BENCH_baseline.json` at the workspace root).
+//!
+//! Not implemented (panic-free, simply absent): statistical regression
+//! analysis, HTML reports, comparison against saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Target wall-clock duration of one measured sample, in nanoseconds.
+pub const TARGET_SAMPLE_NANOS: u64 = 25_000_000;
+
+/// An opaque identity function preventing the optimizer from deleting a
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Throughput annotation for a group (recorded into the JSON rows).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measures one benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_target: usize,
+    samples_ns_per_iter: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-sample ns/iter measurements.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate: grow the iteration count until one batch is long
+        // enough to time reliably, then size batches to the target.
+        let mut iters = 1u64;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            if elapsed >= 1_000_000 || iters >= 1 << 24 {
+                break (elapsed.max(1)) as f64 / iters as f64;
+            }
+            iters *= 4;
+        };
+        let batch = ((TARGET_SAMPLE_NANOS as f64 / per_iter_ns).ceil() as u64).clamp(1, 1 << 28);
+
+        self.iters_per_sample = batch;
+        self.samples_ns_per_iter.clear();
+        for _ in 0..self.samples_target.max(2) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns_per_iter.push(elapsed / batch as f64);
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    group: String,
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchRecord {
+    fn json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{:.2},\"min_ns\":{:.2},\
+             \"max_ns\":{:.2},\"samples\":{},\"iters_per_sample\":{}",
+            self.group,
+            self.id,
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples,
+            self.iters_per_sample,
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 * 1e9 / self.median_ns.max(f64::MIN_POSITIVE);
+                let _ = write!(s, ",\"elements\":{n},\"elements_per_sec\":{per_sec:.0}");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 * 1e9 / self.median_ns.max(f64::MIN_POSITIVE);
+                let _ = write!(s, ",\"bytes\":{n},\"bytes_per_sec\":{per_sec:.0}");
+            }
+            None => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Mirror of real criterion's CLI hook; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benches a standalone function (implicit group named after it).
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.text.clone());
+        group.run(BenchmarkId::from_parameter(""), f);
+        group.finish();
+        self
+    }
+
+    fn flush(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let dir = stub_output_dir();
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut by_group: std::collections::BTreeMap<&str, Vec<&BenchRecord>> =
+            std::collections::BTreeMap::new();
+        for r in &self.records {
+            by_group.entry(&r.group).or_default().push(r);
+        }
+        for (group, records) in by_group {
+            let path = dir.join(format!("{}.json", group.replace('/', "_")));
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                for r in records {
+                    let _ = writeln!(f, "{}", r.json());
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Where JSON rows are written: `target/criterion-stub` next to the
+/// workspace's build artifacts. `CARGO_TARGET_DIR` wins when set; otherwise
+/// the workspace root is found by walking up from the bench's manifest dir.
+fn stub_output_dir() -> PathBuf {
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(target).join("criterion-stub");
+    }
+    let mut dir = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+    // Find the outermost Cargo.toml (the workspace root's).
+    let mut root = dir.clone();
+    while let Some(parent) = dir.parent() {
+        if parent.join("Cargo.toml").exists() {
+            root = parent.to_path_buf();
+        }
+        dir = parent.to_path_buf();
+    }
+    root.join("target").join("criterion-stub")
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates the work done per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benches `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Benches a closure with no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples_target: self.sample_size,
+            ..Bencher::default()
+        };
+        f(&mut bencher);
+        let mut ns = bencher.samples_ns_per_iter;
+        if ns.is_empty() {
+            // The routine never called `iter`; nothing to record.
+            return;
+        }
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let median = if ns.len() % 2 == 1 {
+            ns[ns.len() / 2]
+        } else {
+            (ns[ns.len() / 2 - 1] + ns[ns.len() / 2]) / 2.0
+        };
+        let record = BenchRecord {
+            group: self.name.clone(),
+            id: id.text,
+            median_ns: median,
+            min_ns: ns[0],
+            max_ns: ns[ns.len() - 1],
+            samples: ns.len(),
+            iters_per_sample: bencher.iters_per_sample,
+            throughput: self.throughput,
+        };
+        println!(
+            "{:<40} time: [{} {} {}]",
+            format!("{}/{}", record.group, record.id),
+            format_ns(record.min_ns),
+            format_ns(record.median_ns),
+            format_ns(record.max_ns),
+        );
+        self.criterion.records.push(record);
+    }
+
+    /// Ends the group (kept for API compatibility; flushing happens when
+    /// the `Criterion` is dropped).
+    pub fn finish(&mut self) {}
+}
+
+/// Human formatting: picks ns/µs/ms/s.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_output() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("smoke");
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+                b.iter(|| (0..n).map(black_box).sum::<u64>())
+            });
+            group.finish();
+        }
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].median_ns > 0.0);
+        assert_eq!(c.records[0].samples, 3);
+        let json = c.records[0].json();
+        assert!(json.contains("\"group\":\"smoke\""), "{json}");
+        c.records.clear(); // don't write files from unit tests
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 32).text, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(0.5).text, "0.5");
+    }
+}

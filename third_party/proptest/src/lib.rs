@@ -1,0 +1,489 @@
+//! Offline stand-in for the crates.io `proptest` crate (modeled on 1.x).
+//!
+//! The build environment has no network access, so this crate implements
+//! the slice of proptest the workspace's property tests use, with identical
+//! call-site syntax:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `arg in strategy` parameter lists;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`];
+//! * strategies: numeric ranges, tuples (arity 2–4), [`any`],
+//!   [`collection::vec`], [`Just`], and the [`Strategy::prop_map`] /
+//!   [`Strategy::prop_filter`] combinators.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **No shrinking.** On failure the generated inputs are printed
+//!   verbatim (they are reproducible: case seeds are derived automatically
+//!   from the test's case index, so a failing case re-fails on re-run).
+//! * **Deterministic by default.** Every case's RNG seed is a pure function
+//!   of the case index — CI runs are exactly reproducible.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+
+/// Re-export so generated macro code can name the RNG without a `rand`
+/// dependency at the use site.
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+#[doc(hidden)]
+pub type __Rng = SmallRng;
+
+/// Derives the deterministic RNG for one test case.
+#[doc(hidden)]
+pub fn __case_rng(case: u32) -> SmallRng {
+    use rand::SeedableRng;
+    SmallRng::seed_from_u64(
+        0xC0FF_EE00_D15E_A5E5 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// Why a test case did not pass: a genuine failure or a rejected input.
+///
+/// Mirrors `proptest::test_runner::TestCaseError`; test bodies return
+/// `Result<(), TestCaseError>` so `?` works on validators.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The inputs did not satisfy a precondition (`prop_assume!`); the
+    /// case is skipped, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An input rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// Run-loop configuration (`cases` = number of generated inputs per test).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test body runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the suite fast while
+        // still exercising each property broadly. Tests that need more
+        // pass an explicit `with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+
+    /// A generator of test-case values.
+    ///
+    /// Real proptest strategies produce shrinkable value *trees*; this
+    /// stand-in generates plain values (no shrinking — see crate docs).
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values failing `f`, regenerating (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter: no accepted value in 1000 draws ({})",
+                self.whence
+            );
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: rand::SampleUniform + PartialOrd + Copy> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform + PartialOrd + Copy> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_tuple! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Full-domain strategy for a primitive type (see [`crate::any`]).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            use rand::Rng;
+            rng.gen::<T>()
+        }
+    }
+}
+
+pub use strategy::{Just, Strategy};
+
+/// Uniform full-domain strategy for `T` (`any::<u64>()`, `any::<bool>()`, …).
+pub fn any<T: rand::Standard>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+
+    /// Size specification for [`vec`]: a fixed size or a range of sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection::vec: empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Asserts a property holds; accepts an optional format message.
+///
+/// Expands to an early `Err(TestCaseError::Fail)` return, so it is only
+/// valid inside `proptest!` bodies (which return `Result`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Asserts two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Defines property tests: `fn name(arg in strategy, ...) { body }`.
+///
+/// Each listed function becomes a `#[test]` running `cases` iterations with
+/// freshly generated inputs. On failure, the generated inputs are printed
+/// before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__case_rng(__case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                // The body returns Result so `?` and prop_assert!'s early
+                // Err-return work, exactly as in real proptest.
+                let __run = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(__run),
+                );
+                match __outcome {
+                    Ok(Ok(())) | Ok(Err($crate::TestCaseError::Reject(_))) => {}
+                    Ok(Err($crate::TestCaseError::Fail(reason))) => {
+                        panic!(
+                            "proptest case {__case}/{} failed: {reason}\n  inputs: {__inputs}",
+                            __config.cases
+                        );
+                    }
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest case {__case}/{} panicked with inputs: {__inputs}",
+                            __config.cases
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in -5.0..5.0f64, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn map_and_filter(
+            y in (0.0..1.0f64, 0.0..1.0f64).prop_map(|(a, b)| a + b),
+            z in (0..100u32).prop_filter("even only", |n| n % 2 == 0),
+        ) {
+            prop_assert!((0.0..2.0).contains(&y));
+            prop_assert_eq!(z % 2, 0);
+        }
+
+        #[test]
+        fn assume_skips(k in any::<u64>()) {
+            prop_assume!(k.is_multiple_of(2));
+            prop_assert_eq!(k % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0.0..1.0f64;
+        let a = s.generate(&mut crate::__case_rng(3));
+        let b = s.generate(&mut crate::__case_rng(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline stand-in for the crates.io `serde` crate (modeled on 1.0.x).
+//!
+//! No network access is available in the build environment, so this crate
+//! provides the slice of serde the workspace uses: the [`Serialize`] /
+//! [`Deserialize`] traits, their derive macros (from the sibling
+//! `serde_derive` stand-in), and [`de::DeserializeOwned`].
+//!
+//! The serialization model is deliberately simple: one method writing
+//! compact JSON directly into a `String`. `serde_json::to_string` is the
+//! only consumer in the workspace, so the full `Serializer` visitor
+//! machinery would be dead weight. [`Deserialize`] is a marker trait —
+//! nothing in the workspace parses JSON back yet; the marker keeps
+//! signatures (e.g. `DeserializeOwned` bounds) source-compatible with real
+//! serde so a swap-in stays mechanical.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt::Write as _;
+
+/// A type that can write itself as compact JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker for types that could be deserialized (see module docs).
+pub trait Deserialize {}
+
+/// Mirror of `serde::de` for `DeserializeOwned` bounds.
+pub mod de {
+    /// A `Deserialize` without borrowed data; blanket-implemented.
+    pub trait DeserializeOwned {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Escapes and quotes a string per JSON.
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips, so precision is never lost.
+                    let _ = write!(out, "{self:?}");
+                } else {
+                    // JSON has no NaN/Inf; real serde_json emits null too.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        write_json_string(self.encode_utf8(&mut buf), out);
+    }
+}
+
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+fn write_json_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T> Deserialize for std::collections::BTreeSet<T> {}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T> Deserialize for std::collections::HashSet<T> {}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&k.to_string(), out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(to_json(&42u32), "42");
+        assert_eq!(to_json(&-3i64), "-3");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&"a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Some(7u8)), "7");
+        assert_eq!(to_json(&Option::<u8>::None), "null");
+        assert_eq!(to_json(&(1u8, "x")), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn float_round_trip_precision() {
+        let x = 0.1f64 + 0.2;
+        assert_eq!(to_json(&x).parse::<f64>().unwrap(), x);
+    }
+}

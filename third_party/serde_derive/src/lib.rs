@@ -1,0 +1,447 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` without `syn`/`quote` (no network access, so the
+//! parser is hand-rolled over `proc_macro::TokenStream`).
+//!
+//! Supported input shapes — everything the workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple, and struct variants;
+//! * generic types, including bounds (`<P: Point>`) and defaults
+//!   (`<P = Vec2>`; defaults are stripped in the emitted impl).
+//!
+//! `Serialize` emits a `serialize_json` impl writing compact JSON with the
+//! same layout conventions as real serde (newtype structs are transparent,
+//! tuple structs are arrays, enum variants are externally tagged).
+//! `Deserialize` emits a marker impl — nothing in the workspace
+//! deserializes yet, and the marker keeps the trait bounds honest until a
+//! real parser lands.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    let (impl_generics, ty_args, bounds) = item.impl_pieces("::serde::Serialize");
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_args} {bounds} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty_args, bounds) = item.impl_pieces("::serde::Deserialize");
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_args} {bounds} {{}}",
+        name = item.name,
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// All generic parameter names in order (type and const), e.g. `["P"]`.
+    params: Vec<String>,
+    /// The subset of `params` that are *type* parameters — only these get
+    /// `: Serialize` / `: Deserialize` bounds on the emitted impl.
+    type_params: Vec<String>,
+    /// Original generics declaration with defaults stripped, e.g. `P: Point`.
+    generics_decl: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+impl Item {
+    /// Returns `(impl_generics, ty_args, where_clause)` for the emitted impl.
+    fn impl_pieces(&self, bound: &str) -> (String, String, String) {
+        if self.params.is_empty() {
+            return (String::new(), String::new(), String::new());
+        }
+        let impl_generics = format!("<{}>", self.generics_decl);
+        let ty_args = format!("<{}>", self.params.join(", "));
+        let bounds = if self.type_params.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "where {}",
+                self.type_params
+                    .iter()
+                    .map(|p| format!("{p}: {bound}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        (impl_generics, ty_args, bounds)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let (params, type_params, generics_decl) = parse_generics(&tokens, &mut i);
+
+    // A `where` clause would need its predicates replayed on the impl; no
+    // derived type in the workspace uses one, so reject loudly rather than
+    // emit a wrong impl.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("serde_derive stub: `where` clauses on derived types are not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive stub: expected struct or enum, found `{other}`"),
+    };
+
+    Item {
+        name,
+        params,
+        type_params,
+        generics_decl,
+        kind,
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` after the type name. Returns all parameter names, the
+/// type-parameter names (excluding const params), and the declaration text
+/// with `= Default` parts removed (bounds preserved).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (Vec<String>, Vec<String>, String) {
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return (Vec::new(), Vec::new(), String::new());
+    }
+    *i += 1; // '<'
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut type_params = Vec::new();
+    let mut decl = String::new();
+    let mut expect_param = true;
+    let mut in_const = false;
+    let mut in_default = false;
+    while depth > 0 {
+        let tok = tokens
+            .get(*i)
+            .unwrap_or_else(|| panic!("serde_derive stub: unbalanced generics"));
+        *i += 1;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        let at_top = depth == 1;
+        match tok {
+            TokenTree::Punct(p) if at_top && p.as_char() == ',' => {
+                expect_param = true;
+                in_const = false;
+                in_default = false;
+                decl.push_str(", ");
+                continue;
+            }
+            TokenTree::Punct(p) if at_top && p.as_char() == '=' => {
+                in_default = true;
+                continue;
+            }
+            _ => {}
+        }
+        if in_default {
+            continue;
+        }
+        if expect_param {
+            if let TokenTree::Ident(id) = tok {
+                let text = id.to_string();
+                if text == "const" {
+                    in_const = true;
+                    decl.push_str("const ");
+                    continue;
+                }
+                params.push(text.clone());
+                if !in_const {
+                    type_params.push(text);
+                }
+                expect_param = false;
+            } else if let TokenTree::Punct(p) = tok {
+                if p.as_char() == '\'' {
+                    panic!("serde_derive stub: lifetime parameters are not supported");
+                }
+            }
+        }
+        decl.push_str(&tok.to_string());
+        decl.push(' ');
+    }
+    (params, type_params, decl.trim().to_string())
+}
+
+/// Extracts field names from a named-field body `{ a: T, b: U }`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts fields in a tuple body `(T, U, ...)`.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_top_level_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn ser_field(expr: &str) -> String {
+    format!("::serde::Serialize::serialize_json({expr}, out);")
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.kind {
+        Kind::UnitStruct => "out.push_str(\"null\");".to_string(),
+        Kind::NamedStruct(fields) => named_fields_body(fields, |f| format!("&self.{f}")),
+        // Newtype structs serialize transparently, longer tuples as arrays —
+        // matching real serde's conventions.
+        Kind::TupleStruct(1) => ser_field("&self.0"),
+        Kind::TupleStruct(n) => {
+            let mut out = String::from("out.push('[');\n");
+            for idx in 0..*n {
+                if idx > 0 {
+                    out.push_str("out.push(',');\n");
+                }
+                out.push_str(&ser_field(&format!("&self.{idx}")));
+                out.push('\n');
+            }
+            out.push_str("out.push(']');");
+            out
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "Self::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut body = format!("out.push_str(\"{{\\\"{vname}\\\":\");\n");
+                        if *n == 1 {
+                            body.push_str(&ser_field("__f0"));
+                        } else {
+                            body.push_str("out.push('[');\n");
+                            for (k, b) in binders.iter().enumerate() {
+                                if k > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                body.push_str(&ser_field(b));
+                                body.push('\n');
+                            }
+                            body.push_str("out.push(']');\n");
+                        }
+                        body.push_str("out.push('}');");
+                        arms.push_str(&format!(
+                            "Self::{vname}({binders}) => {{ {body} }}\n",
+                            binders = binders.join(", "),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let body = format!(
+                            "out.push_str(\"{{\\\"{vname}\\\":\");\n{}\nout.push('}}');",
+                            named_fields_body(fields, |f| f.to_string()),
+                        );
+                        arms.push_str(&format!(
+                            "Self::{vname} {{ {fields} }} => {{ {body} }}\n",
+                            fields = fields.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+fn named_fields_body(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    if fields.is_empty() {
+        return "out.push_str(\"{}\");".to_string();
+    }
+    let mut out = String::from("out.push('{');\n");
+    for (idx, f) in fields.iter().enumerate() {
+        if idx > 0 {
+            out.push_str("out.push(',');\n");
+        }
+        out.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+        out.push_str(&ser_field(&access(f)));
+        out.push('\n');
+    }
+    out.push_str("out.push('}');");
+    out
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for crates.io `serde_json`: compact-JSON encoding over
+//! the `serde` stand-in's `serialize_json`. Only the encoding half exists —
+//! nothing in the workspace parses JSON back yet.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Serialization error. The stand-in serializer is infallible, so this is
+/// only here to keep `to_string(...)?` / `.expect(...)` call sites
+/// source-compatible with real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stand-in: serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Encodes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Encodes `value` as JSON. The stand-in does not pretty-print; output is
+/// identical to [`to_string`].
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Nested {
+        label: String,
+        weight: f64,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Row {
+        id: u32,
+        ok: bool,
+        tags: Vec<&'static str>,
+        inner: Nested,
+        opt: Option<u8>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Pair(u32, u32);
+
+    #[derive(Serialize, Deserialize)]
+    struct Wrapper(f64);
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<P> {
+        value: P,
+        count: usize,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum State<P> {
+        Idle,
+        At { position: P },
+        Pair(P, P),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct FixedBuf<T, const N: usize> {
+        vals: [T; N],
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        let row = Row {
+            id: 7,
+            ok: true,
+            tags: vec!["a", "b"],
+            inner: Nested {
+                label: "x".into(),
+                weight: 0.5,
+            },
+            opt: None,
+        };
+        assert_eq!(
+            super::to_string(&row).unwrap(),
+            r#"{"id":7,"ok":true,"tags":["a","b"],"inner":{"label":"x","weight":0.5},"opt":null}"#
+        );
+    }
+
+    #[test]
+    fn derive_tuple_structs() {
+        assert_eq!(super::to_string(&Pair(1, 2)).unwrap(), "[1,2]");
+        // Newtypes are transparent, as in real serde.
+        assert_eq!(super::to_string(&Wrapper(2.25)).unwrap(), "2.25");
+    }
+
+    #[test]
+    fn derive_generics() {
+        let g = Generic {
+            value: 1.5f64,
+            count: 3,
+        };
+        assert_eq!(super::to_string(&g).unwrap(), r#"{"value":1.5,"count":3}"#);
+    }
+
+    #[test]
+    fn derive_const_generics() {
+        let buf = FixedBuf::<u8, 3> { vals: [1, 2, 3] };
+        assert_eq!(super::to_string(&buf).unwrap(), r#"{"vals":[1,2,3]}"#);
+    }
+
+    #[test]
+    fn derive_enum_variants() {
+        assert_eq!(super::to_string(&State::<f64>::Idle).unwrap(), "\"Idle\"");
+        assert_eq!(
+            super::to_string(&State::At { position: 2.0f64 }).unwrap(),
+            r#"{"At":{"position":2.0}}"#
+        );
+        assert_eq!(
+            super::to_string(&State::Pair(1.0f64, 2.0)).unwrap(),
+            r#"{"Pair":[1.0,2.0]}"#
+        );
+    }
+}
