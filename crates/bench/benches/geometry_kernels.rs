@@ -1,11 +1,17 @@
 //! Criterion benches for the geometric kernels on the algorithms' hot path:
 //! smallest enclosing balls (Ando's Compute, congregation bookkeeping),
-//! convex hulls (metrics), and the sector analysis (the paper's target rule).
+//! convex hulls (metrics), the sector analysis (the paper's target rule),
+//! visibility-graph construction (grid vs brute-force builder), and the
+//! per-event monitor step (incremental dirty-set vs full re-sweep).
 
+use cohesion_engine::monitors::{
+    CohesionMonitor, Monitor, MonitorContext, StrongVisibilityMonitor,
+};
 use cohesion_geometry::ball::smallest_enclosing_ball;
 use cohesion_geometry::cone::sector_2d;
 use cohesion_geometry::hull::convex_hull;
 use cohesion_geometry::Vec2;
+use cohesion_model::VisibilityGraph;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -50,5 +56,90 @@ fn bench_sector(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sec, bench_hull, bench_sector);
+fn bench_visibility_graph(c: &mut Criterion) {
+    // Bounded-density clouds — the spatial grid's design regime (degree
+    // stays constant as n grows, so edge output is linear). A square
+    // lattice at near-threshold spacing is the cleanest instance.
+    let mut group = c.benchmark_group("visibility_graph_build");
+    for side in [8usize, 16, 32] {
+        let n = side * side;
+        let config = cohesion_workloads::grid(side, side, 0.9);
+        group.bench_with_input(BenchmarkId::new("grid", n), &config, |b, cfg| {
+            b.iter(|| VisibilityGraph::from_configuration_grid(black_box(cfg), 1.0))
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &config, |b, cfg| {
+            b.iter(|| VisibilityGraph::from_configuration_brute(black_box(cfg), 1.0))
+        });
+    }
+    // The regime boundary, kept for honesty: a dense random blob has Θ(n²)
+    // edges, every builder is output-dominated, and the grid's indexing
+    // overhead does not pay off.
+    let dense = cohesion_workloads::random_connected(256, 1.0, 7);
+    group.bench_with_input(BenchmarkId::new("grid_dense", 256), &dense, |b, cfg| {
+        b.iter(|| VisibilityGraph::from_configuration_grid(black_box(cfg), 1.0))
+    });
+    group.bench_with_input(BenchmarkId::new("brute_dense", 256), &dense, |b, cfg| {
+        b.iter(|| VisibilityGraph::from_configuration_brute(black_box(cfg), 1.0))
+    });
+    group.finish();
+}
+
+fn bench_monitor_step(c: &mut Criterion) {
+    // One engine event's worth of predicate checking at n = 256: the
+    // incremental path re-checks pairs incident to a single moved robot;
+    // the full sweep (all robots dirty) is what the historical inline
+    // checks paid at *every* event.
+    let mut group = c.benchmark_group("monitor_step");
+    let n = 256usize;
+    let config = cohesion_workloads::random_connected(n, 1.0, 11);
+    let positions: Vec<Vec2> = config.positions().to_vec();
+    let graph = VisibilityGraph::from_configuration(&config, 1.0);
+    let initial_edges: Vec<(usize, usize)> = graph
+        .edges()
+        .iter()
+        .map(|e| (e.a.index(), e.b.index()))
+        .collect();
+    let hull_points: &dyn Fn() -> Vec<Vec2> = &Vec::new;
+
+    let dirty_one = vec![n / 2];
+    let mut mask_one = vec![false; n];
+    mask_one[n / 2] = true;
+    let dirty_all: Vec<usize> = (0..n).collect();
+    let mask_all = vec![true; n];
+
+    let cases: [(&str, &[usize], &[bool]); 2] = [
+        ("incremental_dirty1", &dirty_one, &mask_one),
+        ("full_sweep", &dirty_all, &mask_all),
+    ];
+    for (id, dirty, dirty_mask) in cases {
+        group.bench_with_input(BenchmarkId::new(id, n), &(), |b, ()| {
+            // Positions never move, so the monitors record nothing and each
+            // iteration measures the steady-state per-event check cost.
+            let mut cohesion = CohesionMonitor::new(n, &initial_edges, |_, _| 1.0, 1e-9);
+            let mut strong = StrongVisibilityMonitor::new(1.0, 1e-9, &positions);
+            b.iter(|| {
+                let ctx = MonitorContext {
+                    time: 1.0,
+                    events: 1,
+                    positions: &positions,
+                    dirty,
+                    dirty_mask,
+                    hull_points,
+                };
+                Monitor::<Vec2>::on_event(&mut cohesion, &ctx);
+                Monitor::<Vec2>::on_event(&mut strong, &ctx);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sec,
+    bench_hull,
+    bench_sector,
+    bench_visibility_graph,
+    bench_monitor_step
+);
 criterion_main!(benches);

@@ -5,14 +5,16 @@
 //! `Ω(n)` lower bound), GCM with axis agreement halves in `O(1)` rounds, and
 //! the limited-visibility cohesive algorithms sit in between, growing with
 //! the hop-diameter of the visibility graph.
+//!
+//! Runs on the [`SweepRunner`]: every `(algorithm, n)` cell is an independent
+//! [`ScenarioSpec`], executed in parallel and merged in spec order, so the
+//! table and JSON rows are identical to a serial run.
 
-use cohesion_algorithms::{AndoAlgorithm, CogAlgorithm, GcmAlgorithm, KatreniakAlgorithm};
-use cohesion_bench::{banner, dump_json};
-use cohesion_core::KirkpatrickAlgorithm;
-use cohesion_engine::SimulationBuilder;
-use cohesion_geometry::Vec2;
-use cohesion_model::{Algorithm, FrameMode};
-use cohesion_scheduler::FSyncScheduler;
+use cohesion_bench::{
+    banner, dump_json, quick_requested, AlgorithmSpec, ScenarioSpec, SchedulerSpec, SweepRunner,
+    WorkloadSpec,
+};
+use cohesion_model::FrameMode;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,26 +26,27 @@ struct Row {
     converged: bool,
 }
 
-fn rate(alg: impl Algorithm<Vec2> + 'static, n: usize, visibility: f64, frame: FrameMode) -> Row {
+const BIG_V: f64 = 1e6; // "unlimited" visibility for the global baselines
+
+fn spec(
+    algorithm: AlgorithmSpec,
+    n: usize,
+    visibility: f64,
+    frame: FrameMode,
+    quick: bool,
+) -> ScenarioSpec {
     // The line at near-threshold spacing is the classic worst case: hop
     // diameter = n − 1.
-    let config = cohesion_workloads::line(n, 0.9);
-    let report = SimulationBuilder::new(config, alg)
-        .visibility(visibility)
-        .scheduler(FSyncScheduler::new())
-        .frame_mode(frame)
-        .epsilon(0.05)
-        .max_events(3_000_000)
-        .track_strong_visibility(false)
-        .hull_check_every(0)
-        .diameter_sample_every(64)
-        .run();
-    Row {
-        algorithm: report.algorithm.clone(),
-        n,
-        rounds_to_halve: report.rounds_to_halve_diameter(),
-        rounds_to_eps: report.rounds_to_reach(0.05),
-        converged: report.converged,
+    ScenarioSpec {
+        visibility,
+        frame_mode: frame,
+        max_events: if quick { 400_000 } else { 3_000_000 },
+        diameter_sample_every: 64,
+        ..ScenarioSpec::new(
+            WorkloadSpec::Line { n, spacing: 0.9 },
+            algorithm,
+            SchedulerSpec::FSync,
+        )
     }
 }
 
@@ -52,32 +55,70 @@ fn main() {
         "T2",
         "rounds to halve the diameter vs n (FSync, line workload)",
     );
+    let quick = quick_requested();
+    let ns: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 48] };
+    let specs: Vec<ScenarioSpec> = ns
+        .iter()
+        .flat_map(|&n| {
+            [
+                spec(
+                    AlgorithmSpec::Kirkpatrick { k: 1 },
+                    n,
+                    1.0,
+                    FrameMode::RandomOrtho,
+                    quick,
+                ),
+                spec(
+                    AlgorithmSpec::Ando { v: 1.0 },
+                    n,
+                    1.0,
+                    FrameMode::RandomOrtho,
+                    quick,
+                ),
+                spec(
+                    AlgorithmSpec::Katreniak,
+                    n,
+                    1.0,
+                    FrameMode::RandomOrtho,
+                    quick,
+                ),
+                spec(AlgorithmSpec::Cog, n, BIG_V, FrameMode::RandomOrtho, quick),
+                spec(AlgorithmSpec::Gcm, n, BIG_V, FrameMode::Aligned, quick),
+            ]
+        })
+        .collect();
+
+    let reports = SweepRunner::new().run_scenarios(&specs);
+
     println!(
         "{:<22} {:>4} {:>14} {:>12} {:>10}",
         "algorithm", "n", "halve rounds", "eps rounds", "converged"
     );
     let mut rows = Vec::new();
-    for &n in &[8usize, 16, 32, 48] {
-        let big_v = 1e6; // "unlimited" visibility for the global baselines
-        let batch: Vec<Row> = vec![
-            rate(KirkpatrickAlgorithm::new(1), n, 1.0, FrameMode::RandomOrtho),
-            rate(AndoAlgorithm::new(1.0), n, 1.0, FrameMode::RandomOrtho),
-            rate(KatreniakAlgorithm::new(), n, 1.0, FrameMode::RandomOrtho),
-            rate(CogAlgorithm::new(), n, big_v, FrameMode::RandomOrtho),
-            rate(GcmAlgorithm::new(), n, big_v, FrameMode::Aligned),
-        ];
-        for row in batch {
-            println!(
-                "{:<22} {:>4} {:>14} {:>12} {:>10}",
-                row.algorithm,
-                row.n,
-                row.rounds_to_halve.map_or("-".into(), |r| r.to_string()),
-                row.rounds_to_eps.map_or("-".into(), |r| r.to_string()),
-                row.converged
-            );
-            rows.push(row);
+    let per_n = specs.len() / ns.len();
+    for (i, (spec, report)) in specs.iter().zip(&reports).enumerate() {
+        let WorkloadSpec::Line { n, .. } = spec.workload else {
+            unreachable!("every T2 workload is a line")
+        };
+        let row = Row {
+            algorithm: report.algorithm.clone(),
+            n,
+            rounds_to_halve: report.rounds_to_halve_diameter(),
+            rounds_to_eps: report.rounds_to_reach(0.05),
+            converged: report.converged,
+        };
+        println!(
+            "{:<22} {:>4} {:>14} {:>12} {:>10}",
+            row.algorithm,
+            row.n,
+            row.rounds_to_halve.map_or("-".into(), |r| r.to_string()),
+            row.rounds_to_eps.map_or("-".into(), |r| r.to_string()),
+            row.converged
+        );
+        rows.push(row);
+        if (i + 1) % per_n == 0 {
+            println!();
         }
-        println!();
     }
     println!("shape to check against the paper's survey (§1.2.2):");
     println!("  * under FSync with unlimited visibility, cog and gcm collapse in O(1) rounds");

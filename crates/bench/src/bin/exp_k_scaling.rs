@@ -7,11 +7,15 @@
 //!   under any `k'`-Async scheduler with `k' ≤ k`;
 //! * the price is speed: steps shrink by `1/k`, so convergence time grows
 //!   roughly linearly in `k`.
+//!
+//! Runs on the [`SweepRunner`]: every `(alg k, sched k)` cell is an
+//! independent [`ScenarioSpec`], executed in parallel and merged in spec
+//! order, so the table and JSON rows are identical to a serial run.
 
-use cohesion_bench::{banner, dump_json};
-use cohesion_core::KirkpatrickAlgorithm;
-use cohesion_engine::SimulationBuilder;
-use cohesion_scheduler::KAsyncScheduler;
+use cohesion_bench::{
+    banner, dump_json, quick_requested, AlgorithmSpec, ScenarioSpec, SchedulerSpec, SweepRunner,
+    WorkloadSpec,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,26 +28,22 @@ struct Row {
     end_time: f64,
 }
 
-fn run(algorithm_k: u32, scheduler_k: u32, seed: u64) -> Row {
-    let report = SimulationBuilder::new(
-        cohesion_workloads::random_connected(12, 1.0, 400 + seed),
-        KirkpatrickAlgorithm::new(algorithm_k),
-    )
-    .visibility(1.0)
-    .scheduler(KAsyncScheduler::new(scheduler_k, 500 + seed))
-    .seed(600 + seed)
-    .epsilon(0.05)
-    .max_events(2_500_000)
-    .track_strong_visibility(false)
-    .hull_check_every(0)
-    .run();
-    Row {
-        algorithm_k,
-        scheduler_k,
-        converged: report.converged,
-        cohesive: report.cohesion_maintained,
-        rounds: report.rounds,
-        end_time: report.end_time,
+fn spec(algorithm_k: u32, scheduler_k: u32, seed: u64, quick: bool) -> ScenarioSpec {
+    ScenarioSpec {
+        seed: 600 + seed,
+        max_events: if quick { 150_000 } else { 2_500_000 },
+        ..ScenarioSpec::new(
+            WorkloadSpec::RandomConnected {
+                n: if quick { 8 } else { 12 },
+                v: 1.0,
+                seed: 400 + seed,
+            },
+            AlgorithmSpec::Kirkpatrick { k: algorithm_k },
+            SchedulerSpec::KAsync {
+                k: scheduler_k,
+                seed: 500 + seed,
+            },
+        )
     }
 }
 
@@ -52,24 +52,43 @@ fn main() {
         "T4",
         "1/k scaling: convergence cost vs provisioned k, and safety margins",
     );
+    let quick = quick_requested();
+    // Cost of k (matched provisioning), then safety margins (over- and
+    // under-provisioning). One flat spec grid; the blank line in the table
+    // separates the two families.
+    let matched: Vec<(u32, u32, u64)> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&k| (k, k, u64::from(k)))
+        .collect();
+    let margins: Vec<(u32, u32, u64)> = [(8u32, 2u32), (4, 1), (1, 4), (2, 8)]
+        .iter()
+        .map(|&(ak, sk)| (ak, sk, u64::from(ak * 10 + sk)))
+        .collect();
+    let cells: Vec<(u32, u32, u64)> = matched.iter().chain(&margins).copied().collect();
+    let specs: Vec<ScenarioSpec> = cells
+        .iter()
+        .map(|&(ak, sk, seed)| spec(ak, sk, seed, quick))
+        .collect();
+
+    let reports = SweepRunner::new().run_scenarios(&specs);
+
     println!(
         "{:>6} {:>6} {:>10} {:>9} {:>8} {:>10}",
         "alg k", "sched k", "converged", "cohesive", "rounds", "end time"
     );
     let mut rows = Vec::new();
-    // Cost of k: matched provisioning.
-    for k in [1u32, 2, 4, 8] {
-        let r = run(k, k, u64::from(k));
-        println!(
-            "{:>6} {:>6} {:>10} {:>9} {:>8} {:>10.1}",
-            r.algorithm_k, r.scheduler_k, r.converged, r.cohesive, r.rounds, r.end_time
-        );
-        rows.push(r);
-    }
-    println!();
-    // Safety margins: over- and under-provisioning.
-    for (ak, sk) in [(8u32, 2u32), (4, 1), (1, 4), (2, 8)] {
-        let r = run(ak, sk, u64::from(ak * 10 + sk));
+    for (i, ((ak, sk, _), report)) in cells.iter().zip(&reports).enumerate() {
+        let r = Row {
+            algorithm_k: *ak,
+            scheduler_k: *sk,
+            converged: report.converged,
+            cohesive: report.cohesion_maintained,
+            rounds: report.rounds,
+            end_time: report.end_time,
+        };
+        if i == matched.len() {
+            println!();
+        }
         println!(
             "{:>6} {:>6} {:>10} {:>9} {:>8} {:>10.1}",
             r.algorithm_k, r.scheduler_k, r.converged, r.cohesive, r.rounds, r.end_time

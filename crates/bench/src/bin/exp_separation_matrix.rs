@@ -10,16 +10,18 @@
 //! * Katreniak: sound through 1-Async, broken by the unbounded (spiral)
 //!   adversary;
 //! * every victim: broken by the §7 Async spiral adversary.
+//!
+//! All 18 cells run in parallel on the [`SweepRunner`] and are merged in
+//! cell order, so the table and JSON rows are identical to a serial run.
+//! The random-scheduler cells are plain [`ScenarioSpec`]s; the scripted
+//! Figure 4 and §7 spiral cells carry their own drivers.
 
 use cohesion_adversary::ando_counterexample as fig4;
 use cohesion_adversary::run_impossibility;
-use cohesion_algorithms::{AndoAlgorithm, KatreniakAlgorithm};
-use cohesion_bench::{banner, dump_json, mark};
-use cohesion_core::KirkpatrickAlgorithm;
-use cohesion_engine::SimulationBuilder;
-use cohesion_geometry::Vec2;
-use cohesion_model::Algorithm;
-use cohesion_scheduler::{KAsyncScheduler, NestAScheduler, SSyncScheduler};
+use cohesion_bench::{
+    banner, dump_json, mark, quick_requested, AlgorithmSpec, ScenarioSpec, SchedulerSpec,
+    SweepRunner, WorkloadSpec,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -30,90 +32,148 @@ struct Cell {
     cohesive: bool,
 }
 
-fn random_run(
-    alg: impl Algorithm<Vec2> + 'static,
-    scheduler: impl cohesion_scheduler::Scheduler + 'static,
+/// One matrix cell, ready to run on any sweep worker.
+enum Job {
+    /// A fair random scheduler on a random connected cloud.
+    Random(ScenarioSpec),
+    /// The scripted 1-Async counterexample (Figure 4a geometry).
+    Fig4Script(AlgorithmSpec),
+    /// The §7 unbounded-asynchrony spiral adversary, with a sweep budget.
+    Spiral(AlgorithmSpec, usize),
+}
+
+impl Job {
+    /// Runs the cell to a `(converged, cohesive)` verdict.
+    fn run(&self) -> (bool, bool) {
+        match self {
+            Job::Random(spec) => {
+                let report = spec.run();
+                (report.converged, report.cohesion_maintained)
+            }
+            Job::Fig4Script(alg) => {
+                let report = fig4::run_figure4(alg.build(), fig4::figure4a_schedule());
+                (report.converged, report.cohesion_maintained)
+            }
+            Job::Spiral(alg, max_sweeps) => {
+                let victim = alg.build();
+                let outcome = run_impossibility(victim.as_ref(), 0.3, *max_sweeps);
+                (false, !outcome.separated)
+            }
+        }
+    }
+}
+
+fn random_spec(
+    alg: AlgorithmSpec,
+    scheduler: SchedulerSpec,
     seed: u64,
-) -> (bool, bool) {
-    let report = SimulationBuilder::new(cohesion_workloads::random_connected(14, 1.0, seed), alg)
-        .visibility(1.0)
-        .scheduler(scheduler)
-        .seed(seed)
-        .epsilon(0.05)
-        .max_events(900_000)
-        .track_strong_visibility(false)
-        .run();
-    (report.converged, report.cohesion_maintained)
+    quick: bool,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        seed,
+        max_events: if quick { 120_000 } else { 900_000 },
+        ..ScenarioSpec::new(
+            WorkloadSpec::RandomConnected {
+                n: if quick { 8 } else { 14 },
+                v: 1.0,
+                seed,
+            },
+            alg,
+            scheduler,
+        )
+    }
 }
 
 fn main() {
     banner("T1", "separation matrix: algorithm × scheduling model");
-    println!(
-        "{:<18} {:>14} {:>14} {:>14} {:>14} {:>16} {:>16}",
-        "algorithm", "SSync", "2-NestA", "2-Async", "8-Async", "1-Async script", "Async spiral"
-    );
-    let mut rows: Vec<Cell> = Vec::new();
-    type AlgorithmFactory = Box<dyn Fn() -> Box<dyn Algorithm<Vec2>>>;
-    let algs: Vec<(&str, AlgorithmFactory)> = vec![
+    let quick = quick_requested();
+    let spiral_sweeps = if quick { 5_000 } else { 30_000 };
+
+    // The §7 spiral victim for the paper's algorithm is the base k = 1
+    // variant: under Async no finite k is "matched", and the adversary's
+    // leverage scales with the victim's step length ζ ~ V/8k (larger k would
+    // need smaller ψ and exponentially more robots to break — see
+    // exp_impossibility).
+    let algs: [(&str, AlgorithmSpec, AlgorithmSpec); 3] = [
         (
             "kirkpatrick",
-            Box::new(|| Box::new(KirkpatrickAlgorithm::new(8))),
+            AlgorithmSpec::Kirkpatrick { k: 8 },
+            AlgorithmSpec::Kirkpatrick { k: 1 },
         ),
-        ("ando", Box::new(|| Box::new(AndoAlgorithm::new(1.0)))),
+        (
+            "ando",
+            AlgorithmSpec::Ando { v: 1.0 },
+            AlgorithmSpec::Ando { v: 1.0 },
+        ),
         (
             "katreniak",
-            Box::new(|| Box::new(KatreniakAlgorithm::new())),
+            AlgorithmSpec::Katreniak,
+            AlgorithmSpec::Katreniak,
         ),
     ];
-    for (name, make) in &algs {
-        let mut cells: Vec<(String, bool, bool)> = Vec::new();
-        for (sname, run) in [
-            ("SSync", random_run(make(), SSyncScheduler::new(3), 51)),
-            ("2-NestA", random_run(make(), NestAScheduler::new(2, 5), 52)),
-            (
-                "2-Async",
-                random_run(make(), KAsyncScheduler::new(2, 7), 53),
-            ),
-            (
-                "8-Async",
-                random_run(make(), KAsyncScheduler::new(8, 9), 54),
-            ),
-        ] {
-            cells.push((sname.to_string(), run.0, run.1));
-        }
-        // The scripted 1-Async counterexample (Figure 4a geometry).
-        let fig = fig4::run_figure4(make(), fig4::figure4a_schedule());
-        cells.push((
-            "1-Async script".into(),
-            fig.converged,
-            fig.cohesion_maintained,
-        ));
-        // The §7 unbounded-asynchrony spiral adversary. For the paper's
-        // algorithm the victim is the base k = 1 variant: under Async no
-        // finite k is "matched", and the adversary's leverage scales with
-        // the victim's step length ζ ~ V/8k (larger k would need smaller ψ
-        // and exponentially more robots to break — see exp_impossibility).
-        let spiral_victim: Box<dyn Algorithm<Vec2>> = if *name == "kirkpatrick" {
-            Box::new(KirkpatrickAlgorithm::new(1))
-        } else {
-            make()
-        };
-        let spiral = run_impossibility(spiral_victim.as_ref(), 0.3, 30_000);
-        cells.push(("Async spiral".into(), false, !spiral.separated));
+    let columns = [
+        "SSync",
+        "2-NestA",
+        "2-Async",
+        "8-Async",
+        "1-Async script",
+        "Async spiral",
+    ];
 
+    let jobs: Vec<Job> = algs
+        .iter()
+        .flat_map(|&(_, alg, spiral_alg)| {
+            [
+                Job::Random(random_spec(
+                    alg,
+                    SchedulerSpec::SSync { seed: 3 },
+                    51,
+                    quick,
+                )),
+                Job::Random(random_spec(
+                    alg,
+                    SchedulerSpec::NestA { k: 2, seed: 5 },
+                    52,
+                    quick,
+                )),
+                Job::Random(random_spec(
+                    alg,
+                    SchedulerSpec::KAsync { k: 2, seed: 7 },
+                    53,
+                    quick,
+                )),
+                Job::Random(random_spec(
+                    alg,
+                    SchedulerSpec::KAsync { k: 8, seed: 9 },
+                    54,
+                    quick,
+                )),
+                Job::Fig4Script(alg),
+                Job::Spiral(spiral_alg, spiral_sweeps),
+            ]
+        })
+        .collect();
+
+    let verdicts = SweepRunner::new().run(&jobs, |_, job| job.run());
+
+    println!(
+        "{:<18} {:>14} {:>14} {:>14} {:>14} {:>16} {:>16}",
+        "algorithm", columns[0], columns[1], columns[2], columns[3], columns[4], columns[5]
+    );
+    let mut rows: Vec<Cell> = Vec::new();
+    for ((name, _, _), row_verdicts) in algs.iter().zip(verdicts.chunks(columns.len())) {
         print!("{name:<18}");
-        for (_, _converged, cohesive) in &cells {
-            print!(" {:>14}", mark(*cohesive));
-        }
-        println!();
-        for (sname, converged, cohesive) in cells {
+        for (sname, &(converged, cohesive)) in columns.iter().zip(row_verdicts) {
+            let width = if sname.len() > 10 { 16 } else { 14 };
+            print!(" {:>width$}", mark(cohesive));
             rows.push(Cell {
                 algorithm: name.to_string(),
-                scheduler: sname,
+                scheduler: sname.to_string(),
                 converged,
                 cohesive,
             });
         }
+        println!();
     }
     println!("\ncell = cohesion maintained? (\"NO\" marks a lost initial visibility edge)");
     println!(

@@ -5,6 +5,12 @@
 //! Output goes to stdout as aligned text tables, and — for diffable
 //! regeneration — as JSON rows under `target/experiments/`.
 
+pub mod sweep;
+
+pub use sweep::{
+    quick_requested, AlgorithmSpec, ScenarioSpec, SchedulerSpec, SweepRunner, WorkloadSpec,
+};
+
 use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;

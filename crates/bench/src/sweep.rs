@@ -1,0 +1,386 @@
+//! Deterministic parallel scenario sweeps.
+//!
+//! The paper's tables are grids: algorithm × scheduler × workload × seed,
+//! thousands of independent simulation runs. Every experiment binary used to
+//! hand-roll the same serial loop; this module gives them one harness:
+//!
+//! * [`ScenarioSpec`] — a plain-data description of one run (workload,
+//!   algorithm, scheduler, budgets), cheap to clone and `Send + Sync`, so a
+//!   whole sweep is just a `Vec<ScenarioSpec>`;
+//! * [`SweepRunner`] — executes any spec slice on a hand-rolled scoped
+//!   thread pool (`std::thread::scope` + an atomic work counter — no
+//!   external dependency, the build environment is offline). Results are
+//!   written into per-spec slots and merged **in spec order**, so the output
+//!   is byte-identical whether the sweep ran on 1 thread or 64.
+//!
+//! Each simulation is already deterministic in its seed; the runner adds no
+//! nondeterminism because work items never share mutable state and ordering
+//! is re-imposed at merge time. `COHESION_SWEEP_THREADS` overrides the
+//! thread count (set it to `1` to reproduce a serial run exactly — the
+//! outputs will match regardless, which `tests/sweep.rs` asserts).
+
+use cohesion_algorithms::{AndoAlgorithm, CogAlgorithm, GcmAlgorithm, KatreniakAlgorithm};
+use cohesion_core::KirkpatrickAlgorithm;
+use cohesion_engine::{SimulationBuilder, SimulationReport};
+use cohesion_geometry::Vec2;
+use cohesion_model::{Algorithm, Configuration, FrameMode, NilAlgorithm};
+use cohesion_scheduler::{
+    AsyncScheduler, FSyncScheduler, KAsyncScheduler, NestAScheduler, SSyncScheduler, Scheduler,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Which convergence algorithm a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgorithmSpec {
+    /// The paper's algorithm, provisioned for `k`-bounded asynchrony.
+    Kirkpatrick {
+        /// The asynchrony bound the safe regions are scaled for.
+        k: u32,
+    },
+    /// Ando's SSync smallest-enclosing-circle baseline.
+    Ando {
+        /// Visibility radius the destination rule caps at.
+        v: f64,
+    },
+    /// Katreniak's 1-Async algorithm.
+    Katreniak,
+    /// Centre-of-gravity baseline (unlimited-visibility literature).
+    Cog,
+    /// Centre-of-minbox baseline (needs axis agreement).
+    Gcm,
+    /// The do-nothing algorithm (control runs).
+    Nil,
+}
+
+impl AlgorithmSpec {
+    /// Instantiates the algorithm.
+    pub fn build(&self) -> Box<dyn Algorithm<Vec2>> {
+        match *self {
+            AlgorithmSpec::Kirkpatrick { k } => Box::new(KirkpatrickAlgorithm::new(k)),
+            AlgorithmSpec::Ando { v } => Box::new(AndoAlgorithm::new(v)),
+            AlgorithmSpec::Katreniak => Box::new(KatreniakAlgorithm::new()),
+            AlgorithmSpec::Cog => Box::new(CogAlgorithm::new()),
+            AlgorithmSpec::Gcm => Box::new(GcmAlgorithm::new()),
+            AlgorithmSpec::Nil => Box::new(NilAlgorithm),
+        }
+    }
+}
+
+/// Which activation scheduler a scenario runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerSpec {
+    /// Fully synchronous rounds.
+    FSync,
+    /// Semi-synchronous random subsets.
+    SSync {
+        /// Scheduler RNG seed.
+        seed: u64,
+    },
+    /// `k`-bounded nested asynchrony.
+    NestA {
+        /// Nesting bound.
+        k: u32,
+        /// Scheduler RNG seed.
+        seed: u64,
+    },
+    /// `k`-bounded asynchrony.
+    KAsync {
+        /// Overlap bound.
+        k: u32,
+        /// Scheduler RNG seed.
+        seed: u64,
+    },
+    /// Unbounded asynchrony.
+    Async {
+        /// Scheduler RNG seed.
+        seed: u64,
+    },
+}
+
+impl SchedulerSpec {
+    /// Instantiates the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerSpec::FSync => Box::new(FSyncScheduler::new()),
+            SchedulerSpec::SSync { seed } => Box::new(SSyncScheduler::new(seed)),
+            SchedulerSpec::NestA { k, seed } => Box::new(NestAScheduler::new(k, seed)),
+            SchedulerSpec::KAsync { k, seed } => Box::new(KAsyncScheduler::new(k, seed)),
+            SchedulerSpec::Async { seed } => Box::new(AsyncScheduler::new(seed)),
+        }
+    }
+}
+
+/// Which initial configuration a scenario starts from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// A connected random cloud at visibility scale `v`.
+    RandomConnected {
+        /// Robot count.
+        n: usize,
+        /// Visibility radius used for the connectivity guarantee.
+        v: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A line with fixed spacing (the classic slow-convergence workload).
+    Line {
+        /// Robot count.
+        n: usize,
+        /// Neighbour spacing.
+        spacing: f64,
+    },
+    /// A regular `n`-gon with the given side length.
+    Ring {
+        /// Robot count (≥ 3).
+        n: usize,
+        /// Side length.
+        side: f64,
+    },
+    /// A `rows × cols` grid with the given spacing.
+    Grid {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+        /// Lattice spacing.
+        spacing: f64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Materializes the initial configuration.
+    pub fn build(&self) -> Configuration<Vec2> {
+        match *self {
+            WorkloadSpec::RandomConnected { n, v, seed } => {
+                cohesion_workloads::random_connected(n, v, seed)
+            }
+            WorkloadSpec::Line { n, spacing } => cohesion_workloads::line(n, spacing),
+            WorkloadSpec::Ring { n, side } => cohesion_workloads::ring(n, side),
+            WorkloadSpec::Grid {
+                rows,
+                cols,
+                spacing,
+            } => cohesion_workloads::grid(rows, cols, spacing),
+        }
+    }
+}
+
+/// A plain-data description of one simulation run — one cell of an
+/// experiment grid. Build a `Vec<ScenarioSpec>`, hand it to a
+/// [`SweepRunner`], get a `Vec<SimulationReport>` back in the same order.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Initial configuration.
+    pub workload: WorkloadSpec,
+    /// Convergence algorithm.
+    pub algorithm: AlgorithmSpec,
+    /// Activation scheduler.
+    pub scheduler: SchedulerSpec,
+    /// Visibility radius `V`.
+    pub visibility: f64,
+    /// Convergence threshold `ε`.
+    pub epsilon: f64,
+    /// Engine-event budget.
+    pub max_events: usize,
+    /// Engine RNG seed (frames, error models).
+    pub seed: u64,
+    /// Local-frame sampling mode.
+    pub frame_mode: FrameMode,
+    /// Enable the acquired-visibility tracking of Theorems 3–4.
+    pub track_strong_visibility: bool,
+    /// Hull-nesting cadence (`0` disables).
+    pub hull_check_every: usize,
+    /// Diameter-sampling cadence (`0` disables).
+    pub diameter_sample_every: usize,
+}
+
+impl ScenarioSpec {
+    /// A spec with experiment-friendly defaults: `V = 1`, `ε = 0.05`, 900k
+    /// events, and the diameter sampled every 32 events. Strong-visibility
+    /// and hull-nesting checks are off — dedicated experiments measure
+    /// those, and sweeps should not pay for them (note this differs from
+    /// `SimulationBuilder`'s defaults, which keep hull checks on).
+    pub fn new(workload: WorkloadSpec, algorithm: AlgorithmSpec, scheduler: SchedulerSpec) -> Self {
+        ScenarioSpec {
+            workload,
+            algorithm,
+            scheduler,
+            visibility: 1.0,
+            epsilon: 0.05,
+            max_events: 900_000,
+            seed: 0xC0E510,
+            frame_mode: FrameMode::RandomOrtho,
+            track_strong_visibility: false,
+            hull_check_every: 0,
+            diameter_sample_every: 32,
+        }
+    }
+
+    /// Runs the scenario to a full report.
+    pub fn run(&self) -> SimulationReport<Vec2> {
+        SimulationBuilder::new(self.workload.build(), self.algorithm.build())
+            .visibility(self.visibility)
+            .scheduler(self.scheduler.build())
+            .seed(self.seed)
+            .epsilon(self.epsilon)
+            .max_events(self.max_events)
+            .frame_mode(self.frame_mode)
+            .track_strong_visibility(self.track_strong_visibility)
+            .hull_check_every(self.hull_check_every)
+            .diameter_sample_every(self.diameter_sample_every)
+            .run()
+    }
+}
+
+/// Executes work items in parallel on a scoped thread pool and merges
+/// results in item order.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner sized to the machine: `COHESION_SWEEP_THREADS` when set,
+    /// otherwise the available parallelism (1 when unknown).
+    pub fn new() -> Self {
+        let threads = std::env::var("COHESION_SWEEP_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            });
+        SweepRunner { threads }
+    }
+
+    /// A runner with an explicit thread count (≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker");
+        SweepRunner { threads }
+    }
+
+    /// The worker count this runner was sized to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job` over every spec, in parallel, and returns the results in
+    /// spec order — output is independent of the thread count, so a sweep's
+    /// JSON rows diff clean against a serial reference run.
+    ///
+    /// Work is claimed from an atomic counter (dynamic load balancing: long
+    /// simulations don't convoy short ones), each result lands in its own
+    /// slot, and worker panics propagate at scope exit.
+    pub fn run<S, R, F>(&self, specs: &[S], job: F) -> Vec<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(usize, &S) -> R + Sync,
+    {
+        let total = specs.len();
+        let workers = self.threads.min(total.max(1));
+        if workers <= 1 {
+            return specs.iter().enumerate().map(|(i, s)| job(i, s)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let result = job(i, &specs[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled once the scope joins")
+            })
+            .collect()
+    }
+
+    /// Convenience: run a whole [`ScenarioSpec`] grid to reports.
+    pub fn run_scenarios(&self, specs: &[ScenarioSpec]) -> Vec<SimulationReport<Vec2>> {
+        self.run(specs, |_, spec| spec.run())
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::new()
+    }
+}
+
+/// `true` when the experiment binary was invoked with `--quick` (the CI
+/// smoke mode: shrink the grid and budgets, keep the full code path).
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_spec_order() {
+        let specs: Vec<usize> = (0..64).collect();
+        let runner = SweepRunner::with_threads(8);
+        let out = runner.run(&specs, |i, &s| {
+            assert_eq!(i, s);
+            // Stagger so completion order differs from spec order.
+            if s % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            s * 10
+        });
+        assert_eq!(out, (0..64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty_input() {
+        let runner = SweepRunner::with_threads(1);
+        assert_eq!(runner.run(&[1, 2, 3], |_, &x| x + 1), vec![2, 3, 4]);
+        assert!(runner.run::<i32, i32, _>(&[], |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn thread_count_oversubscription_is_harmless() {
+        let runner = SweepRunner::with_threads(32);
+        let out = runner.run(&[10, 20], |_, &x| x);
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn scenario_spec_runs_deterministically() {
+        let spec = ScenarioSpec {
+            max_events: 2_000,
+            ..ScenarioSpec::new(
+                WorkloadSpec::RandomConnected {
+                    n: 8,
+                    v: 1.0,
+                    seed: 5,
+                },
+                AlgorithmSpec::Kirkpatrick { k: 2 },
+                SchedulerSpec::KAsync { k: 2, seed: 7 },
+            )
+        };
+        let (a, b) = (spec.run(), spec.run());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = SweepRunner::with_threads(0);
+    }
+}

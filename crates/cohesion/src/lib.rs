@@ -7,12 +7,15 @@
 //!
 //! This facade crate re-exports the whole workspace under one roof:
 //!
-//! * [`geometry`] — vectors, hulls, smallest enclosing balls, cones;
-//! * [`model`] — the OBLOT robot model: configurations, visibility graphs,
-//!   snapshots, local frames, error models;
+//! * [`geometry`] — vectors, hulls, smallest enclosing balls, cones, and
+//!   the uniform spatial grid behind near-linear radius queries;
+//! * [`model`] — the OBLOT robot model: configurations, CSR visibility
+//!   graphs, snapshots, local frames, error models;
 //! * [`scheduler`] — FSync / SSync / k-NestA / k-Async / Async activation
 //!   schedulers, scripted adversarial schedules, and trace validators;
-//! * [`engine`] — the continuous-time discrete-event simulation engine;
+//! * [`engine`] — the continuous-time discrete-event simulation engine and
+//!   its incremental run-time monitors (cohesion, strong visibility, hull
+//!   nesting, diameter);
 //! * [`core`] — the paper's contribution: the k-Async cohesive-convergence
 //!   algorithm, safe and reach regions, and the lemma-level analysis;
 //! * [`algorithms`] — baselines (Ando SEC, Katreniak, CoG, GCM minbox);
@@ -54,9 +57,9 @@ pub use cohesion_workloads as workloads;
 pub mod prelude {
     pub use crate::algorithms::{AndoAlgorithm, CogAlgorithm, GcmAlgorithm, KatreniakAlgorithm};
     pub use crate::core::KirkpatrickAlgorithm;
-    pub use crate::engine::{SimulationBuilder, SimulationReport};
-    pub use crate::geometry::{Vec2, Vec3};
-    pub use crate::model::{Configuration, RobotId};
+    pub use crate::engine::{Monitor, MonitorContext, SimulationBuilder, SimulationReport};
+    pub use crate::geometry::{SpatialGrid, Vec2, Vec3};
+    pub use crate::model::{Configuration, RobotId, VisibilityGraph};
     pub use crate::scheduler::{
         AsyncScheduler, FSyncScheduler, KAsyncScheduler, NestAScheduler, SSyncScheduler,
     };

@@ -254,6 +254,27 @@ where
         self.configuration_at(self.time)
     }
 
+    /// The position of one robot (by dense index) at time `t` — lets metrics
+    /// code read positions in place instead of materializing a whole
+    /// [`Configuration`] per event.
+    pub fn position_of_at(&self, index: usize, t: f64) -> P {
+        self.states[index].position_at(t)
+    }
+
+    /// Appends (after clearing) the dense indices of all robots currently in
+    /// their Move phase, ascending. Together with the robot of a `MoveEnd`
+    /// event, these are the only robots whose positions can have changed
+    /// since the previous event — the *dirty set* the incremental monitors
+    /// re-check.
+    pub fn collect_motile(&self, out: &mut Vec<usize>) {
+        out.clear();
+        for (i, s) in self.states.iter().enumerate() {
+            if s.is_motile() {
+                out.push(i);
+            }
+        }
+    }
+
     /// Current positions plus all pending (planned or in-flight) destinations
     /// — the vertex set of the paper's `CH_t`.
     pub fn positions_with_targets(&self) -> Vec<P> {

@@ -21,11 +21,15 @@
 //!   measure used by the rate experiments.
 
 pub mod engine;
+pub mod monitors;
 pub mod report;
 pub mod runner;
 pub mod state;
 
 pub use engine::{Engine, EngineEvent, EngineEventKind};
+pub use monitors::{
+    CohesionMonitor, DiameterMonitor, HullMonitor, Monitor, MonitorContext, StrongVisibilityMonitor,
+};
 pub use report::SimulationReport;
 pub use runner::SimulationBuilder;
 pub use state::RobotState;

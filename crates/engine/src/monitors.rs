@@ -1,0 +1,458 @@
+//! Incremental run-time monitors: the predicate checkers the simulation
+//! driver consults after every engine event.
+//!
+//! Historically these checks lived inline in `SimulationBuilder::run` and
+//! paid `O(n²)` per event (all-pairs scans) plus a full [`Configuration`]
+//! materialization. The monitors here are *incremental*: robot positions are
+//! piecewise-linear in time, so between two consecutive engine events only
+//! robots that were in their Move phase can have changed position. The
+//! driver hands each monitor the current positions **in place** plus that
+//! *dirty set*, and pair predicates are re-evaluated only for pairs with a
+//! dirty endpoint. Because pair distances attain their maxima exactly at
+//! event boundaries (the piecewise-linear invariant the old inline checks
+//! relied on), checking dirty pairs at every event remains exhaustive.
+//!
+//! [`Configuration`]: cohesion_model::Configuration
+
+use crate::report::CohesionViolation;
+use cohesion_geometry::hull::convex_hull;
+use cohesion_geometry::point::Point;
+use cohesion_geometry::{ConvexHull, Vec2};
+use cohesion_model::frame::Ambient;
+use cohesion_model::RobotPair;
+use std::collections::BTreeSet;
+
+/// Everything a monitor may look at for one engine event.
+///
+/// Borrowed views into driver-owned buffers — no per-event allocation.
+pub struct MonitorContext<'a, P: Ambient> {
+    /// Time of the event being processed.
+    pub time: f64,
+    /// 1-based count of events processed so far (for cadence checks).
+    pub events: usize,
+    /// Position of every robot at `time`.
+    pub positions: &'a [P],
+    /// Ascending dense indices of robots whose position changed since the
+    /// previous event.
+    pub dirty: &'a [usize],
+    /// `dirty_mask[i]` ⟺ `dirty` contains `i` (for O(1) membership tests).
+    pub dirty_mask: &'a [bool],
+    /// Lazily produces the planar projection of positions ∪ pending
+    /// targets — the vertex set of the paper's `CH_t`. Only invoked by
+    /// hull-type monitors on their sampling cadence.
+    pub hull_points: &'a dyn Fn() -> Vec<Vec2>,
+}
+
+/// A predicate checker driven once per engine event.
+///
+/// Monitors are deliberately small: state in, [`MonitorContext`] per event,
+/// typed results read off the concrete monitor after the run. The driver
+/// composes the four standard monitors below; external experiment harnesses
+/// can implement the trait to track custom invariants without touching the
+/// engine loop.
+pub trait Monitor<P: Ambient> {
+    /// Observes one engine event.
+    fn on_event(&mut self, ctx: &MonitorContext<'_, P>);
+}
+
+/// The configuration diameter of a position set: maximum pairwise distance
+/// (`0` for fewer than two robots). Identical arithmetic to
+/// [`Configuration::diameter`](cohesion_model::Configuration::diameter), so
+/// reports are bit-for-bit reproducible across the two paths.
+pub fn diameter_of<P: Point>(positions: &[P]) -> f64 {
+    let mut best = 0.0_f64;
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            best = best.max(positions[i].dist(positions[j]));
+        }
+    }
+    best
+}
+
+/// Watches the Cohesive Convergence clause `E(0) ⊆ E(t)`: every initially
+/// visible pair must stay within its visibility threshold at every event
+/// time. Re-checks only initial edges incident to a dirty robot, via a
+/// CSR-style adjacency of the initial graph.
+pub struct CohesionMonitor {
+    /// `adj[i]` = the initial-edge partners of robot `i` with the pair's
+    /// visibility threshold (`V`, or `min(rᵢ, rⱼ)` under per-robot radii).
+    adj: Vec<Vec<(usize, f64)>>,
+    tol: f64,
+    /// Pairs already reported (a violation is recorded once, at its first
+    /// observation, like the historical inline check).
+    violated: BTreeSet<(usize, usize)>,
+    violations: Vec<CohesionViolation>,
+    /// Scratch for per-event findings (kept across events to avoid
+    /// reallocation).
+    fresh: Vec<(usize, usize, f64)>,
+}
+
+impl CohesionMonitor {
+    /// Builds the monitor over the initial edge list (pairs `(a, b)` with
+    /// `a < b`) and a per-pair threshold function.
+    pub fn new(
+        n: usize,
+        initial_edges: &[(usize, usize)],
+        threshold: impl Fn(usize, usize) -> f64,
+        tol: f64,
+    ) -> Self {
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(a, b) in initial_edges {
+            let t = threshold(a, b);
+            adj[a].push((b, t));
+            adj[b].push((a, t));
+        }
+        CohesionMonitor {
+            adj,
+            tol,
+            violated: BTreeSet::new(),
+            violations: Vec::new(),
+            fresh: Vec::new(),
+        }
+    }
+
+    /// `true` while no initial edge has been observed broken.
+    pub fn maintained(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The recorded violations (first observation per pair, in event order,
+    /// ties within an event broken by pair order).
+    pub fn into_violations(self) -> Vec<CohesionViolation> {
+        self.violations
+    }
+}
+
+impl<P: Ambient> Monitor<P> for CohesionMonitor {
+    fn on_event(&mut self, ctx: &MonitorContext<'_, P>) {
+        self.fresh.clear();
+        for &a in ctx.dirty {
+            for &(b, threshold) in &self.adj[a] {
+                // A pair with both endpoints dirty is visited twice; keep
+                // the visit from the smaller endpoint.
+                if ctx.dirty_mask[b] && b < a {
+                    continue;
+                }
+                let d = ctx.positions[a].dist(ctx.positions[b]);
+                if d > threshold + self.tol {
+                    let key = (a.min(b), a.max(b));
+                    if !self.violated.contains(&key) {
+                        self.fresh.push((key.0, key.1, d));
+                    }
+                }
+            }
+        }
+        // Report in pair order — the order the historical full edge-list
+        // sweep discovered simultaneous violations in.
+        self.fresh.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        for &(a, b, d) in &self.fresh {
+            if self.violated.insert((a, b)) {
+                self.violations.push(CohesionViolation {
+                    pair: RobotPair::new(a.into(), b.into()),
+                    time: ctx.time,
+                    distance: d,
+                });
+            }
+        }
+    }
+}
+
+/// Watches the acquired-visibility clause of Theorems 3–4: any pair that
+/// ever comes within `V/2` must stay within `V` forever after.
+///
+/// Membership of the "acquired" set is a monotone property of pair-distance
+/// history, so the dirty-set sweep (`O(|dirty| · n)` per event instead of
+/// `O(n²)`) observes exactly the same acquisitions and violations as the
+/// historical all-pairs sweep: a pair with no dirty endpoint has the same
+/// distance as at the previous event, where its status was already settled.
+/// The constructor seeds the set from the initial positions (equivalently,
+/// the positions at the first event — nothing moves before it).
+pub struct StrongVisibilityMonitor {
+    n: usize,
+    v: f64,
+    tol: f64,
+    /// Row-major `n × n` bitset over normalized pairs `(min, max)`.
+    acquired: Vec<u64>,
+    ok: bool,
+}
+
+impl StrongVisibilityMonitor {
+    /// Builds the monitor and seeds the acquired set from the initial
+    /// positions.
+    pub fn new<P: Point>(v: f64, tol: f64, initial_positions: &[P]) -> Self {
+        let n = initial_positions.len();
+        let mut monitor = StrongVisibilityMonitor {
+            n,
+            v,
+            tol,
+            acquired: vec![0u64; (n * n).div_ceil(64)],
+            ok: true,
+        };
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if initial_positions[a].dist(initial_positions[b]) <= v / 2.0 + tol {
+                    monitor.insert(a, b);
+                }
+            }
+        }
+        monitor
+    }
+
+    /// `true` while no acquired pair has been observed beyond `V`.
+    pub fn ok(&self) -> bool {
+        self.ok
+    }
+
+    fn bit(&self, a: usize, b: usize) -> usize {
+        a.min(b) * self.n + a.max(b)
+    }
+
+    fn insert(&mut self, a: usize, b: usize) {
+        let bit = self.bit(a, b);
+        self.acquired[bit / 64] |= 1 << (bit % 64);
+    }
+
+    fn contains(&self, a: usize, b: usize) -> bool {
+        let bit = self.bit(a, b);
+        self.acquired[bit / 64] & (1 << (bit % 64)) != 0
+    }
+}
+
+impl<P: Ambient> Monitor<P> for StrongVisibilityMonitor {
+    fn on_event(&mut self, ctx: &MonitorContext<'_, P>) {
+        for &a in ctx.dirty {
+            for b in 0..self.n {
+                if b == a || (ctx.dirty_mask[b] && b < a) {
+                    continue;
+                }
+                let d = ctx.positions[a].dist(ctx.positions[b]);
+                if d <= self.v / 2.0 + self.tol {
+                    self.insert(a, b);
+                } else if d > self.v + self.tol && self.contains(a, b) {
+                    self.ok = false;
+                }
+            }
+        }
+    }
+}
+
+/// Watches hull nesting on a sampling cadence: each sampled convex hull of
+/// positions ∪ pending targets must contain the next (the paper's
+/// hull-diminishing invariant). Planar only — the driver constructs this
+/// monitor only when `P::DIM == 2`.
+pub struct HullMonitor {
+    every: usize,
+    tol: f64,
+    prev: Option<ConvexHull>,
+    nested: bool,
+}
+
+impl HullMonitor {
+    /// Samples every `every` events with containment tolerance `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every == 0` (a disabled monitor should simply not be
+    /// constructed).
+    pub fn new(every: usize, tol: f64) -> Self {
+        assert!(every > 0, "hull cadence must be positive");
+        HullMonitor {
+            every,
+            tol,
+            prev: None,
+            nested: true,
+        }
+    }
+
+    /// `true` while every sampled hull contained its successor.
+    pub fn nested(&self) -> bool {
+        self.nested
+    }
+}
+
+impl<P: Ambient> Monitor<P> for HullMonitor {
+    fn on_event(&mut self, ctx: &MonitorContext<'_, P>) {
+        if ctx.events % self.every != 0 {
+            return;
+        }
+        let pts = (ctx.hull_points)();
+        let hull = convex_hull(&pts);
+        if let Some(prev) = &self.prev {
+            if !prev.contains_hull(&hull, self.tol) {
+                self.nested = false;
+            }
+        }
+        self.prev = Some(hull);
+    }
+}
+
+/// Samples the configuration diameter on a cadence and tests convergence
+/// (`diameter ≤ ε`). Reads positions in place — no `Configuration` clone.
+pub struct DiameterMonitor {
+    every: usize,
+    epsilon: f64,
+    series: Vec<(f64, f64)>,
+    converged: bool,
+}
+
+impl DiameterMonitor {
+    /// Samples every `every` events (`0` disables sampling; the series then
+    /// only carries the seed point). `initial` seeds the series with the
+    /// `t = 0` diameter.
+    pub fn new(every: usize, epsilon: f64, initial: (f64, f64)) -> Self {
+        DiameterMonitor {
+            every,
+            epsilon,
+            series: vec![initial],
+            converged: false,
+        }
+    }
+
+    /// `true` once a sampled diameter reached `ε`. The driver stops the run
+    /// at the first converged sample, like the historical inline check.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// The `(time, diameter)` samples collected so far.
+    pub fn series(&self) -> &[(f64, f64)] {
+        &self.series
+    }
+
+    /// Consumes the monitor, returning the sample series.
+    pub fn into_series(self) -> Vec<(f64, f64)> {
+        self.series
+    }
+}
+
+impl<P: Ambient> Monitor<P> for DiameterMonitor {
+    fn on_event(&mut self, ctx: &MonitorContext<'_, P>) {
+        if self.every == 0 || ctx.events % self.every != 0 {
+            return;
+        }
+        let d = diameter_of(ctx.positions);
+        self.series.push((ctx.time, d));
+        if d <= self.epsilon {
+            self.converged = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        time: f64,
+        events: usize,
+        positions: &'a [Vec2],
+        dirty: &'a [usize],
+        dirty_mask: &'a [bool],
+        hull_points: &'a dyn Fn() -> Vec<Vec2>,
+    ) -> MonitorContext<'a, Vec2> {
+        MonitorContext {
+            time,
+            events,
+            positions,
+            dirty,
+            dirty_mask,
+            hull_points,
+        }
+    }
+
+    const NO_HULL: &dyn Fn() -> Vec<Vec2> = &Vec::new;
+
+    #[test]
+    fn cohesion_monitor_flags_broken_edge_once() {
+        let mut m = CohesionMonitor::new(2, &[(0, 1)], |_, _| 1.0, 1e-9);
+        let near = [Vec2::ZERO, Vec2::new(0.9, 0.0)];
+        let far = [Vec2::ZERO, Vec2::new(1.5, 0.0)];
+        let mask = [false, true];
+        m.on_event(&ctx(0.5, 1, &near, &[1], &mask, NO_HULL));
+        assert!(m.maintained());
+        m.on_event(&ctx(1.0, 2, &far, &[1], &mask, NO_HULL));
+        assert!(!m.maintained());
+        m.on_event(&ctx(1.5, 3, &far, &[1], &mask, NO_HULL));
+        let violations = m.into_violations();
+        assert_eq!(violations.len(), 1, "first observation only");
+        assert_eq!(violations[0].time, 1.0);
+        assert_eq!(violations[0].distance, 1.5);
+    }
+
+    #[test]
+    fn cohesion_monitor_ignores_clean_pairs() {
+        // Robot 2 drifts away but shares no initial edge with anyone.
+        let mut m = CohesionMonitor::new(3, &[(0, 1)], |_, _| 1.0, 1e-9);
+        let pos = [Vec2::ZERO, Vec2::new(0.5, 0.0), Vec2::new(9.0, 0.0)];
+        let mask = [false, false, true];
+        m.on_event(&ctx(1.0, 1, &pos, &[2], &mask, NO_HULL));
+        assert!(m.maintained());
+    }
+
+    #[test]
+    fn strong_visibility_seeds_from_initial_positions() {
+        // The pair starts acquired (d = 0.4 ≤ V/2) without ever being dirty,
+        // then separates beyond V in one hop: the violation must register.
+        let start = [Vec2::ZERO, Vec2::new(0.4, 0.0)];
+        let mut m = StrongVisibilityMonitor::new(1.0, 1e-9, &start);
+        let apart = [Vec2::ZERO, Vec2::new(1.2, 0.0)];
+        let mask = [false, true];
+        m.on_event(&ctx(1.0, 1, &apart, &[1], &mask, NO_HULL));
+        assert!(!m.ok());
+    }
+
+    #[test]
+    fn strong_visibility_never_acquired_pair_may_separate() {
+        let start = [Vec2::ZERO, Vec2::new(0.9, 0.0)];
+        let mut m = StrongVisibilityMonitor::new(1.0, 1e-9, &start);
+        let apart = [Vec2::ZERO, Vec2::new(1.2, 0.0)];
+        let mask = [false, true];
+        m.on_event(&ctx(1.0, 1, &apart, &[1], &mask, NO_HULL));
+        assert!(m.ok(), "0.9 > V/2: visibility was never acquired");
+    }
+
+    #[test]
+    fn diameter_monitor_samples_on_cadence_and_converges() {
+        let mut m = DiameterMonitor::new(2, 0.5, (0.0, 2.0));
+        let wide = [Vec2::ZERO, Vec2::new(2.0, 0.0)];
+        let tight = [Vec2::ZERO, Vec2::new(0.3, 0.0)];
+        let mask = [false, false];
+        m.on_event(&ctx(1.0, 1, &wide, &[], &mask, NO_HULL));
+        assert_eq!(m.series().len(), 1, "off-cadence event not sampled");
+        m.on_event(&ctx(2.0, 2, &wide, &[], &mask, NO_HULL));
+        assert_eq!(m.series(), &[(0.0, 2.0), (2.0, 2.0)]);
+        assert!(!m.converged());
+        m.on_event(&ctx(3.0, 4, &tight, &[], &mask, NO_HULL));
+        assert!(m.converged());
+        assert_eq!(m.into_series().last(), Some(&(3.0, 0.3)));
+    }
+
+    #[test]
+    fn hull_monitor_detects_expansion() {
+        let shrink_then_grow = [
+            vec![Vec2::ZERO, Vec2::new(4.0, 0.0), Vec2::new(0.0, 4.0)],
+            vec![Vec2::ZERO, Vec2::new(2.0, 0.0), Vec2::new(0.0, 2.0)],
+            vec![Vec2::ZERO, Vec2::new(9.0, 0.0), Vec2::new(0.0, 9.0)],
+        ];
+        let mut m = HullMonitor::new(1, 1e-9);
+        let mask = [false; 3];
+        for (i, pts) in shrink_then_grow.iter().enumerate() {
+            let provider = || pts.clone();
+            let positions = [Vec2::ZERO; 3];
+            m.on_event(&ctx(i as f64, i + 1, &positions, &[], &mask, &provider));
+            if i < 2 {
+                assert!(m.nested(), "shrinking hulls stay nested");
+            }
+        }
+        assert!(!m.nested(), "expansion breaks nesting");
+    }
+
+    #[test]
+    fn diameter_of_matches_configuration() {
+        use cohesion_model::Configuration;
+        let pts = vec![Vec2::ZERO, Vec2::new(3.0, 4.0), Vec2::new(1.0, 1.0)];
+        let c = Configuration::new(pts.clone());
+        assert_eq!(diameter_of(&pts), c.diameter());
+        assert_eq!(diameter_of::<Vec2>(&[]), 0.0);
+    }
+}

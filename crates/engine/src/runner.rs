@@ -1,15 +1,15 @@
 //! The simulation driver: engine loop + predicate checking + metrics.
 
 use crate::engine::Engine;
-use crate::report::{CohesionViolation, SimulationReport};
-use cohesion_geometry::hull::convex_hull;
+use crate::monitors::{
+    self, CohesionMonitor, DiameterMonitor, HullMonitor, Monitor, MonitorContext,
+    StrongVisibilityMonitor,
+};
+use crate::report::SimulationReport;
 use cohesion_geometry::Vec2;
 use cohesion_model::frame::{Ambient, FrameMode};
-use cohesion_model::{
-    Algorithm, Configuration, MotionModel, PerceptionModel, RobotPair, VisibilityGraph,
-};
+use cohesion_model::{Algorithm, Configuration, MotionModel, PerceptionModel, VisibilityGraph};
 use cohesion_scheduler::Scheduler;
-use std::collections::BTreeSet;
 
 /// Configures and runs one simulation; produces a [`SimulationReport`].
 ///
@@ -179,6 +179,13 @@ impl<P: Ambient> SimulationBuilder<P> {
     }
 
     /// Runs the simulation to convergence or budget exhaustion.
+    ///
+    /// Predicate checking is delegated to the incremental monitors of
+    /// [`crate::monitors`]: positions are piecewise-linear in time, so only
+    /// robots in their Move phase can change position between consecutive
+    /// events, and the monitors re-check exactly the pairs incident to that
+    /// *dirty set*, reading positions from a driver-owned buffer instead of
+    /// cloning a [`Configuration`] per event.
     pub fn run(self) -> SimulationReport<P> {
         let n = self.initial.len();
         // Cohesion is judged on the mutual visibility graph: with a common
@@ -225,27 +232,42 @@ impl<P: Ambient> SimulationBuilder<P> {
         engine.set_occlusion(self.occlusion_tolerance);
 
         let v = self.visibility;
-        let pair_threshold: Box<dyn Fn(usize, usize) -> f64> = match self.visibility_radii.clone() {
-            None => Box::new(move |_, _| v),
-            Some(radii) => Box::new(move |a, b| radii[a].min(radii[b])),
-        };
         let cohesion_tol = 1e-9 * (1.0 + v);
-        let mut violations: Vec<CohesionViolation> = Vec::new();
-        let mut violated: BTreeSet<(usize, usize)> = BTreeSet::new();
-        let mut strong_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
-        let mut strong_ok = true;
-        let mut hulls_nested = true;
-        let mut prev_hull: Option<cohesion_geometry::ConvexHull> = None;
-        let mut diameter_series: Vec<(f64, f64)> = vec![(0.0, initial_diameter)];
+
+        // Monitor pipeline. Positions live in one driver-owned buffer; each
+        // event updates only the dirty entries.
+        let mut positions: Vec<P> = self.initial.positions().to_vec();
+        let mut dirty: Vec<usize> = Vec::with_capacity(n);
+        let mut dirty_mask: Vec<bool> = vec![false; n];
+
+        let mut cohesion = match &self.visibility_radii {
+            None => CohesionMonitor::new(n, &initial_edges, |_, _| v, cohesion_tol),
+            Some(radii) => CohesionMonitor::new(
+                n,
+                &initial_edges,
+                |a, b| radii[a].min(radii[b]),
+                cohesion_tol,
+            ),
+        };
+        let mut strong = self
+            .track_strong_visibility
+            .then(|| StrongVisibilityMonitor::new(v, cohesion_tol, &positions));
+        // 2D-only hull checks: the ConvexHull type is planar. For other
+        // dimensions the check is skipped (reported as None).
+        let hull_checks_possible = P::DIM == 2;
+        let mut hull = (hull_checks_possible && self.hull_check_every > 0)
+            .then(|| HullMonitor::new(self.hull_check_every, 1e-7 * (1.0 + initial_diameter)));
+        let mut diameter = DiameterMonitor::new(
+            self.diameter_sample_every,
+            self.epsilon,
+            (0.0, initial_diameter),
+        );
+
         let mut round_diameters: Vec<(usize, f64)> = Vec::new();
         let mut rounds = 0usize;
         let mut round_base: Vec<u64> = vec![0; n];
         let mut events = 0usize;
         let mut converged = false;
-
-        // 2D-only hull checks: the ConvexHull type is planar. For other
-        // dimensions the check is skipped (reported as None).
-        let hull_checks_possible = P::DIM == 2;
 
         loop {
             if events >= self.max_events || engine.time() > self.max_time {
@@ -254,57 +276,47 @@ impl<P: Ambient> SimulationBuilder<P> {
             let Some(event) = engine.step() else { break };
             events += 1;
 
-            let config = engine.configuration_at(event.time);
-            let positions = config.positions();
-
-            // Cohesion: every initial edge must still be within V. Event
-            // times are exactly where piecewise-linear pair distances attain
-            // maxima, so this check is exhaustive.
-            for &(a, b) in &initial_edges {
-                let d = positions[a].dist(positions[b]);
-                if d > pair_threshold(a, b) + cohesion_tol && violated.insert((a, b)) {
-                    violations.push(CohesionViolation {
-                        pair: RobotPair::new(a.into(), b.into()),
-                        time: event.time,
-                        distance: d,
-                    });
+            // The dirty set: robots mid-Move plus the robot whose Move just
+            // ended — the only positions that changed since the last event.
+            engine.collect_motile(&mut dirty);
+            if event.kind == crate::engine::EngineEventKind::MoveEnd {
+                let idx = event.robot.index();
+                if let Err(slot) = dirty.binary_search(&idx) {
+                    dirty.insert(slot, idx);
                 }
             }
-
-            // Strong visibility (Theorems 3–4, acquired clause).
-            if self.track_strong_visibility {
-                for a in 0..n {
-                    for b in (a + 1)..n {
-                        let d = positions[a].dist(positions[b]);
-                        if d <= v / 2.0 + cohesion_tol {
-                            strong_pairs.insert((a, b));
-                        } else if d > v + cohesion_tol && strong_pairs.contains(&(a, b)) {
-                            strong_ok = false;
-                        }
-                    }
-                }
+            for &i in &dirty {
+                dirty_mask[i] = true;
+                positions[i] = engine.position_of_at(i, event.time);
             }
 
-            // Hull nesting (sampled).
-            if hull_checks_possible
-                && self.hull_check_every > 0
-                && events % self.hull_check_every == 0
-            {
-                let pts: Vec<Vec2> = engine
+            // Cohesion at every event: event times are exactly where
+            // piecewise-linear pair distances attain maxima, so checking
+            // dirty pairs at event boundaries is exhaustive.
+            let hull_points = || {
+                engine
                     .positions_with_targets()
                     .iter()
                     .map(|p| {
                         let c = p.coords();
                         Vec2::new(c[0], c[1])
                     })
-                    .collect();
-                let hull = convex_hull(&pts);
-                if let Some(prev) = &prev_hull {
-                    if !prev.contains_hull(&hull, 1e-7 * (1.0 + initial_diameter)) {
-                        hulls_nested = false;
-                    }
-                }
-                prev_hull = Some(hull);
+                    .collect()
+            };
+            let ctx = MonitorContext {
+                time: event.time,
+                events,
+                positions: &positions,
+                dirty: &dirty,
+                dirty_mask: &dirty_mask,
+                hull_points: &hull_points,
+            };
+            Monitor::<P>::on_event(&mut cohesion, &ctx);
+            if let Some(m) = strong.as_mut() {
+                Monitor::<P>::on_event(m, &ctx);
+            }
+            if let Some(m) = hull.as_mut() {
+                m.on_event(&ctx);
             }
 
             // Round accounting.
@@ -312,17 +324,18 @@ impl<P: Ambient> SimulationBuilder<P> {
             if (0..n).all(|i| cycles[i] > round_base[i]) {
                 rounds += 1;
                 round_base = cycles.to_vec();
-                round_diameters.push((rounds, config.diameter()));
+                round_diameters.push((rounds, monitors::diameter_of(&positions)));
             }
 
             // Diameter sampling + convergence test.
-            if self.diameter_sample_every > 0 && events % self.diameter_sample_every == 0 {
-                let d = config.diameter();
-                diameter_series.push((event.time, d));
-                if d <= self.epsilon {
-                    converged = true;
-                    break;
-                }
+            diameter.on_event(&ctx);
+
+            for &i in &dirty {
+                dirty_mask[i] = false;
+            }
+            if diameter.converged() {
+                converged = true;
+                break;
             }
         }
 
@@ -331,6 +344,7 @@ impl<P: Ambient> SimulationBuilder<P> {
         if final_diameter <= self.epsilon {
             converged = true;
         }
+        let mut diameter_series = diameter.into_series();
         diameter_series.push((engine.time(), final_diameter));
 
         SimulationReport {
@@ -339,18 +353,10 @@ impl<P: Ambient> SimulationBuilder<P> {
             robots: n,
             visibility: v,
             converged,
-            cohesion_maintained: violations.is_empty(),
-            cohesion_violations: violations,
-            strong_visibility_ok: if self.track_strong_visibility {
-                Some(strong_ok)
-            } else {
-                None
-            },
-            hulls_nested: if hull_checks_possible && self.hull_check_every > 0 {
-                Some(hulls_nested)
-            } else {
-                None
-            },
+            cohesion_maintained: cohesion.maintained(),
+            cohesion_violations: cohesion.into_violations(),
+            strong_visibility_ok: strong.map(|m| m.ok()),
+            hulls_nested: hull.map(|m| m.nested()),
             initial_diameter,
             final_diameter,
             events,

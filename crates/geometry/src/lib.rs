@@ -48,6 +48,7 @@ pub mod ball;
 pub mod bbox;
 pub mod circle;
 pub mod cone;
+pub mod grid;
 pub mod hull;
 pub mod point;
 pub mod predicates;
@@ -58,6 +59,7 @@ pub mod vec3;
 pub use ball::Ball;
 pub use bbox::Aabb;
 pub use circle::Circle;
+pub use grid::SpatialGrid;
 pub use hull::ConvexHull;
 pub use point::Point;
 pub use segment::Segment;

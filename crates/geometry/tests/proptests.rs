@@ -5,7 +5,7 @@ use cohesion_geometry::ball::{smallest_enclosing_ball, smallest_enclosing_ball_b
 use cohesion_geometry::cone::{sector_2d, SectorAnalysis};
 use cohesion_geometry::hull::convex_hull;
 use cohesion_geometry::point::Point as _;
-use cohesion_geometry::{Aabb, Circle, Segment, Vec2, Vec3};
+use cohesion_geometry::{Aabb, Circle, Segment, SpatialGrid, Vec2, Vec3};
 use proptest::prelude::*;
 
 fn vec2(range: f64) -> impl Strategy<Value = Vec2> {
@@ -158,5 +158,40 @@ proptest! {
     fn from_coords_roundtrip(a in vec2(10.0), b in vec3(10.0)) {
         prop_assert_eq!(Vec2::from_coords(&a.coords()), a);
         prop_assert_eq!(Vec3::from_coords(&b.coords()), b);
+    }
+
+    #[test]
+    fn spatial_grid_pairs_match_brute_force(
+        pts in proptest::collection::vec(vec2(6.0), 0..90),
+        cell in 0.2..2.0f64,
+        radius in 0.0..2.5f64,
+    ) {
+        // The grid may be built at any positive cell edge, not just the
+        // query radius — candidate enumeration must stay exhaustive.
+        let grid = SpatialGrid::build(&pts, cell);
+        let mut brute = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i].dist(pts[j]) <= radius {
+                    brute.push((i, j));
+                }
+            }
+        }
+        prop_assert_eq!(grid.pairs_within(radius), brute);
+    }
+
+    #[test]
+    fn spatial_grid_probe_query_matches_brute_force(
+        pts in proptest::collection::vec(vec2(6.0), 1..60),
+        probe in vec2(8.0),
+        radius in 0.0..3.0f64,
+    ) {
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let mut out = Vec::new();
+        grid.query_within(probe, radius, &mut out);
+        let brute: Vec<usize> = (0..pts.len())
+            .filter(|&j| probe.dist(pts[j]) <= radius)
+            .collect();
+        prop_assert_eq!(out, brute);
     }
 }

@@ -1,11 +1,25 @@
 //! Visibility graphs under limited visibility (paper §2.1) and the
 //! connectivity machinery behind the Cohesive Convergence predicate.
+//!
+//! The graph is stored CSR-style: a sorted edge list plus per-vertex
+//! adjacency slices. Construction from a configuration goes through the
+//! [`SpatialGrid`] for near-linear cost on bounded-density clouds, with the
+//! brute-force quadratic builder kept as the reference implementation (and
+//! the fast path for tiny clouds, where the grid's indexing overhead is not
+//! worth paying). Both builders produce byte-identical graphs: edges sorted
+//! lexicographically — exactly the iteration order of the old
+//! `BTreeSet<RobotPair>` representation — and neighbour lists ascending.
 
 use crate::configuration::Configuration;
 use crate::ids::{RobotId, RobotPair};
+use cohesion_geometry::grid::SpatialGrid;
 use cohesion_geometry::point::Point;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+
+/// Below this robot count, [`VisibilityGraph::from_configuration`] uses the
+/// quadratic builder: for tiny clouds the all-pairs sweep is cheaper than
+/// building a grid index.
+const GRID_THRESHOLD: usize = 32;
 
 /// The undirected visibility graph `G(t) = (R, E(t))` where
 /// `(X, Y) ∈ E(t) ⟺ |X(t)Y(t)| ≤ V`.
@@ -21,36 +35,115 @@ use std::collections::BTreeSet;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VisibilityGraph {
     n: usize,
-    edges: BTreeSet<RobotPair>,
+    /// Edges sorted lexicographically by `(a, b)`, deduplicated.
+    edges: Vec<RobotPair>,
+    /// CSR offsets into `adj`; `len == n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbour lists, ascending per vertex.
+    adj: Vec<RobotId>,
 }
 
 impl VisibilityGraph {
     /// Builds the visibility graph of a configuration with common visibility
     /// radius `radius` (closed: distance exactly `radius` counts, §2.1).
+    ///
+    /// Dispatches to the grid-backed builder for clouds of at least
+    /// [`GRID_THRESHOLD`] robots (near-linear for bounded density) and to the
+    /// quadratic reference builder otherwise; the two are equivalent.
     pub fn from_configuration<P: Point>(config: &Configuration<P>, radius: f64) -> Self {
         assert!(radius >= 0.0, "visibility radius must be non-negative");
-        let mut edges = BTreeSet::new();
-        let pos = config.positions();
-        for i in 0..pos.len() {
-            for j in (i + 1)..pos.len() {
-                if pos[i].dist(pos[j]) <= radius {
-                    edges.insert(RobotPair::new(RobotId::from(i), RobotId::from(j)));
-                }
-            }
-        }
-        VisibilityGraph {
-            n: pos.len(),
-            edges,
+        if config.len() >= GRID_THRESHOLD && radius > 0.0 {
+            Self::from_configuration_grid(config, radius)
+        } else {
+            Self::from_configuration_brute(config, radius)
         }
     }
 
+    /// The quadratic all-pairs builder — the reference implementation the
+    /// grid-backed path is property-tested against.
+    pub fn from_configuration_brute<P: Point>(config: &Configuration<P>, radius: f64) -> Self {
+        assert!(radius >= 0.0, "visibility radius must be non-negative");
+        let pos = config.positions();
+        let mut pairs = Vec::new();
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                if pos[i].dist(pos[j]) <= radius {
+                    pairs.push(RobotPair::new(RobotId::from(i), RobotId::from(j)));
+                }
+            }
+        }
+        Self::from_sorted_pairs(pos.len(), pairs)
+    }
+
+    /// The grid-backed builder: indexes the cloud on a [`SpatialGrid`] with
+    /// cell edge `radius`, then answers each robot's neighbour query from the
+    /// `3^DIM` surrounding cells. `O(n · density)` instead of `O(n²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is not positive (the grid needs a positive cell
+    /// edge; use the brute builder for the degenerate `radius == 0` case).
+    pub fn from_configuration_grid<P: Point>(config: &Configuration<P>, radius: f64) -> Self {
+        let pos = config.positions();
+        let grid = SpatialGrid::build(pos, radius);
+        let pairs: Vec<RobotPair> = grid
+            .pairs_within(radius)
+            .into_iter()
+            .map(|(i, j)| RobotPair::new(RobotId::from(i), RobotId::from(j)))
+            .collect();
+        Self::from_sorted_pairs(pos.len(), pairs)
+    }
+
     /// Builds a visibility graph from an explicit edge list over `n` robots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any edge endpoint is out of range. Both endpoints are
+    /// validated: [`RobotPair`]'s fields are public, so an un-normalized pair
+    /// (`a > b`) can reach this constructor without going through
+    /// [`RobotPair::new`].
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = RobotPair>) -> Self {
-        let edges: BTreeSet<RobotPair> = edges.into_iter().collect();
+        let edges: Vec<RobotPair> = edges.into_iter().collect();
         for e in &edges {
+            assert!(e.a.index() < n, "edge endpoint {} out of range", e.a);
             assert!(e.b.index() < n, "edge endpoint {} out of range", e.b);
         }
-        VisibilityGraph { n, edges }
+        Self::from_sorted_pairs(n, edges)
+    }
+
+    /// Finishes construction: sorts and deduplicates the edge list, then
+    /// lays out the CSR adjacency. Lexicographic edge order makes every
+    /// vertex's neighbour list ascending without a per-vertex sort.
+    fn from_sorted_pairs(n: usize, mut edges: Vec<RobotPair>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        assert!(
+            u32::try_from(2 * edges.len()).is_ok(),
+            "adjacency size fits in u32"
+        );
+        let mut degree = vec![0u32; n];
+        for e in &edges {
+            degree[e.a.index()] += 1;
+            degree[e.b.index()] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut adj = vec![RobotId::default(); 2 * edges.len()];
+        for e in &edges {
+            adj[cursor[e.a.index()] as usize] = e.b;
+            cursor[e.a.index()] += 1;
+            adj[cursor[e.b.index()] as usize] = e.a;
+            cursor[e.b.index()] += 1;
+        }
+        VisibilityGraph {
+            n,
+            edges,
+            offsets,
+            adj,
+        }
     }
 
     /// Number of robots (vertices).
@@ -65,20 +158,28 @@ impl VisibilityGraph {
         self.edges.len()
     }
 
-    /// The edge set.
+    /// The edge list, sorted lexicographically by `(a, b)`.
     #[inline]
-    pub fn edges(&self) -> &BTreeSet<RobotPair> {
+    pub fn edges(&self) -> &[RobotPair] {
         &self.edges
     }
 
-    /// Returns `true` when the pair is mutually visible.
+    /// Returns `true` when the pair is mutually visible. `O(log deg)`.
     pub fn has_edge(&self, x: RobotId, y: RobotId) -> bool {
-        x != y && self.edges.contains(&RobotPair::new(x, y))
+        x != y && self.neighbors(x).binary_search(&y).is_ok()
     }
 
-    /// The neighbours of `id`.
-    pub fn neighbors(&self, id: RobotId) -> Vec<RobotId> {
-        self.edges.iter().filter_map(|e| e.other(id)).collect()
+    /// The neighbours of `id`, ascending. `O(1)` to obtain, `O(deg)` to walk
+    /// — no longer a scan of the whole edge set.
+    pub fn neighbors(&self, id: RobotId) -> &[RobotId] {
+        let lo = self.offsets[id.index()] as usize;
+        let hi = self.offsets[id.index() + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// The degree of `id`.
+    pub fn degree(&self, id: RobotId) -> usize {
+        (self.offsets[id.index() + 1] - self.offsets[id.index()]) as usize
     }
 
     /// Connected components as sorted id lists (singletons included).
@@ -123,14 +224,37 @@ impl VisibilityGraph {
 
     /// Returns `true` when every edge of `self` is also an edge of `other` —
     /// the `E(0) ⊆ E(t)` inclusion of the Cohesive Convergence predicate.
+    /// A single merge walk over the two sorted edge lists.
     pub fn subset_of(&self, other: &VisibilityGraph) -> bool {
-        self.edges.is_subset(&other.edges)
+        let mut it = other.edges.iter();
+        'outer: for e in &self.edges {
+            for o in it.by_ref() {
+                match o.cmp(e) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
     }
 
     /// The edges of `self` missing from `other` (witnesses of a cohesion
-    /// violation).
+    /// violation), sorted.
     pub fn missing_in(&self, other: &VisibilityGraph) -> Vec<RobotPair> {
-        self.edges.difference(&other.edges).copied().collect()
+        let mut missing = Vec::new();
+        let mut rest = other.edges.as_slice();
+        for e in &self.edges {
+            let cut = rest.partition_point(|o| o < e);
+            rest = &rest[cut..];
+            if rest.first() == Some(e) {
+                rest = &rest[1..];
+            } else {
+                missing.push(*e);
+            }
+        }
+        missing
     }
 }
 
@@ -161,6 +285,20 @@ mod tests {
     }
 
     #[test]
+    fn grid_and_brute_builders_agree_on_chains() {
+        // Long chains cross the GRID_THRESHOLD and exercise the grid path,
+        // with every edge distance exactly on the closed boundary.
+        for n in [2usize, 31, 32, 64, 129] {
+            let c = chain(n, 1.0);
+            let grid = VisibilityGraph::from_configuration_grid(&c, 1.0);
+            let brute = VisibilityGraph::from_configuration_brute(&c, 1.0);
+            assert_eq!(grid, brute, "n={n}");
+            assert_eq!(grid, VisibilityGraph::from_configuration(&c, 1.0));
+            assert_eq!(grid.edge_count(), n - 1);
+        }
+    }
+
+    #[test]
     fn disconnection_and_components() {
         let g = VisibilityGraph::from_configuration(&chain(5, 1.0), 0.5);
         assert!(!g.is_connected());
@@ -185,6 +323,8 @@ mod tests {
         let g = VisibilityGraph::from_configuration(&chain(3, 1.0), 1.0);
         assert_eq!(g.neighbors(RobotId(1)), vec![RobotId(0), RobotId(2)]);
         assert_eq!(g.neighbors(RobotId(0)), vec![RobotId(1)]);
+        assert_eq!(g.degree(RobotId(1)), 2);
+        assert_eq!(g.degree(RobotId(0)), 1);
     }
 
     #[test]
@@ -195,6 +335,36 @@ mod tests {
         assert!(!dense.subset_of(&sparse));
         let missing = dense.missing_in(&sparse);
         assert_eq!(missing, vec![RobotPair::new(RobotId(0), RobotId(2))]);
+        assert!(sparse.missing_in(&dense).is_empty());
+        assert!(sparse.subset_of(&sparse));
+    }
+
+    #[test]
+    fn from_edges_roundtrip_and_dedup() {
+        let e = |a: u32, b: u32| RobotPair::new(RobotId(a), RobotId(b));
+        let g = VisibilityGraph::from_edges(4, vec![e(2, 3), e(0, 1), e(1, 0), e(1, 2)]);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edges(), &[e(0, 1), e(1, 2), e(2, 3)]);
+        assert_eq!(g.neighbors(RobotId(1)), vec![RobotId(0), RobotId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_out_of_range_b() {
+        let _ = VisibilityGraph::from_edges(2, vec![RobotPair::new(RobotId(0), RobotId(5))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_out_of_range_a() {
+        // RobotPair's fields are public: an un-normalized pair whose *first*
+        // endpoint is out of range can bypass `RobotPair::new`. The historical
+        // bug validated only `e.b`, so this pair slipped through.
+        let bad = RobotPair {
+            a: RobotId(7),
+            b: RobotId(0),
+        };
+        let _ = VisibilityGraph::from_edges(2, vec![bad]);
     }
 
     #[test]
