@@ -1,6 +1,13 @@
 //! Criterion benches for the simulation engine: events per second vs swarm
 //! size and scheduler model.
+//!
+//! Two groups: the historical `engine_events` sweep at small `n`, and the
+//! `events_per_sec` end-to-end run-throughput trajectory (n ∈ {64, 256,
+//! 1024}, FSync and unbounded Async, Kirkpatrick algorithm, bounded-density
+//! lattices) whose medians are committed as `BENCH_engine.json` — the
+//! workspace's record of how fast full runs get over time.
 
+use cohesion_bench::lookbench::look_lattice;
 use cohesion_core::KirkpatrickAlgorithm;
 use cohesion_engine::Engine;
 use cohesion_scheduler::{AsyncScheduler, FSyncScheduler, KAsyncScheduler};
@@ -61,5 +68,49 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// The end-to-end throughput trajectory: full engine rounds (Look +
+/// MoveStart + MoveEnd per robot) with the paper's algorithm on
+/// bounded-density lattices, at the sizes the separation and
+/// convergence-rate sweeps actually run.
+fn bench_events_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events_per_sec");
+    for n in [64usize, 256, 1024] {
+        let config = look_lattice(n);
+        let events = 3 * n as u64;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::new("fsync", n), &config, |b, config| {
+            b.iter(|| {
+                let mut engine = Engine::new(
+                    config,
+                    1.0,
+                    KirkpatrickAlgorithm::new(1),
+                    FSyncScheduler::new(),
+                    1,
+                );
+                for _ in 0..events {
+                    engine.step();
+                }
+                engine.time()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("async", n), &config, |b, config| {
+            b.iter(|| {
+                let mut engine = Engine::new(
+                    config,
+                    1.0,
+                    KirkpatrickAlgorithm::new(4),
+                    AsyncScheduler::new(3),
+                    1,
+                );
+                for _ in 0..events {
+                    engine.step();
+                }
+                engine.time()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_events_per_sec);
 criterion_main!(benches);

@@ -99,7 +99,7 @@ fn bench_monitor_step(c: &mut Criterion) {
         .iter()
         .map(|e| (e.a.index(), e.b.index()))
         .collect();
-    let hull_points: &dyn Fn() -> Vec<Vec2> = &Vec::new;
+    let hull_points: &dyn Fn(&mut Vec<Vec2>) = &|out| out.clear();
 
     let dirty_one = vec![n / 2];
     let mut mask_one = vec![false; n];

@@ -1,0 +1,141 @@
+//! CI perf smoke for the Look phase: re-times the `engine_look` grid path
+//! and fails when a median regresses more than [`REGRESSION_FACTOR`]×
+//! against the committed `BENCH_baseline.json`.
+//!
+//! The bound is deliberately loose — it exists to catch an accidental
+//! reintroduction of `O(n)` work into the Look hot path (a 1024-robot Look
+//! going linear is a ~30× move, far past 3×), not to police scheduler
+//! noise or hardware variance. A second, hardware-independent check guards
+//! the same property relatively: at `n = 1024` the brute reference must
+//! remain ≥ [`MIN_BRUTE_RATIO`]× slower than the grid path.
+//!
+//! Usage: `cargo run --release -p cohesion-bench --bin perf_smoke [-- --quick]`
+//! (`--quick` trims samples for CI).
+
+use cohesion_bench::lookbench::{median_ns_per_event, LOOK_BENCH_SIZES};
+use cohesion_bench::quick_requested;
+use cohesion_engine::LookPath;
+
+/// A current median may be at most this many times the committed one.
+const REGRESSION_FACTOR: f64 = 3.0;
+
+/// At n = 1024 the brute reference must be at least this many times slower
+/// than the grid path (hardware-independent O(n) canary).
+const MIN_BRUTE_RATIO: f64 = 3.0;
+
+fn main() {
+    let samples = if quick_requested() { 3 } else { 7 };
+    let baseline = load_baseline();
+    let mut failures = Vec::new();
+
+    println!("perf smoke: engine_look grid path vs BENCH_baseline.json");
+    println!(
+        "{:<14} {:>14} {:>14} {:>8}",
+        "id", "baseline ns/ev", "now ns/ev", "ratio"
+    );
+    for n in LOOK_BENCH_SIZES {
+        let id = format!("grid/{n}");
+        let Some(&base) = baseline.get(&id) else {
+            failures.push(format!("baseline has no engine_look record for {id}"));
+            continue;
+        };
+        let now = median_ns_per_event(n, LookPath::Grid, None, samples);
+        let ratio = now / base;
+        println!("{id:<14} {base:>14.1} {now:>14.1} {ratio:>7.2}x");
+        if ratio > REGRESSION_FACTOR {
+            failures.push(format!(
+                "{id}: {now:.1} ns/event is {ratio:.2}x the committed {base:.1} \
+                 (bound {REGRESSION_FACTOR}x)"
+            ));
+        }
+    }
+
+    let n = 1024;
+    let grid = median_ns_per_event(n, LookPath::Grid, None, samples);
+    let brute = median_ns_per_event(n, LookPath::BruteReference, None, samples);
+    let ratio = brute / grid;
+    println!("relative canary at n={n}: brute/grid = {ratio:.1}x (need ≥ {MIN_BRUTE_RATIO}x)");
+    if ratio < MIN_BRUTE_RATIO {
+        failures.push(format!(
+            "grid path only {ratio:.1}x faster than brute at n={n} — O(n) work \
+             reintroduced into the Look hot path?"
+        ));
+    }
+
+    if failures.is_empty() {
+        println!("perf smoke OK");
+    } else {
+        for f in &failures {
+            eprintln!("PERF REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Extracts `engine_look` medians from `BENCH_baseline.json` at the
+/// workspace root. The serde_json stand-in has no decoder, so this is a
+/// minimal field scanner over the committed format: records carry
+/// `"group"`, `"id"`, `"median_ns"` in that order.
+fn load_baseline() -> std::collections::BTreeMap<String, f64> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let mut medians = std::collections::BTreeMap::new();
+    let mut rest = text.as_str();
+    while let Some(at) = rest.find("\"group\"") {
+        rest = &rest[at..];
+        let Some(group) = string_value(rest) else {
+            break;
+        };
+        let Some(id_at) = rest.find("\"id\"") else {
+            break;
+        };
+        let Some(id) = string_value(&rest[id_at..]) else {
+            break;
+        };
+        let Some(med_at) = rest.find("\"median_ns\"") else {
+            break;
+        };
+        let Some(median) = number_value(&rest[med_at..]) else {
+            break;
+        };
+        if group == "engine_look" {
+            // Baseline stores ns per iteration of one 3n-event round;
+            // normalize to ns per event to match the live measurement.
+            let per_event = match id.rsplit('/').next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(n) => median / (3.0 * n),
+                None => median,
+            };
+            medians.insert(id, per_event);
+        }
+        rest = &rest[med_at..];
+    }
+    assert!(
+        !medians.is_empty(),
+        "no engine_look records in {} — regenerate the baseline \
+         (see README § Performance)",
+        path.display()
+    );
+    medians
+}
+
+/// The first `"..."` string after the key at the start of `chunk`
+/// (skipping the key itself).
+fn string_value(chunk: &str) -> Option<String> {
+    let after_key = &chunk[chunk.find(':')?..];
+    let open = after_key.find('"')?;
+    let rest = &after_key[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// The first number after the key at the start of `chunk`.
+fn number_value(chunk: &str) -> Option<f64> {
+    let after_colon = chunk[chunk.find(':')? + 1..].trim_start();
+    let end = after_colon
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(after_colon.len());
+    after_colon[..end].parse().ok()
+}

@@ -5,6 +5,7 @@
 //! Output goes to stdout as aligned text tables, and — for diffable
 //! regeneration — as JSON rows under `target/experiments/`.
 
+pub mod lookbench;
 pub mod sweep;
 
 pub use sweep::{

@@ -1,0 +1,110 @@
+//! Shared fixtures for the Look-phase benchmarks and the CI perf smoke.
+//!
+//! The `engine_look` criterion group and the `perf_smoke` binary measure the
+//! same routine — one full FSync round of engine events over a
+//! bounded-density lattice, under a chosen [`LookPath`] — so the fixture
+//! lives here once. Bounded density is the regime the grid is designed for
+//! (the paper's standing connected-at-visibility-scale assumption): degree
+//! stays constant as `n` grows, making the asymptotic gap between the
+//! `O(deg)` grid path and the `O(n)`–`O(n²)` brute reference visible as a
+//! slope, not a constant.
+
+use cohesion_engine::{Engine, LookPath};
+use cohesion_geometry::Vec2;
+use cohesion_model::{Configuration, NilAlgorithm};
+use cohesion_scheduler::FSyncScheduler;
+
+/// Swarm sizes the Look benches sweep (perfect squares: lattice sides 8,
+/// 16, 32).
+pub const LOOK_BENCH_SIZES: [usize; 3] = [64, 256, 1024];
+
+/// Occlusion tolerance used by the `*_occl` bench variants.
+pub const LOOK_BENCH_OCCLUSION: f64 = 0.05;
+
+/// A bounded-density lattice of `n` robots at near-threshold spacing.
+///
+/// # Panics
+///
+/// Panics when `n` is not a perfect square.
+pub fn look_lattice(n: usize) -> Configuration {
+    let side = (n as f64).sqrt().round() as usize;
+    assert_eq!(side * side, n, "look lattice sizes are perfect squares");
+    cohesion_workloads::grid(side, side, 0.9)
+}
+
+/// An engine over `config` ready for Look-phase measurement: FSync
+/// scheduling and the Nil algorithm, so every cycle exercises the full
+/// observation pipeline (including the Move-phase grid lifecycle, with
+/// zero displacement) while the algorithm's own Compute cost stays
+/// negligible — the measurement isolates observation.
+pub fn look_engine(
+    config: &Configuration,
+    path: LookPath,
+    occlusion: Option<f64>,
+) -> Engine<Vec2, NilAlgorithm, FSyncScheduler> {
+    let mut engine = Engine::new(config, 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
+    engine.set_look_path(path);
+    engine.set_occlusion(occlusion);
+    engine
+}
+
+/// Steps an engine through `events` events (3·n per full FSync round).
+pub fn run_events(engine: &mut Engine<Vec2, NilAlgorithm, FSyncScheduler>, events: usize) {
+    for _ in 0..events {
+        engine.step();
+    }
+}
+
+/// One timed measurement for the perf smoke: median ns **per event** over
+/// `samples` runs of one FSync round at size `n`.
+pub fn median_ns_per_event(
+    n: usize,
+    path: LookPath,
+    occlusion: Option<f64>,
+    samples: usize,
+) -> f64 {
+    let config = look_lattice(n);
+    let events = 3 * n;
+    // One engine stepped across samples (steady state, construction
+    // excluded), with one warm-up round — mirroring the criterion bench.
+    let mut engine = look_engine(&config, path, occlusion);
+    run_events(&mut engine, events);
+    let mut ns: Vec<f64> = (0..samples.max(2))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            run_events(&mut engine, events);
+            start.elapsed().as_nanos() as f64 / events as f64
+        })
+        .collect();
+    ns.sort_by(|a, b| a.total_cmp(b));
+    if ns.len() % 2 == 1 {
+        ns[ns.len() / 2]
+    } else {
+        (ns[ns.len() / 2 - 1] + ns[ns.len() / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_sizes_are_square() {
+        for n in LOOK_BENCH_SIZES {
+            assert_eq!(look_lattice(n).len(), n);
+        }
+    }
+
+    #[test]
+    fn both_paths_complete_a_round() {
+        let config = look_lattice(64);
+        for path in [LookPath::Grid, LookPath::BruteReference] {
+            let mut engine = look_engine(&config, path, Some(LOOK_BENCH_OCCLUSION));
+            run_events(&mut engine, 3 * 64);
+            assert!(
+                engine.completed_cycles().iter().all(|&c| c >= 1),
+                "one FSync round completes one cycle per robot"
+            );
+        }
+    }
+}

@@ -1,9 +1,43 @@
 //! The event loop: dispatching activations, taking snapshots, resolving
 //! motion.
+//!
+//! # The grid-backed Look phase
+//!
+//! The Look phase is the engine's hot path: one observation per activation,
+//! thousands of activations per run, thousands of runs per sweep. The
+//! historical pipeline rebuilt an `all_positions` vector (an `O(n)`
+//! allocation), scanned all `n` robots linearly, and ran an `O(n)` occlusion
+//! test per visible candidate — `O(n)`–`O(n²)` per Look. Under limited
+//! visibility each robot actually sees only `O(deg)` neighbours, so the
+//! engine now keeps an incremental [`DynamicGrid`] of the **stationary**
+//! robots (cells sized by the largest perception radius) plus a small
+//! side-list of the robots currently in their Move phase:
+//!
+//! * a robot leaves the grid when its Move starts and re-enters at its final
+//!   position when the Move ends — the invariant is *in the grid ⇔ not in
+//!   the Move phase* (`Idle` and `Computing` robots are stationary);
+//! * a Look queries the grid for the `O(deg)` stationary robots in range and
+//!   checks the motile side-list brute-force at interpolated
+//!   `position_at(t)` — `O(deg + motile)` instead of `O(n)`;
+//! * the occlusion test walks only the grid cells around the sight segment
+//!   (plus the motile list) instead of all `n` robots;
+//! * all working sets live in pooled scratch buffers ([`LookScratch`]),
+//!   including the [`Snapshot`] handed to the algorithm — the steady-state
+//!   Look performs no heap allocation.
+//!
+//! Candidates are merged and sorted into ascending robot order — exactly the
+//! order of the historical linear scan — so every RNG draw (one
+//! `sample_distance_factor` per observed robot) happens in the same sequence
+//! and outputs are bit-for-bit identical to the old loop. That old loop is
+//! kept verbatim as [`LookPath::BruteReference`], the property-tested
+//! reference and bench baseline.
 
 use crate::state::RobotState;
+use cohesion_geometry::DynamicGrid;
 use cohesion_model::frame::{Ambient, Frame, FrameMode};
-use cohesion_model::{Algorithm, Configuration, MotionModel, PerceptionModel, RobotId, Snapshot};
+use cohesion_model::{
+    Algorithm, Configuration, Distortion, MotionModel, PerceptionModel, RobotId, Snapshot,
+};
 use cohesion_scheduler::{ActivationInterval, ScheduleContext, ScheduleTrace, Scheduler};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -30,6 +64,19 @@ pub struct EngineEvent {
     pub robot: RobotId,
     /// What happened.
     pub kind: EngineEventKind,
+}
+
+/// Which observation pipeline the Look phase runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookPath {
+    /// Grid-backed `O(deg + motile)` observation with pooled scratch
+    /// buffers — the production path (default).
+    #[default]
+    Grid,
+    /// The historical `O(n)`–`O(n²)` linear scan, kept verbatim as the
+    /// property-tested reference implementation and the bench baseline
+    /// (mirroring how `VisibilityGraph` keeps its brute-force builder).
+    BruteReference,
 }
 
 /// Internal heap entry (min-heap by time, stable by sequence number).
@@ -60,6 +107,29 @@ impl PartialOrd for Pending {
     }
 }
 
+/// Reusable working memory for the Look phase, owned by the engine so the
+/// steady-state observation pipeline allocates nothing.
+#[derive(Debug)]
+struct LookScratch<P> {
+    /// Visible-candidate indices: grid hits merged with motile hits, sorted
+    /// ascending before observation (the historical scan order).
+    candidates: Vec<usize>,
+    /// Occlusion-candidate indices near the current sight segment.
+    occluders: Vec<usize>,
+    /// Pooled observation buffer handed to the algorithm's Compute.
+    snapshot: Snapshot<P>,
+}
+
+impl<P> Default for LookScratch<P> {
+    fn default() -> Self {
+        LookScratch {
+            candidates: Vec::new(),
+            occluders: Vec::new(),
+            snapshot: Snapshot::default(),
+        }
+    }
+}
+
 /// The discrete-event simulator for one robot system.
 ///
 /// Drive it with [`Engine::step`] until it returns `None` (scripted schedule
@@ -84,6 +154,15 @@ pub struct Engine<P: Ambient, A, S> {
     staged: Option<ActivationInterval>,
     trace: ScheduleTrace,
     completed_cycles: Vec<u64>,
+    /// Stationary robots (`Idle` and `Computing`), indexed for `O(deg)`
+    /// range and occlusion queries. Lifecycle: out at `MoveStart`, back in
+    /// at `MoveEnd`.
+    grid: DynamicGrid<P>,
+    /// Ascending dense indices of the robots currently in their Move phase —
+    /// the complement of the grid's contents.
+    motile: Vec<u32>,
+    scratch: LookScratch<P>,
+    look_path: LookPath,
 }
 
 impl<P, A, S> Engine<P, A, S>
@@ -106,6 +185,13 @@ where
     ) -> Self {
         assert!(!initial.is_empty(), "need at least one robot");
         assert!(visibility > 0.0, "visibility radius must be positive");
+        // Dense grid extent over the initial configuration: the paper's
+        // hull-diminishing dynamics keep the swarm inside it, so probes stay
+        // on the direct-addressed fast path (strays spill gracefully).
+        let mut grid = DynamicGrid::with_extent(initial.len(), visibility, initial.positions());
+        for (i, &position) in initial.positions().iter().enumerate() {
+            grid.insert(i, position);
+        }
         Engine {
             states: initial
                 .positions()
@@ -128,6 +214,10 @@ where
             staged: None,
             trace: ScheduleTrace::new(),
             completed_cycles: vec![0; initial.len()],
+            grid,
+            motile: Vec::new(),
+            scratch: LookScratch::default(),
+            look_path: LookPath::default(),
         }
     }
 
@@ -151,6 +241,14 @@ where
         self.multiplicity_detection = enabled;
     }
 
+    /// Selects the Look-phase observation pipeline. The default
+    /// [`LookPath::Grid`] and the [`LookPath::BruteReference`] produce
+    /// bit-identical results (pinned by the equivalence suite); the
+    /// reference exists for differential testing and benchmarking.
+    pub fn set_look_path(&mut self, path: LookPath) {
+        self.look_path = path;
+    }
+
     /// Enables the occlusion model (one of the paper's §8 future-work
     /// constraints, studied in its citations [3, 5]): robot `Y` is hidden
     /// from `X` when some third robot sits on the sight line `X → Y`
@@ -171,9 +269,63 @@ where
         self.occlusion_tolerance = tolerance;
     }
 
-    /// Returns `true` when `target` is hidden from `origin` by any robot in
-    /// `all` (positions at the Look time), under the configured tolerance.
-    fn is_occluded(&self, origin: P, target: P, all: &[P]) -> bool {
+    /// Returns `true` when `target` (the position of robot `candidate`) is
+    /// hidden from robot `observer` at `origin`, under the configured
+    /// tolerance — the grid-backed occlusion test.
+    ///
+    /// Only robots within `tolerance` of the sight segment can block it, so
+    /// stationary candidates come from the `O(1)` cells around the segment
+    /// instead of a full scan; the motile few are checked directly. The
+    /// observer and the candidate are excluded **by index**: a third robot
+    /// exactly coincident with either is still examined (and then rejected
+    /// by the strictly-between window on its own merits) rather than
+    /// silently skipped the way the historical position-equality test did.
+    fn is_occluded(
+        &self,
+        observer: usize,
+        candidate: usize,
+        origin: P,
+        target: P,
+        look: f64,
+        occluders: &mut Vec<usize>,
+    ) -> bool {
+        let Some(tol) = self.occlusion_tolerance else {
+            return false;
+        };
+        let line = target - origin;
+        let len_sq = line.norm_sq();
+        if len_sq == 0.0 {
+            return false;
+        }
+        occluders.clear();
+        self.grid
+            .query_segment_cells(origin, target, tol, occluders);
+        for &z_idx in occluders.iter() {
+            if z_idx == observer || z_idx == candidate {
+                continue;
+            }
+            let z = self.grid.position(z_idx).expect("occluder present in grid");
+            if blocks_sight(origin, line, len_sq, z, tol) {
+                return true;
+            }
+        }
+        for &m in &self.motile {
+            let m = m as usize;
+            if m == observer || m == candidate {
+                continue;
+            }
+            let z = self.states[m].position_at(look);
+            if blocks_sight(origin, line, len_sq, z, tol) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The historical occlusion test, kept verbatim for
+    /// [`LookPath::BruteReference`]: scans every robot and skips the
+    /// endpoints by exact position equality.
+    fn is_occluded_reference(&self, origin: P, target: P, all: &[P]) -> bool {
         let Some(tol) = self.occlusion_tolerance else {
             return false;
         };
@@ -186,12 +338,7 @@ where
             if z == origin || z == target {
                 continue;
             }
-            let t = (z - origin).dot(line) / len_sq;
-            if t <= 1e-9 || t >= 1.0 - 1e-9 {
-                continue; // not strictly between
-            }
-            let foot = origin + line * t;
-            if foot.dist(z) <= tol {
+            if blocks_sight(origin, line, len_sq, z, tol) {
                 return true;
             }
         }
@@ -217,6 +364,9 @@ where
     /// radii faithfully). Perception becomes directional: robot `i` sees `j`
     /// iff `|ij| ≤ radii[i]`.
     ///
+    /// The observation grid is re-celled to the largest radius so every
+    /// per-robot range query stays a one-cell-deep probe.
+    ///
     /// # Panics
     ///
     /// Panics when the count mismatches the robots or a radius is not
@@ -228,6 +378,30 @@ where
             "radii must be positive and finite"
         );
         self.visibility_radii = Some(radii);
+        self.rebuild_grid();
+    }
+
+    /// The largest perception radius — the observation grid's cell edge.
+    fn max_radius(&self) -> f64 {
+        match &self.visibility_radii {
+            Some(radii) => radii.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
+            None => self.visibility,
+        }
+    }
+
+    /// Rebuilds the observation grid from scratch (radius changes re-cell
+    /// it). Exactly the stationary robots are indexed; the dense extent is
+    /// re-anchored on the current positions.
+    fn rebuild_grid(&mut self) {
+        let mut positions = Vec::new();
+        self.positions_at_into(self.time, &mut positions);
+        let mut grid = DynamicGrid::with_extent(self.states.len(), self.max_radius(), &positions);
+        for (i, s) in self.states.iter().enumerate() {
+            if !s.is_motile() {
+                grid.insert(i, positions[i]);
+            }
+        }
+        self.grid = grid;
     }
 
     /// The perception radius of one robot.
@@ -261,30 +435,41 @@ where
         self.states[index].position_at(t)
     }
 
+    /// Fills `out` (cleared first) with the position of every robot at time
+    /// `t` — the buffer-reusing counterpart of [`Engine::configuration_at`]
+    /// for per-event metrics code.
+    pub fn positions_at_into(&self, t: f64, out: &mut Vec<P>) {
+        out.clear();
+        out.extend(self.states.iter().map(|s| s.position_at(t)));
+    }
+
     /// Appends (after clearing) the dense indices of all robots currently in
     /// their Move phase, ascending. Together with the robot of a `MoveEnd`
     /// event, these are the only robots whose positions can have changed
     /// since the previous event — the *dirty set* the incremental monitors
-    /// re-check.
+    /// re-check. Served from the maintained side-list: `O(motile)`, not
+    /// `O(n)`.
     pub fn collect_motile(&self, out: &mut Vec<usize>) {
         out.clear();
-        for (i, s) in self.states.iter().enumerate() {
-            if s.is_motile() {
-                out.push(i);
-            }
-        }
+        out.extend(self.motile.iter().map(|&m| m as usize));
     }
 
     /// Current positions plus all pending (planned or in-flight) destinations
     /// — the vertex set of the paper's `CH_t`.
     pub fn positions_with_targets(&self) -> Vec<P> {
-        let mut pts: Vec<P> = self
-            .states
-            .iter()
-            .map(|s| s.position_at(self.time))
-            .collect();
-        pts.extend(self.states.iter().filter_map(|s| s.pending_target()));
+        let mut pts = Vec::new();
+        self.positions_with_targets_into(&mut pts);
         pts
+    }
+
+    /// Fills `out` (cleared first) with current positions plus all pending
+    /// destinations — the buffer-reusing counterpart of
+    /// [`Engine::positions_with_targets`] for monitors on a sampling
+    /// cadence.
+    pub fn positions_with_targets_into(&self, out: &mut Vec<P>) {
+        out.clear();
+        out.extend(self.states.iter().map(|s| s.position_at(self.time)));
+        out.extend(self.states.iter().filter_map(|s| s.pending_target()));
     }
 
     /// The schedule trace recorded so far.
@@ -358,25 +543,12 @@ where
         // local frame → symmetric distortion → distance error.
         let frame = P::sample_frame(self.frame_mode, &mut self.rng);
         let distortion = self.perception.sample_distortion(&mut self.rng);
-        let all_positions: Vec<P> = self.states.iter().map(|s| s.position_at(iv.look)).collect();
-        let mut observed: Vec<P> = Vec::new();
-        for (j, &pos) in all_positions.iter().enumerate() {
-            if j == robot.index() {
-                continue;
+        let local_target = match self.look_path {
+            LookPath::Grid => self.observe_grid(robot, here, iv.look, &frame, &distortion),
+            LookPath::BruteReference => {
+                self.observe_brute(robot, here, iv.look, &frame, &distortion)
             }
-            let rel = pos - here;
-            if rel.norm() <= self.radius_of(robot) && !self.is_occluded(here, pos, &all_positions) {
-                let local = frame.to_local(rel);
-                let distorted = P::distort(local, &distortion);
-                let factor = self.perception.sample_distance_factor(&mut self.rng);
-                observed.push(distorted * factor);
-            }
-        }
-        let mut snapshot = Snapshot::from_positions(observed);
-        if !self.multiplicity_detection {
-            snapshot = snapshot.without_multiplicity(1e-12);
-        }
-        let local_target = self.algorithm.compute(&snapshot);
+        };
         // Motion executes in the robot's own (distorted) coordinate system:
         // pull the intended displacement back through the inverse distortion
         // and frame.
@@ -402,6 +574,93 @@ where
         })
     }
 
+    /// The grid-backed observation pipeline: `O(deg + motile)` candidate
+    /// gathering, cell-walk occlusion, pooled buffers — and a result
+    /// bit-identical to [`Engine::observe_brute`].
+    fn observe_grid(
+        &mut self,
+        robot: RobotId,
+        here: P,
+        look: f64,
+        frame: &P::AmbientFrame,
+        distortion: &Distortion,
+    ) -> P {
+        let idx = robot.index();
+        let radius = self.radius_of(robot);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        // Stationary robots in range come from the grid (the observer
+        // itself included — skipped below by index); the motile few are
+        // range-checked at their interpolated positions.
+        scratch.candidates.clear();
+        self.grid
+            .query_within(here, radius, &mut scratch.candidates);
+        for &m in &self.motile {
+            let m = m as usize;
+            let pos = self.states[m].position_at(look);
+            if (pos - here).norm() <= radius {
+                scratch.candidates.push(m);
+            }
+        }
+        // Ascending robot order = the historical scan order: the per-robot
+        // RNG draws below happen in exactly the old sequence.
+        scratch.candidates.sort_unstable();
+        scratch.snapshot.clear();
+        for k in 0..scratch.candidates.len() {
+            let j = scratch.candidates[k];
+            if j == idx {
+                continue;
+            }
+            let pos = self.states[j].position_at(look);
+            if self.is_occluded(idx, j, here, pos, look, &mut scratch.occluders) {
+                continue;
+            }
+            let rel = pos - here;
+            let local = frame.to_local(rel);
+            let distorted = P::distort(local, distortion);
+            let factor = self.perception.sample_distance_factor(&mut self.rng);
+            scratch.snapshot.push(distorted * factor);
+        }
+        if !self.multiplicity_detection {
+            scratch.snapshot.dedup_multiplicity(1e-12);
+        }
+        let local_target = self.algorithm.compute(&scratch.snapshot);
+        self.scratch = scratch;
+        local_target
+    }
+
+    /// The historical observation loop, kept verbatim (allocations and all)
+    /// as the differential-testing reference and bench baseline.
+    fn observe_brute(
+        &mut self,
+        robot: RobotId,
+        here: P,
+        look: f64,
+        frame: &P::AmbientFrame,
+        distortion: &Distortion,
+    ) -> P {
+        let all_positions: Vec<P> = self.states.iter().map(|s| s.position_at(look)).collect();
+        let mut observed: Vec<P> = Vec::new();
+        for (j, &pos) in all_positions.iter().enumerate() {
+            if j == robot.index() {
+                continue;
+            }
+            let rel = pos - here;
+            if rel.norm() <= self.radius_of(robot)
+                && !self.is_occluded_reference(here, pos, &all_positions)
+            {
+                let local = frame.to_local(rel);
+                let distorted = P::distort(local, distortion);
+                let factor = self.perception.sample_distance_factor(&mut self.rng);
+                observed.push(distorted * factor);
+            }
+        }
+        let mut snapshot = Snapshot::from_positions(observed);
+        if !self.multiplicity_detection {
+            snapshot = snapshot.without_multiplicity(1e-12);
+        }
+        self.algorithm.compute(&snapshot)
+    }
+
     fn dispatch_move_start(&mut self, p: Pending) -> Option<EngineEvent> {
         let idx = p.robot.index();
         let (position, target, move_end) = match self.states[idx] {
@@ -416,6 +675,13 @@ where
         let realized = self
             .motion
             .resolve(position, target, self.visibility, &mut self.rng);
+        // Grid lifecycle: the robot is motile from here to its MoveEnd.
+        self.grid.remove(idx);
+        let slot = self
+            .motile
+            .binary_search(&(idx as u32))
+            .expect_err("robot cannot already be motile at MoveStart");
+        self.motile.insert(slot, idx as u32);
         self.states[idx] = RobotState::Moving {
             from: position,
             to: realized,
@@ -442,6 +708,14 @@ where
             RobotState::Moving { to, .. } => to,
             ref other => unreachable!("MoveEnd in state {other:?}"),
         };
+        // Grid lifecycle: stationary again, indexed at the realized
+        // destination.
+        let slot = self
+            .motile
+            .binary_search(&(idx as u32))
+            .expect("motile robot is side-listed");
+        self.motile.remove(slot);
+        self.grid.insert(idx, final_pos);
         self.states[idx] = RobotState::Idle {
             position: final_pos,
         };
@@ -452,6 +726,20 @@ where
             kind: EngineEventKind::MoveEnd,
         })
     }
+}
+
+/// The strictly-between occlusion predicate for one potential blocker `z` on
+/// the sight line `origin → origin + line`: `z`'s projection must fall
+/// strictly inside the segment and its perpendicular foot within `tol`.
+/// Shared verbatim by both Look paths, so their booleans cannot drift.
+#[inline]
+fn blocks_sight<P: Ambient>(origin: P, line: P, len_sq: f64, z: P, tol: f64) -> bool {
+    let t = (z - origin).dot(line) / len_sq;
+    if t <= 1e-9 || t >= 1.0 - 1e-9 {
+        return false; // not strictly between
+    }
+    let foot = origin + line * t;
+    foot.dist(z) <= tol
 }
 
 impl<P: Ambient, A: std::fmt::Debug, S: std::fmt::Debug> std::fmt::Debug for Engine<P, A, S> {
@@ -524,7 +812,7 @@ mod tests {
         use cohesion_scheduler::ScriptedScheduler;
         // Three collinear robots: the middle one blocks the far one.
         let config = Configuration::new(vec![Vec2::ZERO, Vec2::new(0.4, 0.0), Vec2::new(0.8, 0.0)]);
-        let run = |occlusion: Option<f64>| {
+        let run = |occlusion: Option<f64>, path: LookPath| {
             let script = ScriptedScheduler::new(
                 "one-look",
                 vec![ActivationInterval::new(RobotId(0), 0.0, 0.3, 0.6)],
@@ -532,15 +820,58 @@ mod tests {
             let mut engine = Engine::new(&config, 1.0, CountingAlgorithm, script, 1);
             engine.set_frame_mode(cohesion_model::FrameMode::Aligned);
             engine.set_occlusion(occlusion);
+            engine.set_look_path(path);
             while engine.step().is_some() {}
             engine.configuration().position(RobotId(0)).x
         };
-        // The counting algorithm moves by 0.001 per visible robot.
-        assert!((run(None) - 0.002).abs() < 1e-12, "no occlusion: sees both");
-        assert!(
-            (run(Some(0.01)) - 0.001).abs() < 1e-12,
-            "occlusion: middle hides far"
-        );
+        for path in [LookPath::Grid, LookPath::BruteReference] {
+            // The counting algorithm moves by 0.001 per visible robot.
+            assert!(
+                (run(None, path) - 0.002).abs() < 1e-12,
+                "no occlusion: sees both ({path:?})"
+            );
+            assert!(
+                (run(Some(0.01), path) - 0.001).abs() < 1e-12,
+                "occlusion: middle hides far ({path:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn coincident_occluders_are_not_skipped() {
+        use cohesion_scheduler::ScriptedScheduler;
+        // Regression for the index-based endpoint exclusion: three collinear
+        // robots where two coincide. The blocking pair sits at 0.4 — exactly
+        // on the observer's sight line to the far robot at 0.8. Each of the
+        // coincident twins must stay visible (a robot exactly at the sight
+        // line's endpoint is not *strictly between*, whichever twin is the
+        // candidate), while the far robot must be occluded by both.
+        let config = Configuration::new(vec![
+            Vec2::ZERO,
+            Vec2::new(0.4, 0.0),
+            Vec2::new(0.4, 0.0),
+            Vec2::new(0.8, 0.0),
+        ]);
+        let run = |path: LookPath| {
+            let script = ScriptedScheduler::new(
+                "one-look",
+                vec![ActivationInterval::new(RobotId(0), 0.0, 0.3, 0.6)],
+            );
+            let mut engine = Engine::new(&config, 1.0, CountingAlgorithm, script, 1);
+            engine.set_frame_mode(cohesion_model::FrameMode::Aligned);
+            engine.set_occlusion(Some(0.01));
+            engine.set_multiplicity_detection(true);
+            engine.set_look_path(path);
+            while engine.step().is_some() {}
+            engine.configuration().position(RobotId(0)).x
+        };
+        for path in [LookPath::Grid, LookPath::BruteReference] {
+            // Both twins visible (0.002), far robot hidden behind them.
+            assert!(
+                (run(path) - 0.002).abs() < 1e-12,
+                "coincident twins visible, far robot occluded ({path:?})"
+            );
+        }
     }
 
     /// Moves 0.001·(number of visible robots) along +x; test-only probe.
@@ -623,5 +954,64 @@ mod tests {
             events += 1;
         }
         assert_eq!(events, 3, "Look, MoveStart, MoveEnd");
+    }
+
+    #[test]
+    fn buffered_position_accessors_match_allocating_ones() {
+        let mut engine = Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
+        for _ in 0..7 {
+            engine.step().unwrap();
+        }
+        let t = engine.time();
+        let mut buf = Vec::new();
+        engine.positions_at_into(t, &mut buf);
+        assert_eq!(buf, engine.configuration_at(t).positions().to_vec());
+        engine.positions_with_targets_into(&mut buf);
+        assert_eq!(buf, engine.positions_with_targets());
+    }
+
+    #[test]
+    fn grid_and_side_list_track_the_move_phase() {
+        // The lifecycle invariant after every event: a robot is in the grid
+        // iff it is not in its Move phase, the side-list is exactly the
+        // complement (ascending), and grid positions match the states.
+        let config = cohesion_workloads_stub(9);
+        let mut engine = Engine::new(
+            &config,
+            1.0,
+            CountingAlgorithm,
+            cohesion_scheduler::KAsyncScheduler::new(3, 5),
+            7,
+        );
+        let mut motile = Vec::new();
+        for _ in 0..300 {
+            let Some(_) = engine.step() else { break };
+            engine.collect_motile(&mut motile);
+            let scan: Vec<usize> = engine
+                .states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_motile())
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(motile, scan, "side-list diverged from a state scan");
+            for (i, s) in engine.states.iter().enumerate() {
+                if s.is_motile() {
+                    assert!(!engine.grid.contains(i), "motile robot {i} in grid");
+                } else {
+                    assert_eq!(
+                        engine.grid.position(i),
+                        Some(s.position_at(engine.time())),
+                        "grid position of stationary robot {i} is stale"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A small connected line configuration (inline to avoid a circular
+    /// dev-dependency on cohesion-workloads).
+    fn cohesion_workloads_stub(n: usize) -> Configuration {
+        Configuration::new((0..n).map(|i| Vec2::new(i as f64 * 0.7, 0.0)).collect())
     }
 }

@@ -26,7 +26,7 @@ pub mod report;
 pub mod runner;
 pub mod state;
 
-pub use engine::{Engine, EngineEvent, EngineEventKind};
+pub use engine::{Engine, EngineEvent, EngineEventKind, LookPath};
 pub use monitors::{
     CohesionMonitor, DiameterMonitor, HullMonitor, Monitor, MonitorContext, StrongVisibilityMonitor,
 };

@@ -37,10 +37,12 @@ pub struct MonitorContext<'a, P: Ambient> {
     pub dirty: &'a [usize],
     /// `dirty_mask[i]` ⟺ `dirty` contains `i` (for O(1) membership tests).
     pub dirty_mask: &'a [bool],
-    /// Lazily produces the planar projection of positions ∪ pending
-    /// targets — the vertex set of the paper's `CH_t`. Only invoked by
-    /// hull-type monitors on their sampling cadence.
-    pub hull_points: &'a dyn Fn() -> Vec<Vec2>,
+    /// Lazily fills a caller-provided buffer with the planar projection of
+    /// positions ∪ pending targets — the vertex set of the paper's `CH_t`.
+    /// Only invoked by hull-type monitors on their sampling cadence; the
+    /// buffer-filling shape lets the monitor pool the vertex storage across
+    /// samples instead of taking a fresh `Vec` per call.
+    pub hull_points: &'a dyn Fn(&mut Vec<Vec2>),
 }
 
 /// A predicate checker driven once per engine event.
@@ -245,6 +247,8 @@ pub struct HullMonitor {
     tol: f64,
     prev: Option<ConvexHull>,
     nested: bool,
+    /// Pooled vertex buffer refilled via `MonitorContext::hull_points`.
+    scratch: Vec<Vec2>,
 }
 
 impl HullMonitor {
@@ -261,6 +265,7 @@ impl HullMonitor {
             tol,
             prev: None,
             nested: true,
+            scratch: Vec::new(),
         }
     }
 
@@ -275,8 +280,8 @@ impl<P: Ambient> Monitor<P> for HullMonitor {
         if ctx.events % self.every != 0 {
             return;
         }
-        let pts = (ctx.hull_points)();
-        let hull = convex_hull(&pts);
+        (ctx.hull_points)(&mut self.scratch);
+        let hull = convex_hull(&self.scratch);
         if let Some(prev) = &self.prev {
             if !prev.contains_hull(&hull, self.tol) {
                 self.nested = false;
@@ -348,7 +353,7 @@ mod tests {
         positions: &'a [Vec2],
         dirty: &'a [usize],
         dirty_mask: &'a [bool],
-        hull_points: &'a dyn Fn() -> Vec<Vec2>,
+        hull_points: &'a dyn Fn(&mut Vec<Vec2>),
     ) -> MonitorContext<'a, Vec2> {
         MonitorContext {
             time,
@@ -360,7 +365,7 @@ mod tests {
         }
     }
 
-    const NO_HULL: &dyn Fn() -> Vec<Vec2> = &Vec::new;
+    const NO_HULL: &dyn Fn(&mut Vec<Vec2>) = &|out| out.clear();
 
     #[test]
     fn cohesion_monitor_flags_broken_edge_once() {
@@ -437,7 +442,10 @@ mod tests {
         let mut m = HullMonitor::new(1, 1e-9);
         let mask = [false; 3];
         for (i, pts) in shrink_then_grow.iter().enumerate() {
-            let provider = || pts.clone();
+            let provider = |out: &mut Vec<Vec2>| {
+                out.clear();
+                out.extend_from_slice(pts);
+            };
             let positions = [Vec2::ZERO; 3];
             m.on_event(&ctx(i as f64, i + 1, &positions, &[], &mask, &provider));
             if i < 2 {

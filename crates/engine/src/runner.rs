@@ -1,6 +1,6 @@
 //! The simulation driver: engine loop + predicate checking + metrics.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, LookPath};
 use crate::monitors::{
     self, CohesionMonitor, DiameterMonitor, HullMonitor, Monitor, MonitorContext,
     StrongVisibilityMonitor,
@@ -48,6 +48,7 @@ pub struct SimulationBuilder<P: Ambient = Vec2> {
     frame_mode: FrameMode,
     multiplicity_detection: bool,
     occlusion_tolerance: Option<f64>,
+    look_path: LookPath,
     track_strong_visibility: bool,
     hull_check_every: usize,
     diameter_sample_every: usize,
@@ -73,6 +74,7 @@ impl<P: Ambient> SimulationBuilder<P> {
             frame_mode: FrameMode::RandomOrtho,
             multiplicity_detection: false,
             occlusion_tolerance: None,
+            look_path: LookPath::default(),
             track_strong_visibility: true,
             hull_check_every: 64,
             diameter_sample_every: 32,
@@ -160,6 +162,14 @@ impl<P: Ambient> SimulationBuilder<P> {
         self
     }
 
+    /// Selects the engine's Look-phase pipeline — the grid-backed default
+    /// or the historical brute-force reference (for differential testing
+    /// and benchmarking; both produce bit-identical reports).
+    pub fn look_path(mut self, path: LookPath) -> Self {
+        self.look_path = path;
+        self
+    }
+
     /// Enables/disables the `O(n²)`-per-event strong-visibility tracking.
     pub fn track_strong_visibility(mut self, enabled: bool) -> Self {
         self.track_strong_visibility = enabled;
@@ -230,6 +240,7 @@ impl<P: Ambient> SimulationBuilder<P> {
             engine.set_visibility_radii(radii);
         }
         engine.set_occlusion(self.occlusion_tolerance);
+        engine.set_look_path(self.look_path);
 
         let v = self.visibility;
         let cohesion_tol = 1e-9 * (1.0 + v);
@@ -268,6 +279,9 @@ impl<P: Ambient> SimulationBuilder<P> {
         let mut round_base: Vec<u64> = vec![0; n];
         let mut events = 0usize;
         let mut converged = false;
+        // Pooled vertex buffer for the hull monitor's sampling closure (the
+        // closure is `Fn`, so interior mutability bridges the reuse).
+        let hull_scratch: std::cell::RefCell<Vec<P>> = std::cell::RefCell::new(Vec::new());
 
         loop {
             if events >= self.max_events || engine.time() > self.max_time {
@@ -293,15 +307,11 @@ impl<P: Ambient> SimulationBuilder<P> {
             // Cohesion at every event: event times are exactly where
             // piecewise-linear pair distances attain maxima, so checking
             // dirty pairs at event boundaries is exhaustive.
-            let hull_points = || {
-                engine
-                    .positions_with_targets()
-                    .iter()
-                    .map(|p| {
-                        let c = p.coords();
-                        Vec2::new(c[0], c[1])
-                    })
-                    .collect()
+            let hull_points = |out: &mut Vec<Vec2>| {
+                let mut buf = hull_scratch.borrow_mut();
+                engine.positions_with_targets_into(&mut buf);
+                out.clear();
+                out.extend(buf.iter().map(|p| Vec2::new(p.coord(0), p.coord(1))));
             };
             let ctx = MonitorContext {
                 time: event.time,

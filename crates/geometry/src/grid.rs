@@ -17,9 +17,9 @@
 use crate::point::Point;
 
 /// Number of key axes carried per cell (2D keys pad the third axis with 0).
-const KEY_AXES: usize = 3;
+pub(crate) const KEY_AXES: usize = 3;
 
-type CellKey = [i64; KEY_AXES];
+pub(crate) type CellKey = [i64; KEY_AXES];
 
 /// How the occupied cells are addressed.
 ///
@@ -249,6 +249,104 @@ impl<P: Point> SpatialGrid<P> {
         out.sort_unstable();
     }
 
+    /// Appends to `out` every index `j` with `r_min ≤ dist(q, points[j]) ≤
+    /// r_max` (both predicates closed). `out` is cleared first and returned
+    /// sorted ascending.
+    ///
+    /// Cells entirely inside the inner radius are skipped wholesale: a cell
+    /// whose farthest corner from `q` is still below `r_min` cannot hold a
+    /// hit, which makes wide annuli with a fat hole (e.g. ring placement in
+    /// workload generators) cheaper than a full-disk scan plus filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r_min > r_max` or either bound is negative.
+    pub fn query_annulus(&self, q: P, r_min: f64, r_max: f64, out: &mut Vec<usize>) {
+        assert!(
+            0.0 <= r_min && r_min <= r_max,
+            "annulus needs 0 ≤ r_min ≤ r_max"
+        );
+        out.clear();
+        // Half the diagonal of one cell, inflated a hair so sqrt rounding can
+        // never make the whole-cell rejection below overreach: if the cell
+        // *center* is strictly within r_min − half_diag of q, every point of
+        // the cell is strictly inside the hole.
+        let half_diag = 0.5 * self.cell * (P::DIM as f64).sqrt() * (1.0 + 1e-12);
+        let skip_below_sq = {
+            let margin = r_min - half_diag;
+            if margin > 0.0 {
+                margin * margin
+            } else {
+                -1.0
+            }
+        };
+        let key = cell_key(q, self.cell);
+        let reach = (r_max / self.cell).ceil().max(1.0) as i64;
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                let z_range = if P::DIM >= 3 { -reach..=reach } else { 0..=0 };
+                for dz in z_range {
+                    let probe = [key[0] + dx, key[1] + dy, key[2] + dz];
+                    if skip_below_sq > 0.0 {
+                        let center = self.cell_center(probe);
+                        if q.dist_sq(center) < skip_below_sq {
+                            continue;
+                        }
+                    }
+                    for &j in self.bucket(probe) {
+                        let d = q.dist(self.points[j as usize]);
+                        if r_min <= d && d <= r_max {
+                            out.push(j as usize);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Appends to `out` every index `j` whose point lies within distance
+    /// `pad` of the closed segment `a → b`. `out` is cleared first and
+    /// returned sorted ascending.
+    ///
+    /// Candidate cells are the grid cells intersecting the segment's
+    /// bounding box expanded by `pad` — for segments no longer than a few
+    /// cells (the visibility-scale sight lines of the occlusion model) this
+    /// is a constant number of cells, independent of the point count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pad` is negative.
+    pub fn query_segment_within(&self, a: P, b: P, pad: f64, out: &mut Vec<usize>) {
+        assert!(pad >= 0.0, "segment pad must be non-negative");
+        out.clear();
+        let pad_sq = pad * pad;
+        let lo_key = cell_key(min_corner(a, b, pad), self.cell);
+        let hi_key = cell_key(max_corner(a, b, pad), self.cell);
+        for x in lo_key[0]..=hi_key[0] {
+            for y in lo_key[1]..=hi_key[1] {
+                for z in lo_key[2]..=hi_key[2] {
+                    for &j in self.bucket([x, y, z]) {
+                        if dist_sq_to_segment(self.points[j as usize], a, b) <= pad_sq {
+                            out.push(j as usize);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// The center of an (arbitrary) cell, for conservative whole-cell
+    /// rejection tests.
+    fn cell_center(&self, key: CellKey) -> P {
+        let mut coords = [0.0f64; KEY_AXES];
+        for (axis, c) in coords.iter_mut().enumerate() {
+            *c = (key[axis] as f64 + 0.5) * self.cell;
+        }
+        P::from_coords(&coords[..P::DIM])
+    }
+
     /// All pairs `(i, j)` with `i < j` and `dist ≤ radius`, in the exact
     /// lexicographic order a brute-force double loop produces.
     ///
@@ -363,13 +461,45 @@ fn dense_slot(min: CellKey, dims: CellKey, key: CellKey) -> usize {
 /// a cell boundary land in the higher cell (`floor` semantics); coverage of
 /// closed-radius queries is guaranteed because a probe always scans one full
 /// cell layer beyond the radius in every axis.
-fn cell_key<P: Point>(p: P, cell: f64) -> CellKey {
-    let coords = p.coords();
+pub(crate) fn cell_key<P: Point>(p: P, cell: f64) -> CellKey {
     let mut key = [0i64; KEY_AXES];
-    for (axis, &c) in coords.iter().enumerate() {
-        key[axis] = (c / cell).floor() as i64;
+    for (axis, slot) in key.iter_mut().enumerate().take(P::DIM) {
+        *slot = (p.coord(axis) / cell).floor() as i64;
     }
     key
+}
+
+/// Componentwise minimum of `a` and `b`, shifted down by `pad` on every axis
+/// (the low corner of a segment's padded bounding box).
+pub(crate) fn min_corner<P: Point>(a: P, b: P, pad: f64) -> P {
+    let mut coords = [0.0f64; KEY_AXES];
+    for (axis, c) in coords.iter_mut().enumerate().take(P::DIM) {
+        *c = a.coord(axis).min(b.coord(axis)) - pad;
+    }
+    P::from_coords(&coords[..P::DIM])
+}
+
+/// Componentwise maximum of `a` and `b`, shifted up by `pad` on every axis
+/// (the high corner of a segment's padded bounding box).
+pub(crate) fn max_corner<P: Point>(a: P, b: P, pad: f64) -> P {
+    let mut coords = [0.0f64; KEY_AXES];
+    for (axis, c) in coords.iter_mut().enumerate().take(P::DIM) {
+        *c = a.coord(axis).max(b.coord(axis)) + pad;
+    }
+    P::from_coords(&coords[..P::DIM])
+}
+
+/// Squared distance from `z` to the closed segment `a → b`, written once for
+/// any [`Point`] dimension (the planar [`crate::Segment`] type stays the
+/// ergonomic 2D API; the grids need the predicate generically).
+pub(crate) fn dist_sq_to_segment<P: Point>(z: P, a: P, b: P) -> f64 {
+    let line = b - a;
+    let len_sq = line.norm_sq();
+    if len_sq == 0.0 {
+        return z.dist_sq(a);
+    }
+    let t = ((z - a).dot(line) / len_sq).clamp(0.0, 1.0);
+    z.dist_sq(a + line * t)
 }
 
 #[cfg(test)]
@@ -390,19 +520,7 @@ mod tests {
         pairs
     }
 
-    /// Deterministic LCG cloud (no dependency on the rand stub here).
-    fn cloud(n: usize, span: f64, seed: u64) -> Vec<Vec2> {
-        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-        let mut next = move || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (state >> 11) as f64 / (1u64 << 53) as f64
-        };
-        (0..n)
-            .map(|_| Vec2::new(next() * span, next() * span))
-            .collect()
-    }
+    use crate::test_util::cloud;
 
     #[test]
     fn matches_brute_force_on_random_clouds() {
@@ -530,5 +648,98 @@ mod tests {
     #[should_panic(expected = "cell edge must be positive")]
     fn zero_cell_panics() {
         let _ = SpatialGrid::<Vec2>::build(&[Vec2::ZERO], 0.0);
+    }
+
+    #[test]
+    fn annulus_matches_brute_force() {
+        let pts = cloud(150, 9.0, 21);
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let mut out = Vec::new();
+        for (q, r_min, r_max) in [
+            (Vec2::new(4.5, 4.5), 0.0, 1.0),
+            (Vec2::new(4.5, 4.5), 2.0, 3.5),
+            (Vec2::new(0.0, 0.0), 5.0, 5.2),
+            (Vec2::new(4.0, 4.0), 0.5, 0.5),
+        ] {
+            grid.query_annulus(q, r_min, r_max, &mut out);
+            let brute: Vec<usize> = (0..pts.len())
+                .filter(|&j| {
+                    let d = q.dist(pts[j]);
+                    r_min <= d && d <= r_max
+                })
+                .collect();
+            assert_eq!(out, brute, "q={q} r_min={r_min} r_max={r_max}");
+        }
+    }
+
+    #[test]
+    fn annulus_inner_skip_keeps_boundary_points() {
+        // Points exactly on the inner radius are hits (closed predicate),
+        // including ones sitting in cells the center-rejection test probes.
+        let pts = vec![
+            Vec2::new(2.0, 0.0),
+            Vec2::new(0.0, 2.0),
+            Vec2::new(0.5, 0.5),
+            Vec2::new(3.0, 0.0),
+        ];
+        let grid = SpatialGrid::build(&pts, 0.4);
+        let mut out = Vec::new();
+        grid.query_annulus(Vec2::ZERO, 2.0, 2.5, &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "annulus needs")]
+    fn annulus_inverted_bounds_panic() {
+        let grid = SpatialGrid::build(&[Vec2::ZERO], 1.0);
+        let mut out = Vec::new();
+        grid.query_annulus(Vec2::ZERO, 2.0, 1.0, &mut out);
+    }
+
+    #[test]
+    fn segment_query_matches_brute_force() {
+        let pts = cloud(150, 8.0, 33);
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let mut out = Vec::new();
+        for (a, b, pad) in [
+            (Vec2::new(1.0, 1.0), Vec2::new(6.0, 5.0), 0.3),
+            (Vec2::new(0.0, 4.0), Vec2::new(8.0, 4.0), 0.05),
+            (Vec2::new(3.0, 3.0), Vec2::new(3.0, 3.0), 0.5), // degenerate
+        ] {
+            grid.query_segment_within(a, b, pad, &mut out);
+            let brute: Vec<usize> = (0..pts.len())
+                .filter(|&j| dist_sq_to_segment(pts[j], a, b) <= pad * pad)
+                .collect();
+            assert_eq!(out, brute, "a={a} b={b} pad={pad}");
+        }
+    }
+
+    #[test]
+    fn segment_query_in_three_dimensions() {
+        let pts: Vec<Vec3> = (0..60)
+            .map(|i| {
+                let f = i as f64;
+                Vec3::new((f * 0.43).sin() * 2.0, (f * 0.29).cos() * 2.0, f * 0.07)
+            })
+            .collect();
+        let grid = SpatialGrid::build(&pts, 0.8);
+        let (a, b, pad) = (Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.5, 1.5, 3.0), 0.4);
+        let mut out = Vec::new();
+        grid.query_segment_within(a, b, pad, &mut out);
+        let brute: Vec<usize> = (0..pts.len())
+            .filter(|&j| dist_sq_to_segment(pts[j], a, b) <= pad * pad)
+            .collect();
+        assert_eq!(out, brute);
+    }
+
+    #[test]
+    fn dist_sq_to_segment_basics() {
+        let a = Vec2::ZERO;
+        let b = Vec2::new(4.0, 0.0);
+        assert_eq!(dist_sq_to_segment(Vec2::new(2.0, 3.0), a, b), 9.0);
+        assert_eq!(dist_sq_to_segment(Vec2::new(-3.0, 0.0), a, b), 9.0);
+        assert_eq!(dist_sq_to_segment(Vec2::new(6.0, 0.0), a, b), 4.0);
+        // Degenerate segment: plain point distance.
+        assert_eq!(dist_sq_to_segment(Vec2::new(1.0, 1.0), a, a), 2.0);
     }
 }

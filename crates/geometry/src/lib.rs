@@ -48,6 +48,7 @@ pub mod ball;
 pub mod bbox;
 pub mod circle;
 pub mod cone;
+pub mod dynamic_grid;
 pub mod grid;
 pub mod hull;
 pub mod point;
@@ -59,6 +60,7 @@ pub mod vec3;
 pub use ball::Ball;
 pub use bbox::Aabb;
 pub use circle::Circle;
+pub use dynamic_grid::DynamicGrid;
 pub use grid::SpatialGrid;
 pub use hull::ConvexHull;
 pub use point::Point;
@@ -84,6 +86,27 @@ pub const EPS: f64 = 1e-9;
 #[inline]
 pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
     (a - b).abs() <= eps
+}
+
+/// Shared fixtures for the crate's unit tests (kept out of the public API).
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::vec2::Vec2;
+
+    /// Deterministic LCG cloud (no dependency on the rand stub here) —
+    /// the common brute-force-comparison fixture of both grid modules.
+    pub(crate) fn cloud(n: usize, span: f64, seed: u64) -> Vec<Vec2> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Vec2::new(next() * span, next() * span))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -91,6 +91,15 @@ pub trait Point:
     /// experiment rows).
     fn coords(self) -> Vec<f64>;
 
+    /// One coordinate by axis index, without allocating (the hot-path
+    /// counterpart of [`Point::coords`], used by the spatial grids to key
+    /// cells inside the engine event loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis ≥ DIM`.
+    fn coord(self, axis: usize) -> f64;
+
     /// Reconstructs a point from coordinates (inverse of [`Point::coords`]).
     ///
     /// # Panics
@@ -131,6 +140,14 @@ impl Point for Vec2 {
         vec![self.x, self.y]
     }
 
+    fn coord(self, axis: usize) -> f64 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            _ => panic!("Vec2 has no axis {axis}"),
+        }
+    }
+
     fn from_coords(coords: &[f64]) -> Self {
         assert_eq!(coords.len(), 2, "Vec2 needs exactly two coordinates");
         Vec2::new(coords[0], coords[1])
@@ -168,6 +185,15 @@ impl Point for Vec3 {
 
     fn coords(self) -> Vec<f64> {
         vec![self.x, self.y, self.z]
+    }
+
+    fn coord(self, axis: usize) -> f64 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("Vec3 has no axis {axis}"),
+        }
     }
 
     fn from_coords(coords: &[f64]) -> Self {

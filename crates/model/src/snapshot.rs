@@ -30,28 +30,87 @@ pub struct Snapshot<P> {
     observations: Vec<ObservedRobot<P>>,
 }
 
+/// An empty snapshot (manual impl: no `P: Default` bound is needed for an
+/// empty buffer).
+impl<P> Default for Snapshot<P> {
+    fn default() -> Self {
+        Snapshot {
+            observations: Vec::new(),
+        }
+    }
+}
+
 impl<P: Point> Snapshot<P> {
     /// Creates a snapshot from perceived displacements.
     pub fn from_positions(positions: Vec<P>) -> Self {
-        Snapshot {
-            observations: positions
+        let mut snapshot = Snapshot::default();
+        snapshot.refill(positions);
+        snapshot
+    }
+
+    /// Wraps an observation buffer directly (the inverse of
+    /// [`Snapshot::into_buffer`]): a pooled buffer filled by a caller that
+    /// perceives robots one at a time becomes a snapshot without copying.
+    pub fn from_buffer(observations: Vec<ObservedRobot<P>>) -> Self {
+        Snapshot { observations }
+    }
+
+    /// Releases the observation buffer (capacity intact) so a caller-side
+    /// pool can reuse it for the next Look.
+    pub fn into_buffer(self) -> Vec<ObservedRobot<P>> {
+        self.observations
+    }
+
+    /// Drops all observations, keeping the buffer's capacity — the reset
+    /// half of the engine's pooled-snapshot protocol.
+    pub fn clear(&mut self) {
+        self.observations.clear();
+    }
+
+    /// Appends one perceived displacement.
+    pub fn push(&mut self, position: P) {
+        self.observations.push(ObservedRobot { position });
+    }
+
+    /// Replaces the observations with `positions`, reusing the existing
+    /// buffer — the allocation-free counterpart of
+    /// [`Snapshot::from_positions`].
+    pub fn refill(&mut self, positions: impl IntoIterator<Item = P>) {
+        self.observations.clear();
+        self.observations.extend(
+            positions
                 .into_iter()
-                .map(|position| ObservedRobot { position })
-                .collect(),
-        }
+                .map(|position| ObservedRobot { position }),
+        );
     }
 
     /// Collapses co-located observations (within `eps`) into single ones —
     /// what a robot *without* multiplicity detection perceives (§2.2,
     /// footnote 4).
     pub fn without_multiplicity(mut self, eps: f64) -> Self {
-        let mut kept: Vec<ObservedRobot<P>> = Vec::with_capacity(self.observations.len());
-        for obs in self.observations.drain(..) {
-            if !kept.iter().any(|k| k.position.dist(obs.position) <= eps) {
-                kept.push(obs);
+        self.dedup_multiplicity(eps);
+        self
+    }
+
+    /// In-place [`Snapshot::without_multiplicity`]: keeps the first
+    /// observation of every co-located group (within `eps`), preserving
+    /// order, without touching the allocator. Quadratic in the observation
+    /// count, like the consuming version it replaces on the engine hot path
+    /// — snapshots are `O(deg)` under limited visibility, so the constant
+    /// matters more than the exponent.
+    pub fn dedup_multiplicity(&mut self, eps: f64) {
+        let mut kept = 0usize;
+        for i in 0..self.observations.len() {
+            let obs = self.observations[i];
+            if !self.observations[..kept]
+                .iter()
+                .any(|k| k.position.dist(obs.position) <= eps)
+            {
+                self.observations[kept] = obs;
+                kept += 1;
             }
         }
-        Snapshot { observations: kept }
+        self.observations.truncate(kept);
     }
 
     /// The observations (order is not meaningful — robots are anonymous).
@@ -146,5 +205,44 @@ mod tests {
         let s = Snapshot::from_positions(vec![Vec2::new(1.0, 2.0)]);
         let doubled = s.map(|p| p * 2.0);
         assert_eq!(doubled.observations()[0].position, Vec2::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn pooled_refill_reuses_the_buffer() {
+        let mut s = Snapshot::default();
+        s.refill(vec![Vec2::new(1.0, 0.0), Vec2::new(2.0, 0.0)]);
+        assert_eq!(s.len(), 2);
+        let cap = s.observations.capacity();
+        s.clear();
+        assert!(s.is_empty());
+        s.push(Vec2::new(3.0, 0.0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.observations.capacity(), cap, "capacity survives clear");
+        assert_eq!(s.furthest_distance(), 3.0);
+    }
+
+    #[test]
+    fn buffer_roundtrip() {
+        let s = Snapshot::from_positions(vec![Vec2::new(1.0, 0.0)]);
+        let buf = s.into_buffer();
+        assert_eq!(buf.len(), 1);
+        let s = Snapshot::from_buffer(buf);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn in_place_dedup_matches_consuming_version() {
+        let positions = vec![
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1e-12),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(2.0, 0.0),
+        ];
+        let consuming = Snapshot::from_positions(positions.clone()).without_multiplicity(1e-9);
+        let mut in_place = Snapshot::from_positions(positions);
+        in_place.dedup_multiplicity(1e-9);
+        assert_eq!(in_place, consuming);
+        assert_eq!(in_place.len(), 3, "first of each co-located group kept");
     }
 }
