@@ -1,82 +1,7 @@
-//! F4 — Figure 4(a)/(b): the exact counterexamples against unmodified Ando,
-//! and the survival of the paper's algorithm on identical timelines.
-
-use cohesion_adversary::ando_counterexample::{
-    figure4_configuration, figure4a_schedule, figure4b_schedule, run_figure4, schedule_properties,
-    xy_separation, V,
-};
-use cohesion_algorithms::{AndoAlgorithm, KatreniakAlgorithm};
-use cohesion_bench::{banner, dump_json, mark};
-use cohesion_core::KirkpatrickAlgorithm;
-use cohesion_scheduler::render::render_timeline;
-use cohesion_scheduler::ScheduleTrace;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    figure: String,
-    algorithm: String,
-    xy_separation: f64,
-    cohesive: bool,
-    schedule_k: u32,
-    schedule_nested: bool,
-}
+//! Deprecated shim: delegates to `lab run ando_separation` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/ando_separation.rs`.
 
 fn main() {
-    banner("F4", "Ando counterexamples under 1-Async and 2-NestA");
-    let config = figure4_configuration();
-    println!("configuration (V = {V}):");
-    for (id, p) in config.iter() {
-        println!("  {id} at {p}");
-    }
-    let mut rows = Vec::new();
-    for (figure, schedule) in [
-        ("4a (1-Async)", figure4a_schedule()),
-        ("4b (2-NestA)", figure4b_schedule()),
-    ] {
-        let (k, nested) = schedule_properties(&schedule);
-        println!("\n--- Figure {figure}: minimal k = {k}, nested = {nested} ---");
-        println!(
-            "{}",
-            render_timeline(&ScheduleTrace::from_intervals(schedule.clone()), 2, 64)
-        );
-        println!(
-            "{:<22} {:>12} {:>10}",
-            "algorithm", "|XY| final", "cohesive"
-        );
-        let runs: Vec<(String, cohesion_engine::SimulationReport)> = vec![
-            (
-                "ando".into(),
-                run_figure4(AndoAlgorithm::new(V), schedule.clone()),
-            ),
-            (
-                "katreniak".into(),
-                run_figure4(KatreniakAlgorithm::new(), schedule.clone()),
-            ),
-            (
-                format!("kirkpatrick(k={k})"),
-                run_figure4(KirkpatrickAlgorithm::new(k.max(1)), schedule.clone()),
-            ),
-        ];
-        for (name, report) in runs {
-            let sep = xy_separation(&report);
-            println!(
-                "{:<22} {:>12.4} {:>10}",
-                name,
-                sep,
-                mark(report.cohesion_maintained)
-            );
-            rows.push(Row {
-                figure: figure.to_string(),
-                algorithm: name,
-                xy_separation: sep,
-                cohesive: report.cohesion_maintained,
-                schedule_k: k,
-                schedule_nested: nested,
-            });
-        }
-    }
-    println!("\npaper: Figure 4 — Ando separates (>V = {V}) in both models; Katreniak survives");
-    println!("1-Async (its home model); the paper's algorithm survives both (Theorems 3–4).");
-    dump_json("f4_ando_separation", &rows);
+    cohesion_bench::lab::shim_main("ando_separation");
 }

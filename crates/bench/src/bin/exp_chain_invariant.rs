@@ -1,156 +1,7 @@
-//! F10–F14 — the Lemma 5 chain invariant under adversarial schedule search.
-//!
-//! The paper's 1-Async analysis walks the checkpoint chain of a hypothetical
-//! *doomed engagement* of two robots and proves no such chain exists:
-//! every edge must satisfy `|e_t| ≥ V·cosθ_t` with
-//! `cosθ_t ≥ √((2+√3)/4) ≈ 0.9659`, and the chain's final edge would then
-//! contradict initial visibility. Here we *search* for separating schedules:
-//! randomized interleaved engagements of a robot pair running the paper's
-//! algorithm (the rest of the swarm adversarially pinned), recording the
-//! worst separation ever achieved and the chain statistics.
-
-use cohesion_bench::{banner, dump_json};
-use cohesion_core::analysis::lemma5::{verify_chain, COS_THETA_MIN};
-use cohesion_core::KirkpatrickAlgorithm;
-use cohesion_engine::Engine;
-use cohesion_geometry::Vec2;
-use cohesion_model::{Configuration, FrameMode, RobotId};
-use cohesion_scheduler::{ActivationInterval, ScriptedScheduler};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct SearchRow {
-    k: u32,
-    engagements: usize,
-    worst_separation: f64,
-    min_cos_turn_seen: f64,
-    violations: usize,
-}
-
-/// One randomized interleaved engagement: X and Y alternate overlapping
-/// activations (the Figure 10 pattern), each seeing the other mid-move.
-fn random_engagement(seed: u64, k: u32) -> (f64, f64) {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    // Two robots at the visibility threshold, with two pinned anchors far
-    // apart to pull them in opposite directions (the adversary's best hope).
-    let x0 = Vec2::ZERO;
-    let y0 = Vec2::new(1.0, 0.0);
-    let ax = x0 + Vec2::from_angle(rng.gen_range(2.0..4.3)) * rng.gen_range(0.7..1.0);
-    let ay = y0 + Vec2::from_angle(rng.gen_range(-1.2..1.2)) * rng.gen_range(0.7..1.0);
-    let config = Configuration::new(vec![x0, y0, ax, ay]);
-
-    // Interleaved schedule: X's j-th interval overlaps Y's (j−1)-st and
-    // j-th (Figure 10), repeated for a few cluster rounds, with up to k
-    // activations per cluster.
-    let mut script = Vec::new();
-    let mut t = 0.0;
-    for _ in 0..rng.gen_range(3..9) {
-        let x_cluster = rng.gen_range(1..=k);
-        let x_start = t;
-        let x_end = t + 1.0;
-        script.push(ActivationInterval::new(
-            RobotId(0),
-            x_start,
-            x_start + 0.1,
-            x_end,
-        ));
-        let mut s = x_start + 0.15;
-        for _ in 0..x_cluster {
-            let dur = rng.gen_range(0.08..(0.8 / f64::from(k)));
-            if s + dur >= x_end {
-                break;
-            }
-            script.push(ActivationInterval::new(
-                RobotId(1),
-                s,
-                s + dur * 0.4,
-                s + dur,
-            ));
-            s += dur + 0.01;
-        }
-        t = x_end + rng.gen_range(0.01..0.1);
-    }
-    let script = {
-        let mut s = script;
-        s.sort_by(|a, b| a.look.partial_cmp(&b.look).expect("finite"));
-        s
-    };
-
-    let mut engine = Engine::new(
-        &config,
-        1.0,
-        KirkpatrickAlgorithm::new(k),
-        ScriptedScheduler::new("engagement", script),
-        seed,
-    );
-    engine.set_frame_mode(FrameMode::RandomOrtho);
-    let mut xs = vec![x0];
-    let mut ys = vec![y0];
-    let mut worst: f64 = x0.dist(y0);
-    while let Some(ev) = engine.step() {
-        let c = engine.configuration_at(ev.time);
-        worst = worst.max(c.position(RobotId(0)).dist(c.position(RobotId(1))));
-        if ev.kind == cohesion_engine::EngineEventKind::MoveEnd {
-            match ev.robot {
-                RobotId(0) => xs.push(c.position(RobotId(0))),
-                RobotId(1) => ys.push(c.position(RobotId(1))),
-                _ => {}
-            }
-        }
-    }
-    let m = xs.len().min(ys.len());
-    let report = verify_chain(&xs[..m], &ys[..m], 1.0);
-    (worst, report.min_cos_turn)
-}
+//! Deprecated shim: delegates to `lab run chain_invariant` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/chain_invariant.rs`.
 
 fn main() {
-    banner(
-        "F10-F14",
-        "chain-invariant search: can interleaved k-Async schedules separate a pair?",
-    );
-    println!("Lemma 5 constant: cos θ ≥ √((2+√3)/4) = {COS_THETA_MIN:.6} (= cos 15°)");
-    println!();
-    println!(
-        "{:>3} {:>12} {:>18} {:>18} {:>12}",
-        "k", "engagements", "worst |XY| seen", "min cosθ (chains)", "separations"
-    );
-    let mut rows = Vec::new();
-    for k in [1u32, 2, 4] {
-        let engagements = 400;
-        let mut worst: f64 = 0.0;
-        let mut min_cos: f64 = 1.0;
-        let mut violations = 0;
-        for i in 0..engagements {
-            let (sep, cos) = random_engagement(1000 * u64::from(k) + i as u64, k);
-            worst = worst.max(sep);
-            min_cos = min_cos.min(cos);
-            if sep > 1.0 + 1e-9 {
-                violations += 1;
-            }
-        }
-        println!(
-            "{:>3} {:>12} {:>18.6} {:>18.6} {:>12}",
-            k, engagements, worst, min_cos, violations
-        );
-        rows.push(SearchRow {
-            k,
-            engagements,
-            worst_separation: worst,
-            min_cos_turn_seen: min_cos,
-            violations,
-        });
-    }
-    println!("\npaper: Theorem 4 — no legal k-Async schedule separates the pair; worst |XY| stays ≤ V = 1.");
-    println!(
-        "(The min-cosθ column describes realized checkpoint chains; Lemma 5's bound constrains"
-    );
-    println!("only *separating* chains, whose nonexistence is exactly the 0 in the last column.)");
-    let total: usize = rows.iter().map(|r| r.violations).sum();
-    dump_json("f10_chain_invariant", &rows);
-    assert_eq!(
-        total, 0,
-        "found a separating k-Async engagement — contradicting Theorem 4"
-    );
+    cohesion_bench::lab::shim_main("chain_invariant");
 }

@@ -1,131 +1,7 @@
-//! T2 — convergence rates: rounds to halve the diameter vs swarm size.
-//!
-//! Reproduces the shape of the rate landscape the paper surveys (§1.2.2):
-//! CoG's halving time grows with `n` (the paper cites `O(n²)` rounds with an
-//! `Ω(n)` lower bound), GCM with axis agreement halves in `O(1)` rounds, and
-//! the limited-visibility cohesive algorithms sit in between, growing with
-//! the hop-diameter of the visibility graph.
-//!
-//! Runs on the [`SweepRunner`]: every `(algorithm, n)` cell is an independent
-//! [`ScenarioSpec`], executed in parallel and merged in spec order, so the
-//! table and JSON rows are identical to a serial run.
-
-use cohesion_bench::{
-    banner, dump_json, quick_requested, AlgorithmSpec, ScenarioSpec, SchedulerSpec, SweepRunner,
-    WorkloadSpec,
-};
-use cohesion_model::FrameMode;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    algorithm: String,
-    n: usize,
-    rounds_to_halve: Option<usize>,
-    rounds_to_eps: Option<usize>,
-    converged: bool,
-}
-
-const BIG_V: f64 = 1e6; // "unlimited" visibility for the global baselines
-
-fn spec(
-    algorithm: AlgorithmSpec,
-    n: usize,
-    visibility: f64,
-    frame: FrameMode,
-    quick: bool,
-) -> ScenarioSpec {
-    // The line at near-threshold spacing is the classic worst case: hop
-    // diameter = n − 1.
-    ScenarioSpec {
-        visibility,
-        frame_mode: frame,
-        max_events: if quick { 400_000 } else { 3_000_000 },
-        diameter_sample_every: 64,
-        ..ScenarioSpec::new(
-            WorkloadSpec::Line { n, spacing: 0.9 },
-            algorithm,
-            SchedulerSpec::FSync,
-        )
-    }
-}
+//! Deprecated shim: delegates to `lab run convergence_rate` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/convergence_rate.rs`.
 
 fn main() {
-    banner(
-        "T2",
-        "rounds to halve the diameter vs n (FSync, line workload)",
-    );
-    let quick = quick_requested();
-    let ns: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 48] };
-    let specs: Vec<ScenarioSpec> = ns
-        .iter()
-        .flat_map(|&n| {
-            [
-                spec(
-                    AlgorithmSpec::Kirkpatrick { k: 1 },
-                    n,
-                    1.0,
-                    FrameMode::RandomOrtho,
-                    quick,
-                ),
-                spec(
-                    AlgorithmSpec::Ando { v: 1.0 },
-                    n,
-                    1.0,
-                    FrameMode::RandomOrtho,
-                    quick,
-                ),
-                spec(
-                    AlgorithmSpec::Katreniak,
-                    n,
-                    1.0,
-                    FrameMode::RandomOrtho,
-                    quick,
-                ),
-                spec(AlgorithmSpec::Cog, n, BIG_V, FrameMode::RandomOrtho, quick),
-                spec(AlgorithmSpec::Gcm, n, BIG_V, FrameMode::Aligned, quick),
-            ]
-        })
-        .collect();
-
-    let reports = SweepRunner::new().run_scenarios(&specs);
-
-    println!(
-        "{:<22} {:>4} {:>14} {:>12} {:>10}",
-        "algorithm", "n", "halve rounds", "eps rounds", "converged"
-    );
-    let mut rows = Vec::new();
-    let per_n = specs.len() / ns.len();
-    for (i, (spec, report)) in specs.iter().zip(&reports).enumerate() {
-        let WorkloadSpec::Line { n, .. } = spec.workload else {
-            unreachable!("every T2 workload is a line")
-        };
-        let row = Row {
-            algorithm: report.algorithm.clone(),
-            n,
-            rounds_to_halve: report.rounds_to_halve_diameter(),
-            rounds_to_eps: report.rounds_to_reach(0.05),
-            converged: report.converged,
-        };
-        println!(
-            "{:<22} {:>4} {:>14} {:>12} {:>10}",
-            row.algorithm,
-            row.n,
-            row.rounds_to_halve.map_or("-".into(), |r| r.to_string()),
-            row.rounds_to_eps.map_or("-".into(), |r| r.to_string()),
-            row.converged
-        );
-        rows.push(row);
-        if (i + 1) % per_n == 0 {
-            println!();
-        }
-    }
-    println!("shape to check against the paper's survey (§1.2.2):");
-    println!("  * under FSync with unlimited visibility, cog and gcm collapse in O(1) rounds");
-    println!("    (every robot jumps to the same global target; cog's O(n²) worst case needs");
-    println!("    adversarial SSync subsets, which random rounds do not realize);");
-    println!("  * limited-visibility algorithms grow with the hop diameter (≈ n on a line);");
-    println!("  * ours is slower than Ando's by roughly the 1/8-vs-1/2 step-size ratio;");
-    println!("  * '-' cells: the run converged before the measurement round completed.");
-    dump_json("t2_convergence_rate", &rows);
+    cohesion_bench::lab::shim_main("convergence_rate");
 }

@@ -1,161 +1,7 @@
-//! T3 + F18 — error-tolerance sweeps (§6.1).
-//!
-//! Sweeps the four error knobs independently under 2-Async scheduling and
-//! records the Cohesive Convergence success rate over seeds. The paper's
-//! claims: the algorithm (with matched tolerance parameters) survives
-//! bounded relative distance error `δ`, bounded skew `λ`, any rigidity
-//! `ξ ∈ (0,1]`, and quadratic motion error — while *linear* motion error is
-//! fatal in principle (Figure 18; demonstrated geometrically here and in
-//! tests/error_tolerance.rs).
-
-use cohesion_bench::{banner, dump_json};
-use cohesion_core::KirkpatrickAlgorithm;
-use cohesion_engine::SimulationBuilder;
-use cohesion_model::{MotionError, MotionModel, PerceptionModel};
-use cohesion_scheduler::KAsyncScheduler;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    knob: String,
-    value: f64,
-    runs: usize,
-    cohesive_converged: usize,
-    cohesion_failures: usize,
-}
-
-fn sweep(
-    knob: &str,
-    value: f64,
-    perception: PerceptionModel,
-    motion: MotionModel,
-    delta: f64,
-    skew: f64,
-) -> Row {
-    let runs = 8;
-    let mut ok = 0;
-    let mut broken = 0;
-    for seed in 0..runs {
-        let report = SimulationBuilder::new(
-            cohesion_workloads::random_connected(10, 1.0, 100 + seed),
-            KirkpatrickAlgorithm::with_error_tolerance(2, delta, skew),
-        )
-        .visibility(1.0)
-        .scheduler(KAsyncScheduler::new(2, 200 + seed))
-        .seed(300 + seed)
-        .perception(perception)
-        .motion(motion)
-        .epsilon(0.08)
-        .max_events(500_000)
-        .track_strong_visibility(false)
-        .hull_check_every(0)
-        .run();
-        if report.cohesively_converged() {
-            ok += 1;
-        }
-        if !report.cohesion_maintained {
-            broken += 1;
-        }
-    }
-    Row {
-        knob: knob.into(),
-        value,
-        runs: runs as usize,
-        cohesive_converged: ok as usize,
-        cohesion_failures: broken as usize,
-    }
-}
+//! Deprecated shim: delegates to `lab run error_tolerance` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/error_tolerance.rs`.
 
 fn main() {
-    banner("T3+F18", "error-tolerance sweeps under 2-Async");
-    let mut rows = Vec::new();
-    println!(
-        "{:<28} {:>8} {:>10} {:>12} {:>12}",
-        "knob", "value", "runs", "cohesive+ε", "edge breaks"
-    );
-
-    for &delta in &[0.0, 0.02, 0.05, 0.1] {
-        let r = sweep(
-            "distance error δ",
-            delta,
-            PerceptionModel::new(delta, 0.0),
-            MotionModel::RIGID,
-            delta,
-            0.0,
-        );
-        println!(
-            "{:<28} {:>8.3} {:>10} {:>12} {:>12}",
-            r.knob, r.value, r.runs, r.cohesive_converged, r.cohesion_failures
-        );
-        rows.push(r);
-    }
-    for &skew in &[0.0, 0.05, 0.1, 0.2] {
-        let r = sweep(
-            "angular skew λ",
-            skew,
-            PerceptionModel::new(0.0, skew),
-            MotionModel::RIGID,
-            0.0,
-            skew,
-        );
-        println!(
-            "{:<28} {:>8.3} {:>10} {:>12} {:>12}",
-            r.knob, r.value, r.runs, r.cohesive_converged, r.cohesion_failures
-        );
-        rows.push(r);
-    }
-    for &xi in &[1.0, 0.5, 0.25, 0.1] {
-        let r = sweep(
-            "rigidity ξ",
-            xi,
-            PerceptionModel::EXACT,
-            MotionModel::with_rigidity(xi),
-            0.0,
-            0.0,
-        );
-        println!(
-            "{:<28} {:>8.3} {:>10} {:>12} {:>12}",
-            r.knob, r.value, r.runs, r.cohesive_converged, r.cohesion_failures
-        );
-        rows.push(r);
-    }
-    for &c in &[0.0, 0.2, 0.5] {
-        let r = sweep(
-            "quadratic motion error c",
-            c,
-            PerceptionModel::EXACT,
-            MotionModel::new(1.0, MotionError::Quadratic { coefficient: c }),
-            0.0,
-            0.0,
-        );
-        println!(
-            "{:<28} {:>8.3} {:>10} {:>12} {:>12}",
-            r.knob, r.value, r.runs, r.cohesive_converged, r.cohesion_failures
-        );
-        rows.push(r);
-    }
-    // Linear motion error: the regime the paper proves fatal (Figure 18).
-    for &c in &[0.2, 0.5] {
-        let r = sweep(
-            "LINEAR motion error c",
-            c,
-            PerceptionModel::EXACT,
-            MotionModel::new(1.0, MotionError::Linear { coefficient: c }),
-            0.0,
-            0.0,
-        );
-        println!(
-            "{:<28} {:>8.3} {:>10} {:>12} {:>12}",
-            r.knob, r.value, r.runs, r.cohesive_converged, r.cohesion_failures
-        );
-        rows.push(r);
-    }
-    println!(
-        "\npaper (§6.1): all tolerated knobs keep 'cohesive+ε' at {}/{}; linear motion",
-        8, 8
-    );
-    println!("error is the regime Figure 18 proves fatal — random (non-worst-case) linear noise");
-    println!("may still let runs through, so its row is diagnostic, not a guarantee; the");
-    println!("worst-case geometric break is asserted in tests/error_tolerance.rs.");
-    dump_json("t3_error_tolerance", &rows);
+    cohesion_bench::lab::shim_main("error_tolerance");
 }

@@ -1,131 +1,7 @@
-//! T5 — the §6.2/§6.3 extensions: unlimited visibility under full Async,
-//! disconnected starts, and the 3D generalization.
-
-use cohesion_bench::{banner, dump_json, mark};
-use cohesion_core::KirkpatrickAlgorithm;
-use cohesion_engine::SimulationBuilder;
-use cohesion_geometry::{Vec2, Vec3};
-use cohesion_model::Configuration;
-use cohesion_scheduler::{AsyncScheduler, KAsyncScheduler, SSyncScheduler};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    experiment: String,
-    converged: bool,
-    cohesive: bool,
-    final_diameter: f64,
-    events: usize,
-}
+//! Deprecated shim: delegates to `lab run extensions` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/extensions.rs`.
 
 fn main() {
-    banner(
-        "T5",
-        "extensions: unlimited-V Async, disconnected start, 3D",
-    );
-    let mut rows = Vec::new();
-    println!(
-        "{:<38} {:>10} {:>9} {:>12} {:>9}",
-        "experiment", "converged", "cohesive", "final diam", "events"
-    );
-
-    // Unlimited visibility + full Async (§6.2).
-    let config = cohesion_workloads::random_connected(14, 1.0, 71);
-    let diam = config.diameter();
-    let report = SimulationBuilder::new(config, KirkpatrickAlgorithm::new(1))
-        .visibility(2.0 * diam)
-        .scheduler(AsyncScheduler::new(9))
-        .epsilon(0.05)
-        .max_events(1_200_000)
-        .track_strong_visibility(false)
-        .run();
-    println!(
-        "{:<38} {:>10} {:>9} {:>12.4} {:>9}",
-        "unlimited V, full Async",
-        mark(report.converged),
-        mark(report.cohesion_maintained),
-        report.final_diameter,
-        report.events
-    );
-    rows.push(Row {
-        experiment: "unlimited_v_async".into(),
-        converged: report.converged,
-        cohesive: report.cohesion_maintained,
-        final_diameter: report.final_diameter,
-        events: report.events,
-    });
-
-    // Disconnected start (§6.3.1): two far-apart clusters converge
-    // per-component.
-    let mut pts: Vec<Vec2> = cohesion_workloads::random_connected(6, 1.0, 72)
-        .positions()
-        .to_vec();
-    pts.extend(
-        cohesion_workloads::random_connected(6, 1.0, 73)
-            .positions()
-            .iter()
-            .map(|&p| p + Vec2::new(40.0, 0.0)),
-    );
-    let report = SimulationBuilder::new(Configuration::new(pts), KirkpatrickAlgorithm::new(1))
-        .visibility(1.0)
-        .scheduler(SSyncScheduler::new(21))
-        .epsilon(0.05)
-        .max_events(900_000)
-        .track_strong_visibility(false)
-        .run();
-    let final_pos = report.final_configuration.positions();
-    let comp = |r: std::ops::Range<usize>| {
-        let mut best = 0.0_f64;
-        for i in r.clone() {
-            for j in r.clone() {
-                best = best.max(final_pos[i].dist(final_pos[j]));
-            }
-        }
-        best
-    };
-    let per_component_ok = comp(0..6) < 0.05 && comp(6..12) < 0.05;
-    println!(
-        "{:<38} {:>10} {:>9} {:>12.4} {:>9}",
-        "disconnected start (per-component)",
-        mark(per_component_ok),
-        mark(report.cohesion_maintained),
-        comp(0..6).max(comp(6..12)),
-        report.events
-    );
-    rows.push(Row {
-        experiment: "disconnected_start".into(),
-        converged: per_component_ok,
-        cohesive: report.cohesion_maintained,
-        final_diameter: comp(0..6).max(comp(6..12)),
-        events: report.events,
-    });
-
-    // 3D (§6.3.2).
-    let report = SimulationBuilder::<Vec3>::new(
-        cohesion_workloads::ball3(16, 1.0, 74),
-        KirkpatrickAlgorithm::new(2),
-    )
-    .visibility(1.0)
-    .scheduler(KAsyncScheduler::new(2, 75))
-    .epsilon(0.06)
-    .max_events(1_500_000)
-    .run();
-    println!(
-        "{:<38} {:>10} {:>9} {:>12.4} {:>9}",
-        "3D ball, 2-Async (cone rule)",
-        mark(report.converged),
-        mark(report.cohesion_maintained),
-        report.final_diameter,
-        report.events
-    );
-    rows.push(Row {
-        experiment: "three_dimensional".into(),
-        converged: report.converged,
-        cohesive: report.cohesion_maintained,
-        final_diameter: report.final_diameter,
-        events: report.events,
-    });
-
-    println!("\npaper (§6.2-§6.3): all three rows converge cohesively.");
-    dump_json("t5_extensions", &rows);
+    cohesion_bench::lab::shim_main("extensions");
 }

@@ -1,87 +1,7 @@
-//! F19–F22 — the §7 Async impossibility construction.
-//!
-//! For each victim algorithm and several turn angles `ψ`, build the spiral
-//! (Figure 19), run the sliver-flattening nested adversary (Figures 20–22),
-//! and report the outcome: separation achieved, the stale-move length `ζ`,
-//! the nesting bound `k` the schedule consumed, and the radial drift of the
-//! tail (the paper's construction bounds its drift by `4ψ²`).
-
-use cohesion_adversary::{run_impossibility, SpiralConstruction};
-use cohesion_algorithms::{AndoAlgorithm, KatreniakAlgorithm};
-use cohesion_bench::{banner, dump_json, mark};
-use cohesion_core::KirkpatrickAlgorithm;
-use cohesion_geometry::Vec2;
-use cohesion_model::Algorithm;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    algorithm: String,
-    psi: f64,
-    robots: usize,
-    zeta: f64,
-    separated: bool,
-    final_ab: f64,
-    nesting_k: usize,
-    sweeps: usize,
-    max_radial_drift: f64,
-    drift_bound_4psi2: f64,
-}
+//! Deprecated shim: delegates to `lab run impossibility` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/impossibility.rs`.
 
 fn main() {
-    banner("F19-F22", "the Async spiral adversary vs three victims");
-    println!(
-        "{:<22} {:>5} {:>6} {:>8} {:>10} {:>9} {:>9} {:>8} {:>9} {:>9}",
-        "victim", "ψ", "n", "ζ", "separated", "|AB| end", "nest k", "sweeps", "drift", "4ψ²"
-    );
-    let mut rows = Vec::new();
-    for &psi in &[0.35, 0.3, 0.25] {
-        let victims: Vec<Box<dyn Algorithm<Vec2>>> = vec![
-            Box::new(AndoAlgorithm::new(1.0)),
-            Box::new(KatreniakAlgorithm::new()),
-            Box::new(KirkpatrickAlgorithm::new(1)),
-        ];
-        for victim in &victims {
-            let o = run_impossibility(victim.as_ref(), psi, 60_000);
-            println!(
-                "{:<22} {:>5.2} {:>6} {:>8.4} {:>10} {:>9.4} {:>9} {:>8} {:>9.4} {:>9.4}",
-                o.algorithm,
-                psi,
-                o.robots,
-                o.zeta,
-                mark(o.separated),
-                o.final_ab_distance,
-                o.nesting_k,
-                o.sweeps,
-                o.max_radial_drift,
-                4.0 * psi * psi
-            );
-            rows.push(Row {
-                algorithm: o.algorithm.clone(),
-                psi,
-                robots: o.robots,
-                zeta: o.zeta,
-                separated: o.separated,
-                final_ab: o.final_ab_distance,
-                nesting_k: o.nesting_k,
-                sweeps: o.sweeps,
-                max_radial_drift: o.max_radial_drift,
-                drift_bound_4psi2: 4.0 * psi * psi,
-            });
-        }
-        println!();
-    }
-    println!("spiral sizes follow n ≈ 3 + e^{{3π/(8 sin ψ)}}:");
-    for &psi in &[0.35, 0.3, 0.25, 0.2] {
-        println!(
-            "  ψ = {psi}: built n = {} (estimate {:.0})",
-            SpiralConstruction::paper(psi).robot_count(),
-            SpiralConstruction::paper_size_estimate(psi)
-        );
-    }
-    println!("\npaper (§7): every error-tolerant algorithm is separated by unbounded nesting.");
-    println!("Shape reproduced: larger ζ ⇒ shallower nesting suffices (Ando breaks in a few");
-    println!("sweeps, matching its 2-NestA failure); smaller ζ ⇒ the adversary needs deeper");
-    println!("nesting and smaller ψ — the paper's 'ψ sufficiently small relative to ζ'.");
-    dump_json("f19_impossibility", &rows);
+    cohesion_bench::lab::shim_main("impossibility");
 }

@@ -1,104 +1,7 @@
-//! T4 — the `1/k` scaling (§3.2.1): safety and its price.
-//!
-//! The algorithm's only adaptation to higher asynchrony is scaling its safe
-//! regions by `1/k`. Two effects to reproduce:
-//!
-//! * safety is monotone: an algorithm provisioned for `k` keeps cohesion
-//!   under any `k'`-Async scheduler with `k' ≤ k`;
-//! * the price is speed: steps shrink by `1/k`, so convergence time grows
-//!   roughly linearly in `k`.
-//!
-//! Runs on the [`SweepRunner`]: every `(alg k, sched k)` cell is an
-//! independent [`ScenarioSpec`], executed in parallel and merged in spec
-//! order, so the table and JSON rows are identical to a serial run.
-
-use cohesion_bench::{
-    banner, dump_json, quick_requested, AlgorithmSpec, ScenarioSpec, SchedulerSpec, SweepRunner,
-    WorkloadSpec,
-};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    algorithm_k: u32,
-    scheduler_k: u32,
-    converged: bool,
-    cohesive: bool,
-    rounds: usize,
-    end_time: f64,
-}
-
-fn spec(algorithm_k: u32, scheduler_k: u32, seed: u64, quick: bool) -> ScenarioSpec {
-    ScenarioSpec {
-        seed: 600 + seed,
-        max_events: if quick { 150_000 } else { 2_500_000 },
-        ..ScenarioSpec::new(
-            WorkloadSpec::RandomConnected {
-                n: if quick { 8 } else { 12 },
-                v: 1.0,
-                seed: 400 + seed,
-            },
-            AlgorithmSpec::Kirkpatrick { k: algorithm_k },
-            SchedulerSpec::KAsync {
-                k: scheduler_k,
-                seed: 500 + seed,
-            },
-        )
-    }
-}
+//! Deprecated shim: delegates to `lab run k_scaling` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/k_scaling.rs`.
 
 fn main() {
-    banner(
-        "T4",
-        "1/k scaling: convergence cost vs provisioned k, and safety margins",
-    );
-    let quick = quick_requested();
-    // Cost of k (matched provisioning), then safety margins (over- and
-    // under-provisioning). One flat spec grid; the blank line in the table
-    // separates the two families.
-    let matched: Vec<(u32, u32, u64)> = [1u32, 2, 4, 8]
-        .iter()
-        .map(|&k| (k, k, u64::from(k)))
-        .collect();
-    let margins: Vec<(u32, u32, u64)> = [(8u32, 2u32), (4, 1), (1, 4), (2, 8)]
-        .iter()
-        .map(|&(ak, sk)| (ak, sk, u64::from(ak * 10 + sk)))
-        .collect();
-    let cells: Vec<(u32, u32, u64)> = matched.iter().chain(&margins).copied().collect();
-    let specs: Vec<ScenarioSpec> = cells
-        .iter()
-        .map(|&(ak, sk, seed)| spec(ak, sk, seed, quick))
-        .collect();
-
-    let reports = SweepRunner::new().run_scenarios(&specs);
-
-    println!(
-        "{:>6} {:>6} {:>10} {:>9} {:>8} {:>10}",
-        "alg k", "sched k", "converged", "cohesive", "rounds", "end time"
-    );
-    let mut rows = Vec::new();
-    for (i, ((ak, sk, _), report)) in cells.iter().zip(&reports).enumerate() {
-        let r = Row {
-            algorithm_k: *ak,
-            scheduler_k: *sk,
-            converged: report.converged,
-            cohesive: report.cohesion_maintained,
-            rounds: report.rounds,
-            end_time: report.end_time,
-        };
-        if i == matched.len() {
-            println!();
-        }
-        println!(
-            "{:>6} {:>6} {:>10} {:>9} {:>8} {:>10.1}",
-            r.algorithm_k, r.scheduler_k, r.converged, r.cohesive, r.rounds, r.end_time
-        );
-        rows.push(r);
-    }
-    println!("\npaper (§3.2.1, Theorems 3-4): matched and over-provisioned rows keep cohesion;");
-    println!("rounds grow with k (the 1/k step). Under-provisioned rows (alg k < sched k) are");
-    println!("*not* covered by the theorem — random schedulers rarely realize the worst case,");
-    println!("so their 'cohesive' cells may still read yes; the guaranteed break needs the");
-    println!("scripted adversaries (see exp_ando_separation, exp_impossibility).");
-    dump_json("t4_k_scaling", &rows);
+    cohesion_bench::lab::shim_main("k_scaling");
 }

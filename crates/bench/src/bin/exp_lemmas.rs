@@ -1,179 +1,7 @@
-//! F5–F9 + F16–F17 — the proof geometry, Monte-Carlo form.
-//!
-//! * Lemmas 1–2 (Figures 5–9): random chains of `j ≤ k` safe-region-confined
-//!   moves stay inside the reach region `R^{j·r/k}` — sampled containment
-//!   rates must be 100%.
-//! * Lemma 6 (Figure 17): after a `ξ`-rigid move of a robot with
-//!   `V_Z ≥ ζ·r_H`, the distance from the critical point `A_H` respects the
-//!   paper's lower bound.
-//! * Lemma 8: emptying a `d`-neighbourhood of a hull vertex shrinks the
-//!   perimeter by at least `d³/(4 r_H²)`.
-
-use cohesion_bench::{banner, dump_json};
-use cohesion_core::analysis::congregation::{
-    hull_radius_and_critical_points, lemma6_bound, lemma7_bound, lemma8_perimeter_drop,
-};
-use cohesion_core::{KirkpatrickAlgorithm, ReachRegion};
-use cohesion_geometry::hull::convex_hull;
-use cohesion_geometry::Vec2;
-use cohesion_model::{Algorithm, Snapshot};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct LemmaRow {
-    lemma: String,
-    trials: usize,
-    violations: usize,
-}
+//! Deprecated shim: delegates to `lab run lemmas` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/lemmas.rs`.
 
 fn main() {
-    banner(
-        "F5-F9/F16-F17",
-        "reach-region and congregation lemmas (Monte Carlo)",
-    );
-    let mut rng = SmallRng::seed_from_u64(0xF1C);
-    let mut rows = Vec::new();
-
-    // Lemma 1: stationary neighbour.
-    let trials = 20_000;
-    let mut violations = 0;
-    for _ in 0..trials {
-        let k = rng.gen_range(1..=6u32);
-        let x0 =
-            Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU)) * rng.gen_range(0.55..1.0);
-        let r_step = 1.0 / (8.0 * f64::from(k));
-        let mut y = Vec2::ZERO;
-        for j in 1..=k {
-            let dir = match (x0 - y).normalized(1e-12) {
-                Some(u) => u,
-                None => break,
-            };
-            let c = y + dir * r_step;
-            y = c + Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU))
-                * rng.gen_range(0.0..r_step);
-            let region = ReachRegion::new(Vec2::ZERO, x0, x0, f64::from(j) * r_step);
-            if !region.contains(y, 1e-7) {
-                violations += 1;
-            }
-        }
-    }
-    println!("Lemma 1 (stationary neighbour): {trials} chains, {violations} escapes");
-    rows.push(LemmaRow {
-        lemma: "lemma1".into(),
-        trials,
-        violations,
-    });
-
-    // Lemma 2: moving neighbour, monotone trajectory samples.
-    let mut violations = 0;
-    for _ in 0..trials {
-        let k = rng.gen_range(1..=5u32);
-        let x0 = Vec2::new(rng.gen_range(0.6..1.0), 0.0);
-        let x1 = x0 + Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU)) * 0.2;
-        let r_step = 1.0 / (8.0 * f64::from(k));
-        let mut y = Vec2::ZERO;
-        let mut s = 0.0;
-        for j in 1..=k {
-            s = rng.gen_range(s..=1.0);
-            let x_star = x0.lerp(x1, s);
-            let dir = match (x_star - y).normalized(1e-12) {
-                Some(u) => u,
-                None => break,
-            };
-            let c = y + dir * r_step;
-            y = c + Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU))
-                * rng.gen_range(0.0..r_step);
-            let region = ReachRegion::new(Vec2::ZERO, x0, x1, f64::from(j) * r_step);
-            if !region.contains(y, 1e-7) {
-                violations += 1;
-            }
-        }
-    }
-    println!("Lemma 2 (moving neighbour):     {trials} chains, {violations} escapes");
-    rows.push(LemmaRow {
-        lemma: "lemma2".into(),
-        trials,
-        violations,
-    });
-
-    // Lemma 6: post-move distance from the critical point.
-    let alg = KirkpatrickAlgorithm::new(1);
-    let mut violations = 0;
-    let trials6 = 5_000;
-    for _ in 0..trials6 {
-        // Configuration on a circle (hull radius r_h = 1) plus a robot Z
-        // near the critical point A_H = (0, 1).
-        let r_h = 1.0;
-        let a_h = Vec2::new(0.0, r_h);
-        let z = a_h + Vec2::from_angle(rng.gen_range(3.5..5.9)) * rng.gen_range(0.0..0.05);
-        // Z's neighbours: two robots at distance ~zeta·r_h inside the hull.
-        let zeta = rng.gen_range(0.4..0.9);
-        let n1 = z + Vec2::from_angle(rng.gen_range(3.6..4.2)) * zeta;
-        let n2 = z + Vec2::from_angle(rng.gen_range(4.6..5.4)) * zeta;
-        let snap = Snapshot::from_positions(vec![n1 - z, n2 - z]);
-        let target = z + alg.compute(&snap);
-        // ξ = 1 (rigid): the realized endpoint is the target.
-        let bound = lemma6_bound(zeta * 0.9, 1.0, r_h);
-        if target.dist(a_h) < bound {
-            violations += 1;
-        }
-    }
-    println!("Lemma 6 (critical-point clearance): {trials6} moves, {violations} below bound");
-    rows.push(LemmaRow {
-        lemma: "lemma6".into(),
-        trials: trials6,
-        violations,
-    });
-    println!(
-        "  bound examples: ζ=0.5,ξ=1 → {:.3e}·r_H ; ζ=0.5,ξ=0.25 → {:.3e}·r_H ; lemma7(µ=0.5) → {:.3e}·r_H",
-        lemma6_bound(0.5, 1.0, 1.0),
-        lemma6_bound(0.5, 0.25, 1.0),
-        lemma7_bound(0.5, 1.0, 1.0),
-    );
-
-    // Lemma 8: perimeter drop when a vertex neighbourhood empties.
-    let mut violations = 0;
-    let trials8 = 2_000;
-    for _ in 0..trials8 {
-        let n = rng.gen_range(8..40);
-        let pts: Vec<Vec2> = (0..n)
-            .map(|_| {
-                Vec2::from_angle(rng.gen_range(0.0..std::f64::consts::TAU))
-                    * rng.gen_range(0.5..1.0)
-            })
-            .collect();
-        let (center, r_h, critical) = hull_radius_and_critical_points(&pts);
-        let Some(&a_h) = critical.first() else {
-            continue;
-        };
-        let d = rng.gen_range(0.01..0.2) * r_h;
-        let emptied: Vec<Vec2> = pts.iter().copied().filter(|p| p.dist(a_h) > d).collect();
-        if emptied.len() < 3 {
-            continue;
-        }
-        let drop = convex_hull(&pts).perimeter() - convex_hull(&emptied).perimeter();
-        // Lemma 8 presumes A_H is a hull vertex at distance r_H from the
-        // centre; our random sets satisfy that by construction of critical
-        // points.
-        let _ = center;
-        if drop + 1e-12 < lemma8_perimeter_drop(d, r_h) {
-            violations += 1;
-        }
-    }
-    println!("Lemma 8 (perimeter drop):       {trials8} hulls, {violations} below d³/(4r_H²)");
-    rows.push(LemmaRow {
-        lemma: "lemma8".into(),
-        trials: trials8,
-        violations,
-    });
-
-    let total_violations: usize = rows.iter().map(|r| r.violations).sum();
-    println!(
-        "\nverdict: {} violations across all lemma checks (paper predicts 0)",
-        total_violations
-    );
-    dump_json("f5_f17_lemmas", &rows);
-    assert_eq!(total_violations, 0, "a proof-geometry invariant failed");
+    cohesion_bench::lab::shim_main("lemmas");
 }

@@ -1,100 +1,7 @@
-//! F3 + F15 — safe-region geometry across the three algorithms, and the
-//! paper's target-destination rule.
-//!
-//! Figure 3 compares, for an observer `Y` seeing a neighbour `X` at distance
-//! `d` (with `V_Y = V = 1`): Ando's disk (radius `V/2` at the midpoint),
-//! Katreniak's two-disk union, and the paper's direction-only disk
-//! (radius `V_Y/8` at distance `V_Y/8` toward `X`). We tabulate region area
-//! and the maximal admissible step toward the neighbour, and verify the
-//! paper's observations: its region depends only on direction, is the
-//! smallest, and bounds every step by `V_Y/8`.
-
-use cohesion_algorithms::{AndoAlgorithm, KatreniakAlgorithm};
-use cohesion_bench::{banner, dump_json};
-use cohesion_core::{KirkpatrickAlgorithm, SafeRegion};
-use cohesion_geometry::{Circle, Vec2};
-use cohesion_model::{Algorithm, Snapshot};
-use serde::Serialize;
-use std::f64::consts::PI;
-
-#[derive(Serialize)]
-struct Row {
-    distance: f64,
-    ando_area: f64,
-    katreniak_area: f64,
-    ours_area: f64,
-    ando_step: f64,
-    katreniak_step: f64,
-    ours_step: f64,
-}
+//! Deprecated shim: delegates to `lab run safe_regions` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/safe_regions.rs`.
 
 fn main() {
-    banner(
-        "F3+F15",
-        "safe regions: Ando vs Katreniak vs the paper's rule",
-    );
-    let v = 1.0;
-    println!(
-        "{:>6} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
-        "d", "area:ando", "katreniak", "ours", "step:ando", "katreniak", "ours"
-    );
-    let ando = AndoAlgorithm::new(v);
-    let kat = KatreniakAlgorithm::new();
-    let mut rows = Vec::new();
-    for d in [0.3, 0.5, 0.7, 0.9, 1.0] {
-        let x = Vec2::new(d, 0.0);
-        // Areas.
-        let ando_area = Circle::new(x * 0.5, v / 2.0).area();
-        let (near, own) = kat.safe_disks(x, v);
-        // The union area (the disks overlap near the origin).
-        let kat_area = near.area() + own.area() - near.lens_area(&own);
-        let ours = SafeRegion::new(Vec2::ZERO, x, v / 8.0).expect("direction");
-        let ours_area = ours.ball().radius * ours.ball().radius * PI;
-        // Maximal admissible step straight toward the neighbour.
-        let u = Vec2::new(1.0, 0.0);
-        let ando_step = ando.limit_toward(u, x).unwrap_or(0.0).min(d);
-        let kat_step = kat.limit_toward(u, x, v);
-        let ours_step = 2.0 * v / 8.0; // diameter of the direction disk
-        println!(
-            "{:>6.2} | {:>10.4} {:>10.4} {:>10.4} | {:>10.4} {:>10.4} {:>10.4}",
-            d, ando_area, kat_area, ours_area, ando_step, kat_step, ours_step
-        );
-        rows.push(Row {
-            distance: d,
-            ando_area,
-            katreniak_area: kat_area,
-            ours_area,
-            ando_step,
-            katreniak_step: kat_step,
-            ours_step,
-        });
-    }
-    println!("\nobservations reproduced:");
-    println!("  * ours is independent of d (direction-only, §3.2.1) and by far the smallest;");
-    println!("  * Ando's region (V/2-disk at the midpoint) allows the longest steps;");
-    println!("  * Katreniak's union shrinks as d → V (own-disk radius (V−d)/4 → 0).");
-
-    // F15: the target rule.
-    println!("\nF15 — target rule checks (γ = half-sector angle, r = V_Z/8):");
-    let alg = KirkpatrickAlgorithm::new(1);
-    for gamma_deg in [10.0f64, 30.0, 60.0, 80.0, 89.0] {
-        let g = gamma_deg.to_radians();
-        let snap = Snapshot::from_positions(vec![Vec2::from_angle(g), Vec2::from_angle(-g)]);
-        let t = alg.compute(&snap);
-        println!(
-            "  γ = {gamma_deg:>4}°: step = {:.4} (= r·cosγ = {:.4}), direction = bisector",
-            t.norm(),
-            (1.0 / 8.0) * g.cos()
-        );
-    }
-    let surround = Snapshot::from_positions(vec![
-        Vec2::from_angle(0.0),
-        Vec2::from_angle(2.0 * PI / 3.0),
-        Vec2::from_angle(4.0 * PI / 3.0),
-    ]);
-    println!(
-        "  surrounded (three 120°-spread distant neighbours): step = {:.4} (nil, §5)",
-        alg.compute(&surround).norm()
-    );
-    dump_json("f3_safe_regions", &rows);
+    cohesion_bench::lab::shim_main("safe_regions");
 }

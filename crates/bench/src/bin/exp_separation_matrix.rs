@@ -1,185 +1,7 @@
-//! T1 — the headline separation matrix.
-//!
-//! Rows: algorithms. Columns: scheduling models. Cells: did the run converge
-//! and did it keep every initial visibility edge? The paper's claims to
-//! reproduce:
-//!
-//! * the paper's algorithm (with matching `k`): cohesively converges in all
-//!   bounded models;
-//! * Ando: sound in SSync, broken by the 1-Async and 2-NestA scripts;
-//! * Katreniak: sound through 1-Async, broken by the unbounded (spiral)
-//!   adversary;
-//! * every victim: broken by the §7 Async spiral adversary.
-//!
-//! All 18 cells run in parallel on the [`SweepRunner`] and are merged in
-//! cell order, so the table and JSON rows are identical to a serial run.
-//! The random-scheduler cells are plain [`ScenarioSpec`]s; the scripted
-//! Figure 4 and §7 spiral cells carry their own drivers.
-
-use cohesion_adversary::ando_counterexample as fig4;
-use cohesion_adversary::run_impossibility;
-use cohesion_bench::{
-    banner, dump_json, mark, quick_requested, AlgorithmSpec, ScenarioSpec, SchedulerSpec,
-    SweepRunner, WorkloadSpec,
-};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Cell {
-    algorithm: String,
-    scheduler: String,
-    converged: bool,
-    cohesive: bool,
-}
-
-/// One matrix cell, ready to run on any sweep worker.
-enum Job {
-    /// A fair random scheduler on a random connected cloud.
-    Random(ScenarioSpec),
-    /// The scripted 1-Async counterexample (Figure 4a geometry).
-    Fig4Script(AlgorithmSpec),
-    /// The §7 unbounded-asynchrony spiral adversary, with a sweep budget.
-    Spiral(AlgorithmSpec, usize),
-}
-
-impl Job {
-    /// Runs the cell to a `(converged, cohesive)` verdict.
-    fn run(&self) -> (bool, bool) {
-        match self {
-            Job::Random(spec) => {
-                let report = spec.run();
-                (report.converged, report.cohesion_maintained)
-            }
-            Job::Fig4Script(alg) => {
-                let report = fig4::run_figure4(alg.build(), fig4::figure4a_schedule());
-                (report.converged, report.cohesion_maintained)
-            }
-            Job::Spiral(alg, max_sweeps) => {
-                let victim = alg.build();
-                let outcome = run_impossibility(victim.as_ref(), 0.3, *max_sweeps);
-                (false, !outcome.separated)
-            }
-        }
-    }
-}
-
-fn random_spec(
-    alg: AlgorithmSpec,
-    scheduler: SchedulerSpec,
-    seed: u64,
-    quick: bool,
-) -> ScenarioSpec {
-    ScenarioSpec {
-        seed,
-        max_events: if quick { 120_000 } else { 900_000 },
-        ..ScenarioSpec::new(
-            WorkloadSpec::RandomConnected {
-                n: if quick { 8 } else { 14 },
-                v: 1.0,
-                seed,
-            },
-            alg,
-            scheduler,
-        )
-    }
-}
+//! Deprecated shim: delegates to `lab run separation_matrix` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/separation_matrix.rs`.
 
 fn main() {
-    banner("T1", "separation matrix: algorithm × scheduling model");
-    let quick = quick_requested();
-    let spiral_sweeps = if quick { 5_000 } else { 30_000 };
-
-    // The §7 spiral victim for the paper's algorithm is the base k = 1
-    // variant: under Async no finite k is "matched", and the adversary's
-    // leverage scales with the victim's step length ζ ~ V/8k (larger k would
-    // need smaller ψ and exponentially more robots to break — see
-    // exp_impossibility).
-    let algs: [(&str, AlgorithmSpec, AlgorithmSpec); 3] = [
-        (
-            "kirkpatrick",
-            AlgorithmSpec::Kirkpatrick { k: 8 },
-            AlgorithmSpec::Kirkpatrick { k: 1 },
-        ),
-        (
-            "ando",
-            AlgorithmSpec::Ando { v: 1.0 },
-            AlgorithmSpec::Ando { v: 1.0 },
-        ),
-        (
-            "katreniak",
-            AlgorithmSpec::Katreniak,
-            AlgorithmSpec::Katreniak,
-        ),
-    ];
-    let columns = [
-        "SSync",
-        "2-NestA",
-        "2-Async",
-        "8-Async",
-        "1-Async script",
-        "Async spiral",
-    ];
-
-    let jobs: Vec<Job> = algs
-        .iter()
-        .flat_map(|&(_, alg, spiral_alg)| {
-            [
-                Job::Random(random_spec(
-                    alg,
-                    SchedulerSpec::SSync { seed: 3 },
-                    51,
-                    quick,
-                )),
-                Job::Random(random_spec(
-                    alg,
-                    SchedulerSpec::NestA { k: 2, seed: 5 },
-                    52,
-                    quick,
-                )),
-                Job::Random(random_spec(
-                    alg,
-                    SchedulerSpec::KAsync { k: 2, seed: 7 },
-                    53,
-                    quick,
-                )),
-                Job::Random(random_spec(
-                    alg,
-                    SchedulerSpec::KAsync { k: 8, seed: 9 },
-                    54,
-                    quick,
-                )),
-                Job::Fig4Script(alg),
-                Job::Spiral(spiral_alg, spiral_sweeps),
-            ]
-        })
-        .collect();
-
-    let verdicts = SweepRunner::new().run(&jobs, |_, job| job.run());
-
-    println!(
-        "{:<18} {:>14} {:>14} {:>14} {:>14} {:>16} {:>16}",
-        "algorithm", columns[0], columns[1], columns[2], columns[3], columns[4], columns[5]
-    );
-    let mut rows: Vec<Cell> = Vec::new();
-    for ((name, _, _), row_verdicts) in algs.iter().zip(verdicts.chunks(columns.len())) {
-        print!("{name:<18}");
-        for (sname, &(converged, cohesive)) in columns.iter().zip(row_verdicts) {
-            let width = if sname.len() > 10 { 16 } else { 14 };
-            print!(" {:>width$}", mark(cohesive));
-            rows.push(Cell {
-                algorithm: name.to_string(),
-                scheduler: sname.to_string(),
-                converged,
-                cohesive,
-            });
-        }
-        println!();
-    }
-    println!("\ncell = cohesion maintained? (\"NO\" marks a lost initial visibility edge)");
-    println!(
-        "kirkpatrick runs with k = 8 (covers every bounded column; scripted 1-Async uses k≥1)."
-    );
-    println!("paper: Theorems 3–4 (bounded columns yes), §3.1/Fig. 4 (Ando loses async columns),");
-    println!("       §7 (everyone loses the Async spiral column).");
-    dump_json("t1_separation_matrix", &rows);
+    cohesion_bench::lab::shim_main("separation_matrix");
 }

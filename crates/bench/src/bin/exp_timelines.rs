@@ -1,74 +1,7 @@
-//! F1–F2 — the scheduling models as validated, rendered timelines.
-
-use cohesion_bench::banner;
-use cohesion_scheduler::render::render_timeline;
-use cohesion_scheduler::validate::{
-    max_nesting_depth, minimal_async_k, validate_fairness, validate_fsync, validate_nested,
-    validate_ssync,
-};
-use cohesion_scheduler::{
-    AsyncScheduler, FSyncScheduler, KAsyncScheduler, NestAScheduler, SSyncScheduler,
-    ScheduleContext, ScheduleTrace, Scheduler,
-};
-
-fn collect(mut s: impl Scheduler, robots: usize, count: usize) -> ScheduleTrace {
-    let ctx = ScheduleContext {
-        robot_count: robots,
-    };
-    let mut trace = ScheduleTrace::new();
-    for _ in 0..count {
-        match s.next_activation(&ctx) {
-            Some(iv) => trace.push(iv),
-            None => break,
-        }
-    }
-    trace
-}
+//! Deprecated shim: delegates to `lab run timelines` (same registry entry, same
+//! output file). Kept so existing invocations and scripts keep working; the
+//! declarative experiment now lives in `src/experiments/timelines.rs`.
 
 fn main() {
-    banner(
-        "F1-F2",
-        "scheduler timelines (L = Look, c = Compute, m = Move)",
-    );
-    let robots = 3;
-
-    println!("\nFSync (Figure 1 top):");
-    let t = collect(FSyncScheduler::new(), robots, 12);
-    print!("{}", render_timeline(&t, robots, 68));
-    println!(
-        "  validated FSync: {} rounds; fairness ok: {}",
-        validate_fsync(&t, robots).unwrap(),
-        validate_fairness(&t, robots, 2.0).is_ok()
-    );
-
-    println!("\nSSync (Figure 1 middle):");
-    let t = collect(SSyncScheduler::new(5), robots, 12);
-    print!("{}", render_timeline(&t, robots, 68));
-    println!("  validated SSync: {} rounds", validate_ssync(&t).unwrap());
-
-    println!("\nAsync (Figure 1 bottom):");
-    let t = collect(AsyncScheduler::new(5), robots, 14);
-    print!("{}", render_timeline(&t, robots, 68));
-    println!(
-        "  minimal k over this prefix: {} (unbounded in the limit)",
-        minimal_async_k(&t)
-    );
-
-    println!("\n1-NestA (Figure 2 top):");
-    let t = collect(NestAScheduler::new(1, 5), robots, 10);
-    print!("{}", render_timeline(&t, robots, 68));
-    validate_nested(&t).unwrap();
-    println!(
-        "  validated nested; minimal k = {}, max nesting depth = {}",
-        minimal_async_k(&t),
-        max_nesting_depth(&t)
-    );
-
-    println!("\n1-Async (Figure 2 bottom):");
-    let t = collect(KAsyncScheduler::new(1, 5), robots, 12);
-    print!("{}", render_timeline(&t, robots, 68));
-    println!(
-        "  minimal k = {} (≤ 1 by construction); nested pairs not required",
-        minimal_async_k(&t)
-    );
+    cohesion_bench::lab::shim_main("timelines");
 }

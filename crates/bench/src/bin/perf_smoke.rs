@@ -13,7 +13,7 @@
 //! (`--quick` trims samples for CI).
 
 use cohesion_bench::lookbench::{median_ns_per_event, LOOK_BENCH_SIZES};
-use cohesion_bench::quick_requested;
+
 use cohesion_engine::LookPath;
 
 /// A current median may be at most this many times the committed one.
@@ -24,7 +24,11 @@ const REGRESSION_FACTOR: f64 = 3.0;
 const MIN_BRUTE_RATIO: f64 = 3.0;
 
 fn main() {
-    let samples = if quick_requested() { 3 } else { 7 };
+    let samples = if std::env::args().any(|a| a == "--quick") {
+        3
+    } else {
+        7
+    };
     let baseline = load_baseline();
     let mut failures = Vec::new();
 

@@ -1,0 +1,723 @@
+//! The declarative experiment layer and its sharded `lab` CLI.
+//!
+//! Every paper figure/table family is an [`Experiment`]: a registry entry
+//! that *declares* its parameter grid as [`ScenarioSpec`]s and *reduces*
+//! each cell's outcome to JSONL rows, instead of hand-rolling its own loop,
+//! arg parsing, and file emission. One shared runtime owns:
+//!
+//! * CLI parsing (`--quick`, `--threads`, `--out`, `--shard I/M`) behind the
+//!   single `lab` binary (`lab list`, `lab run <name>`, `lab all`,
+//!   `lab merge <name>`);
+//! * the [`Profile`] (quick CI smoke vs full reproduction), replacing the
+//!   old per-binary `--quick` sniffing — the `COHESION_SWEEP_QUICK` env var
+//!   survives only as a deprecated fallback that warns on stderr;
+//! * deterministic **process-level sharding**: `--shard I/M` slices the spec
+//!   grid into `M` contiguous chunks, so concatenating the shard files in
+//!   index order (`lab merge`) is *byte-identical* to an unsharded run —
+//!   rows are a pure per-spec function, merged in spec order, exactly the
+//!   [`SweepRunner`] contract lifted across processes;
+//! * JSONL sinks under `target/experiments/`.
+//!
+//! The old `exp_*` binaries survive as deprecated shims that delegate here.
+
+use crate::sweep::{ScenarioSpec, SchedulerSpec, SweepRunner, WorkloadSpec};
+use cohesion_adversary::{run_impossibility, ImpossibilityOutcome};
+use cohesion_engine::SimulationReport;
+use cohesion_geometry::{Vec2, Vec3};
+use serde::Serialize;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Profile
+// ---------------------------------------------------------------------------
+
+/// Which grid an experiment materializes: the CI smoke grid (shrunken
+/// budgets, same code paths) or the full paper reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// Shrunken grids and budgets for CI smoke runs (`--quick`).
+    Quick,
+    /// The full reproduction grids (the default).
+    #[default]
+    Full,
+}
+
+impl Profile {
+    /// `true` for [`Profile::Quick`].
+    #[must_use]
+    pub fn is_quick(self) -> bool {
+        self == Profile::Quick
+    }
+
+    /// Picks the quick or full variant of a grid parameter.
+    #[must_use]
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Profile::Quick => quick,
+            Profile::Full => full,
+        }
+    }
+}
+
+/// The deprecated environment fallback for [`Profile::Quick`]: honoured so
+/// existing `COHESION_SWEEP_QUICK=1` invocations keep working, but warns on
+/// stderr — pass `--quick` to the `lab` CLI instead.
+#[must_use]
+pub fn profile_env_fallback() -> Option<Profile> {
+    match std::env::var("COHESION_SWEEP_QUICK") {
+        Ok(v) if !v.is_empty() && v != "0" => {
+            eprintln!(
+                "warning: COHESION_SWEEP_QUICK is deprecated; pass --quick to the lab CLI instead"
+            );
+            Some(Profile::Quick)
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rows and outcomes
+// ---------------------------------------------------------------------------
+
+/// One serialized JSONL line (without the trailing newline). Rows are the
+/// unit of the byte-identity contract: a cell's rows depend only on its
+/// [`ScenarioSpec`], so any contiguous sharding of the grid concatenates
+/// back to the unsharded file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonRow(String);
+
+impl JsonRow {
+    /// Serializes one row.
+    #[must_use]
+    pub fn of<T: Serialize>(row: &T) -> JsonRow {
+        JsonRow(serde_json::to_string(row).expect("serialize row"))
+    }
+
+    /// The serialized line.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// What running one grid cell produced.
+#[derive(Debug)]
+pub enum Outcome {
+    /// A 2D engine run.
+    Report(Box<SimulationReport<Vec2>>),
+    /// A 3D engine run ([`WorkloadSpec::Ball3`]).
+    Report3(Box<SimulationReport<Vec3>>),
+    /// A §7 adversary run ([`SchedulerSpec::AdversaryNested`]).
+    Adversary(Box<ImpossibilityOutcome>),
+    /// Summary statistics from an experiment-specific driver (Monte-Carlo
+    /// trials, schedule searches, pure geometry).
+    Stats(Vec<f64>),
+    /// The cell needed no computation beyond its spec.
+    Analytic,
+}
+
+impl Outcome {
+    /// The default cell driver: dispatches a spec to the engine (2D or 3D)
+    /// or to the §7 impossibility adversary. Experiments with bespoke
+    /// drivers override [`Experiment::run`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`SchedulerSpec::AdversaryNested`] scheduler without a
+    /// [`WorkloadSpec::SpiralTail`] workload.
+    #[must_use]
+    pub fn compute(spec: &ScenarioSpec) -> Outcome {
+        match (spec.workload, spec.scheduler) {
+            (WorkloadSpec::SpiralTail { psi }, SchedulerSpec::AdversaryNested { max_sweeps }) => {
+                let victim = spec.algorithm.build();
+                Outcome::Adversary(Box::new(run_impossibility(&*victim, psi, max_sweeps)))
+            }
+            (_, SchedulerSpec::AdversaryNested { .. }) => {
+                panic!("AdversaryNested schedules require a SpiralTail workload")
+            }
+            (WorkloadSpec::Ball3 { .. }, _) => Outcome::Report3(Box::new(spec.run3())),
+            _ => Outcome::Report(Box::new(spec.run())),
+        }
+    }
+
+    /// The 2D report, when this outcome is one.
+    ///
+    /// # Panics
+    ///
+    /// Panics otherwise.
+    #[must_use]
+    pub fn report(&self) -> &SimulationReport<Vec2> {
+        match self {
+            Outcome::Report(r) => r,
+            other => panic!("expected a 2D simulation report, got {other:?}"),
+        }
+    }
+
+    /// The adversary outcome, when this outcome is one.
+    ///
+    /// # Panics
+    ///
+    /// Panics otherwise.
+    #[must_use]
+    pub fn adversary(&self) -> &ImpossibilityOutcome {
+        match self {
+            Outcome::Adversary(o) => o,
+            other => panic!("expected an adversary outcome, got {other:?}"),
+        }
+    }
+
+    /// The driver statistics, when this outcome carries them.
+    ///
+    /// # Panics
+    ///
+    /// Panics otherwise.
+    #[must_use]
+    pub fn stats(&self) -> &[f64] {
+        match self {
+            Outcome::Stats(s) => s,
+            other => panic!("expected driver statistics, got {other:?}"),
+        }
+    }
+}
+
+/// One executed grid cell: the spec, what running it produced, and the JSONL
+/// rows it reduced to.
+#[derive(Debug)]
+pub struct LabCell {
+    /// The declarative cell description.
+    pub spec: ScenarioSpec,
+    /// What running the cell produced.
+    pub outcome: Outcome,
+    /// The rows the cell contributed to the experiment's JSONL file.
+    pub rows: Vec<JsonRow>,
+}
+
+// ---------------------------------------------------------------------------
+// The Experiment trait
+// ---------------------------------------------------------------------------
+
+/// A declarative experiment: a named parameter grid plus a per-cell
+/// reduction to JSONL rows. The shared runtime owns everything else —
+/// parallel execution ([`SweepRunner`]), sharding, sinks, and the CLI.
+///
+/// The sharding contract: [`Experiment::run`] and [`Experiment::reduce`]
+/// must be pure functions of the spec (every port in this workspace is),
+/// so the runtime may execute any contiguous sub-range of the grid and
+/// concatenate outputs byte-identically.
+pub trait Experiment: Sync {
+    /// The registry name (`lab run <name>`).
+    fn name(&self) -> &'static str;
+
+    /// The paper figure/table family this reproduces (e.g. `"T1"`).
+    fn id(&self) -> &'static str;
+
+    /// One-line banner title.
+    fn title(&self) -> &'static str;
+
+    /// The paper claim the experiment demonstrates (for `lab list` and the
+    /// README experiments table).
+    fn claim(&self) -> &'static str;
+
+    /// Stem of the JSONL output file under the experiments directory.
+    fn output_stem(&self) -> &'static str;
+
+    /// The parameter grid for a profile. Order is the output order.
+    fn grid(&self, profile: Profile) -> Vec<ScenarioSpec>;
+
+    /// Runs one cell. The default dispatches to the engine or the §7
+    /// adversary; experiments with bespoke drivers (Monte-Carlo searches,
+    /// pure geometry) override this.
+    fn run(&self, spec: &ScenarioSpec) -> Outcome {
+        Outcome::compute(spec)
+    }
+
+    /// Reduces one cell's outcome to its JSONL rows (possibly none).
+    fn reduce(&self, spec: &ScenarioSpec, outcome: &Outcome) -> Vec<JsonRow>;
+
+    /// Renders the human-readable tables and paper notes after a run. Under
+    /// `--shard` only the shard's cells are rendered.
+    fn render(&self, cells: &[LabCell]) {
+        let _ = cells;
+    }
+
+    /// Post-run invariant checks (e.g. "zero lemma violations"). A failure
+    /// makes the run exit non-zero after the rows are written.
+    fn check(&self, cells: &[LabCell]) -> Result<(), String> {
+        let _ = cells;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharding
+// ---------------------------------------------------------------------------
+
+/// A contiguous shard assignment `index/count` over a spec grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard index (`0 ≤ index < count`).
+    pub index: usize,
+    /// Total shard count (`≥ 1`).
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses an `I/M` shard argument, rejecting malformed or out-of-range
+    /// values with a message that names the failure.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (i, m) = s
+            .split_once('/')
+            .ok_or_else(|| format!("invalid --shard '{s}': expected I/M (e.g. 0/4)"))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid --shard '{s}': index '{i}' is not an integer"))?;
+        let count: usize = m
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid --shard '{s}': count '{m}' is not an integer"))?;
+        if count == 0 {
+            return Err(format!(
+                "invalid --shard '{s}': shard count must be at least 1"
+            ));
+        }
+        if index >= count {
+            return Err(format!(
+                "invalid --shard '{s}': index {index} out of range for {count} shard(s) \
+                 (valid indices: 0..={})",
+                count - 1
+            ));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// The contiguous sub-range of a `len`-cell grid this shard owns.
+    /// Ranges of shards `0..count` partition `0..len` in order, so
+    /// concatenating per-shard outputs by index reproduces the unsharded
+    /// output byte-for-byte.
+    #[must_use]
+    pub fn slice(self, len: usize) -> std::ops::Range<usize> {
+        (self.index * len / self.count)..((self.index + 1) * len / self.count)
+    }
+
+    /// The shard-qualified file name for an output stem.
+    #[must_use]
+    pub fn file_name(self, stem: &str) -> String {
+        format!("{stem}.shard{}of{}.jsonl", self.index, self.count)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+/// Options the CLI resolves before handing control to the runtime.
+#[derive(Debug, Clone, Default)]
+pub struct LabOptions {
+    /// Quick (CI smoke) or full grids.
+    pub profile: Profile,
+    /// Worker override; `None` uses [`SweepRunner::new`] sizing.
+    pub threads: Option<usize>,
+    /// Output directory override; `None` uses `target/experiments/`.
+    pub out_dir: Option<PathBuf>,
+    /// Process-level shard assignment.
+    pub shard: Option<Shard>,
+}
+
+/// What one experiment run produced.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Registry name.
+    pub name: &'static str,
+    /// Cells executed (the shard's slice of the grid).
+    pub cells: usize,
+    /// Rows written.
+    pub rows: usize,
+    /// The JSONL file written.
+    pub path: PathBuf,
+}
+
+fn out_dir(opts: &LabOptions) -> PathBuf {
+    opts.out_dir.clone().unwrap_or_else(crate::experiments_dir)
+}
+
+/// Executes one experiment: materialize the grid, slice the shard, run the
+/// cells in parallel, write rows in spec order, render, check.
+pub fn run_experiment(exp: &dyn Experiment, opts: &LabOptions) -> Result<RunSummary, String> {
+    crate::banner(exp.id(), exp.title());
+    let grid = exp.grid(opts.profile);
+    let total = grid.len();
+    let range = opts.shard.map_or(0..total, |s| s.slice(total));
+    if let Some(s) = opts.shard {
+        println!(
+            "[shard {}/{}: cells {}..{} of {}]",
+            s.index, s.count, range.start, range.end, total
+        );
+    }
+    let specs = &grid[range];
+    let runner = match opts.threads {
+        Some(t) => SweepRunner::with_threads(t),
+        None => SweepRunner::new(),
+    };
+    let results = runner.run(specs, |_, spec| {
+        let outcome = exp.run(spec);
+        let rows = exp.reduce(spec, &outcome);
+        (outcome, rows)
+    });
+    let cells: Vec<LabCell> = specs
+        .iter()
+        .cloned()
+        .zip(results)
+        .map(|(spec, (outcome, rows))| LabCell {
+            spec,
+            outcome,
+            rows,
+        })
+        .collect();
+
+    let dir = out_dir(opts);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("create output dir {}: {e}", dir.display()))?;
+    let file = match opts.shard {
+        Some(s) => s.file_name(exp.output_stem()),
+        None => format!("{}.jsonl", exp.output_stem()),
+    };
+    let path = dir.join(file);
+    let mut rows_written = 0usize;
+    {
+        let mut f =
+            std::fs::File::create(&path).map_err(|e| format!("create {}: {e}", path.display()))?;
+        for cell in &cells {
+            for row in &cell.rows {
+                writeln!(f, "{}", row.as_str()).map_err(|e| format!("write row: {e}"))?;
+                rows_written += 1;
+            }
+        }
+    }
+
+    exp.render(&cells);
+    println!("\n[{} rows -> {}]", rows_written, path.display());
+    exp.check(&cells)
+        .map_err(|e| format!("{}: invariant check failed: {e}", exp.name()))?;
+    Ok(RunSummary {
+        name: exp.name(),
+        cells: cells.len(),
+        rows: rows_written,
+        path,
+    })
+}
+
+/// Merges an experiment's shard files (`<stem>.shard<I>of<M>.jsonl`) from
+/// `dir` into `<stem>.jsonl`, in shard-index order. Fails unless exactly one
+/// complete shard set is present.
+pub fn merge_shards(stem: &str, dir: &Path) -> Result<PathBuf, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    // Collect (index, count, path) for names matching the shard pattern.
+    let prefix = format!("{stem}.shard");
+    let mut shards: Vec<(usize, usize, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name
+            .strip_prefix(&prefix)
+            .and_then(|r| r.strip_suffix(".jsonl"))
+        else {
+            continue;
+        };
+        let Some((i, m)) = rest.split_once("of") else {
+            continue;
+        };
+        let (Ok(i), Ok(m)) = (i.parse::<usize>(), m.parse::<usize>()) else {
+            continue;
+        };
+        shards.push((i, m, entry.path()));
+    }
+    if shards.is_empty() {
+        return Err(format!(
+            "no shard files matching {prefix}<I>of<M>.jsonl in {}",
+            dir.display()
+        ));
+    }
+    let count = shards[0].1;
+    if shards.iter().any(|&(_, m, _)| m != count) {
+        return Err(format!(
+            "mixed shard counts for '{stem}' in {} — remove stale shard files first",
+            dir.display()
+        ));
+    }
+    shards.sort_by_key(|&(i, _, _)| i);
+    let indices: Vec<usize> = shards.iter().map(|&(i, _, _)| i).collect();
+    if indices != (0..count).collect::<Vec<_>>() {
+        return Err(format!(
+            "incomplete shard set for '{stem}': have indices {indices:?}, need 0..{count}"
+        ));
+    }
+    let out = dir.join(format!("{stem}.jsonl"));
+    let mut merged = Vec::new();
+    for (_, _, path) in &shards {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        merged.extend_from_slice(&bytes);
+    }
+    std::fs::write(&out, merged).map_err(|e| format!("write {}: {e}", out.display()))?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------------
+
+const USAGE: &str = "\
+the cohesion experiment lab — every paper figure/table behind one CLI
+
+usage:
+  lab list                                   index of registered experiments
+  lab run <name> [options]                   run one experiment
+  lab all [options]                          run every experiment in order
+  lab merge <name>... [--out DIR]            merge shard files into <stem>.jsonl
+  lab merge --all [--out DIR]                merge every complete shard set
+
+options:
+  --quick          shrunken CI smoke grids (default: full reproduction)
+  --threads N      worker threads (default: COHESION_SWEEP_THREADS or all cores)
+  --out DIR        output directory (default: target/experiments)
+  --shard I/M      run only the I-th of M contiguous grid chunks; outputs to
+                   <stem>.shardIofM.jsonl — concatenating shards 0..M in order
+                   (lab merge) is byte-identical to an unsharded run";
+
+fn find_experiment(name: &str) -> Result<&'static dyn Experiment, String> {
+    let canonical = name.strip_prefix("exp_").unwrap_or(name);
+    crate::experiments::REGISTRY
+        .iter()
+        .copied()
+        .find(|e| e.name() == canonical)
+        .ok_or_else(|| {
+            let names: Vec<&str> = crate::experiments::REGISTRY
+                .iter()
+                .map(|e| e.name())
+                .collect();
+            format!("unknown experiment '{name}' (known: {})", names.join(", "))
+        })
+}
+
+struct Parsed {
+    opts: LabOptions,
+    names: Vec<String>,
+    all: bool,
+    quick_given: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        opts: LabOptions::default(),
+        names: Vec::new(),
+        all: false,
+        quick_given: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                parsed.opts.profile = Profile::Quick;
+                parsed.quick_given = true;
+            }
+            "--full" => {
+                parsed.opts.profile = Profile::Full;
+                parsed.quick_given = true;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let t: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads '{v}' is not an integer"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                parsed.opts.threads = Some(t);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                parsed.opts.out_dir = Some(PathBuf::from(v));
+            }
+            "--shard" => {
+                let v = it.next().ok_or("--shard needs an I/M value")?;
+                parsed.opts.shard = Some(Shard::parse(v)?);
+            }
+            "--all" => parsed.all = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag '{flag}'\n\n{USAGE}"));
+            }
+            name => parsed.names.push(name.to_string()),
+        }
+    }
+    if !parsed.quick_given {
+        if let Some(p) = profile_env_fallback() {
+            parsed.opts.profile = p;
+        }
+    }
+    Ok(parsed)
+}
+
+/// The `lab` CLI entry point. Returns an error message for the binary to
+/// print and exit non-zero on.
+pub fn lab_main(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(USAGE.into());
+    };
+    match command.as_str() {
+        "list" => {
+            println!("{:<20} {:<10} {:<28} claim", "name", "paper", "output");
+            for exp in crate::experiments::REGISTRY {
+                println!(
+                    "{:<20} {:<10} {:<28} {}",
+                    exp.name(),
+                    exp.id(),
+                    format!("{}.jsonl", exp.output_stem()),
+                    exp.claim()
+                );
+            }
+            println!("\nrun one with `lab run <name>`; all with `lab all --quick`.");
+            Ok(())
+        }
+        "run" => {
+            let parsed = parse_args(rest)?;
+            if parsed.names.is_empty() {
+                return Err(format!("`lab run` needs an experiment name\n\n{USAGE}"));
+            }
+            for name in &parsed.names {
+                let exp = find_experiment(name)?;
+                run_experiment(exp, &parsed.opts)?;
+            }
+            Ok(())
+        }
+        "all" => {
+            let parsed = parse_args(rest)?;
+            if !parsed.names.is_empty() {
+                return Err(format!(
+                    "`lab all` takes no experiment names (got {:?})\n\n{USAGE}",
+                    parsed.names
+                ));
+            }
+            let mut summaries = Vec::new();
+            for exp in crate::experiments::REGISTRY {
+                summaries.push(run_experiment(*exp, &parsed.opts)?);
+                println!();
+            }
+            println!("=== lab all: {} experiments ===", summaries.len());
+            for s in &summaries {
+                println!(
+                    "  {:<20} {:>4} cells {:>5} rows  {}",
+                    s.name,
+                    s.cells,
+                    s.rows,
+                    s.path.display()
+                );
+            }
+            Ok(())
+        }
+        "merge" => {
+            let parsed = parse_args(rest)?;
+            let dir = out_dir(&parsed.opts);
+            if parsed.all {
+                let mut merged_any = false;
+                for exp in crate::experiments::REGISTRY {
+                    match merge_shards(exp.output_stem(), &dir) {
+                        Ok(path) => {
+                            println!("merged {} -> {}", exp.name(), path.display());
+                            merged_any = true;
+                        }
+                        Err(e) if e.starts_with("no shard files") => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                if !merged_any {
+                    return Err(format!("no shard files found in {}", dir.display()));
+                }
+                Ok(())
+            } else {
+                if parsed.names.is_empty() {
+                    return Err(format!(
+                        "`lab merge` needs experiment names or --all\n\n{USAGE}"
+                    ));
+                }
+                for name in &parsed.names {
+                    let exp = find_experiment(name)?;
+                    let path = merge_shards(exp.output_stem(), &dir)?;
+                    println!("merged {} -> {}", exp.name(), path.display());
+                }
+                Ok(())
+            }
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Entry point for the deprecated per-experiment shim binaries: forwards the
+/// binary's arguments to `lab run <name>` with a stderr deprecation note.
+pub fn shim_main(name: &str) {
+    eprintln!(
+        "note: the exp_{name} binary is a deprecated shim; use `cargo run --release -p \
+         cohesion-bench --bin lab -- run {name}` (or `lab list` for the index)."
+    );
+    let mut args: Vec<String> = vec!["run".into(), name.into()];
+    args.extend(std::env::args().skip(1));
+    if let Err(e) = lab_main(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_parse_accepts_valid() {
+        assert_eq!(Shard::parse("0/1").unwrap(), Shard { index: 0, count: 1 });
+        assert_eq!(Shard::parse("2/7").unwrap(), Shard { index: 2, count: 7 });
+    }
+
+    #[test]
+    fn shard_parse_rejects_malformed_and_out_of_range() {
+        for bad in ["", "3", "a/b", "1/0", "2/2", "5/3", "-1/2"] {
+            let err = Shard::parse(bad).unwrap_err();
+            assert!(err.contains("invalid --shard"), "{bad}: {err}");
+        }
+        let err = Shard::parse("2/2").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        assert!(
+            err.contains("0..=1"),
+            "error should name the valid range: {err}"
+        );
+    }
+
+    #[test]
+    fn shard_slices_partition_in_order() {
+        for len in [0usize, 1, 5, 16, 97] {
+            for count in [1usize, 2, 3, 7] {
+                let mut covered = Vec::new();
+                let mut expected_start = 0;
+                for index in 0..count {
+                    let r = Shard { index, count }.slice(len);
+                    assert_eq!(r.start, expected_start, "gap at shard {index}/{count}");
+                    expected_start = r.end;
+                    covered.extend(r);
+                }
+                assert_eq!(covered, (0..len).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn profile_pick() {
+        assert_eq!(Profile::Quick.pick(1, 2), 1);
+        assert_eq!(Profile::Full.pick(1, 2), 2);
+        assert!(Profile::Quick.is_quick());
+        assert_eq!(Profile::default(), Profile::Full);
+    }
+}

@@ -1,16 +1,21 @@
-//! Shared harness utilities for the experiment binaries.
+//! The experiment lab: declarative experiment registry, sharded runtime,
+//! and shared harness utilities.
 //!
-//! Every binary regenerates one figure/table family from the paper (see
-//! DESIGN.md's experiment index and EXPERIMENTS.md for recorded outputs).
-//! Output goes to stdout as aligned text tables, and — for diffable
-//! regeneration — as JSON rows under `target/experiments/`.
+//! Every paper figure/table family is an [`lab::Experiment`] registry entry
+//! (see [`experiments::REGISTRY`]), run through the single `lab` binary
+//! (`lab list` / `lab run <name>` / `lab all --quick` /
+//! `lab merge <name>`). Output goes to stdout as aligned text tables, and —
+//! for diffable regeneration — as JSON rows under `target/experiments/`.
+//! The old per-experiment `exp_*` binaries survive as deprecated shims.
 
+pub mod experiments;
+pub mod lab;
 pub mod lookbench;
 pub mod sweep;
 
-pub use sweep::{
-    quick_requested, AlgorithmSpec, ScenarioSpec, SchedulerSpec, SweepRunner, WorkloadSpec,
-};
+#[allow(deprecated)]
+pub use sweep::quick_requested;
+pub use sweep::{AlgorithmSpec, ScenarioSpec, SchedulerSpec, SweepRunner, WorkloadSpec};
 
 use serde::Serialize;
 use std::io::Write;

@@ -1,48 +1,19 @@
-//! Index of the experiment binaries (run each with
-//! `cargo run --release -p cohesion-bench --bin <name>`).
+//! Index binary: points at the `lab` CLI (run with
+//! `cargo run --release -p cohesion-bench --bin lab -- list`).
 
 fn main() {
-    println!("cohesion experiment harness — one binary per paper figure/table family\n");
-    let experiments = [
-        (
-            "exp_timelines",
-            "F1-F2: scheduler model timelines + validators",
-        ),
-        (
-            "exp_safe_regions",
-            "F3 + F15: safe-region geometry comparison and target rule",
-        ),
-        (
-            "exp_ando_separation",
-            "F4(a)/(b): Ando counterexamples, ours surviving",
-        ),
-        (
-            "exp_lemmas",
-            "F5-F9, F16-F17: reach-region and congregation lemmas",
-        ),
-        (
-            "exp_chain_invariant",
-            "F10-F14: Lemma 5 chain invariant under adversarial search",
-        ),
-        (
-            "exp_separation_matrix",
-            "T1: the headline algorithm x scheduler matrix",
-        ),
-        ("exp_convergence_rate", "T2: rounds-to-halve-diameter vs n"),
-        (
-            "exp_error_tolerance",
-            "T3 + F18: delta/lambda/xi/motion-error sweeps",
-        ),
-        ("exp_k_scaling", "T4: the 1/k scaling: cost and safety"),
-        ("exp_impossibility", "F19-F22: the §7 spiral adversary"),
-        (
-            "exp_extensions",
-            "T5: unlimited-V Async, disconnected starts, 3D",
-        ),
-    ];
-    for (bin, what) in experiments {
-        println!("  {bin:<24} {what}");
+    println!("cohesion experiment lab — every paper figure/table family behind one CLI\n");
+    println!("  cargo run --release -p cohesion-bench --bin lab -- list");
+    println!("  cargo run --release -p cohesion-bench --bin lab -- run <name>");
+    println!("  cargo run --release -p cohesion-bench --bin lab -- all --quick");
+    println!("  cargo run --release -p cohesion-bench --bin lab -- run <name> --shard 0/4");
+    println!("  cargo run --release -p cohesion-bench --bin lab -- merge <name>");
+    println!();
+    println!("registered experiments:");
+    for exp in cohesion_bench::experiments::REGISTRY {
+        println!("  {:<20} {}: {}", exp.name(), exp.id(), exp.title());
     }
-    println!("\ncriterion benches: geometry_kernels, destination_rules, engine_throughput, impossibility");
-    println!("run them with: cargo bench -p cohesion-bench");
+    println!("\nthe old exp_* binaries are deprecated shims onto the same registry.");
+    println!("\ncriterion benches: geometry_kernels, destination_rules, engine_throughput,");
+    println!("engine_look, impossibility — run with: cargo bench -p cohesion-bench");
 }

@@ -22,10 +22,13 @@
 use cohesion_algorithms::{AndoAlgorithm, CogAlgorithm, GcmAlgorithm, KatreniakAlgorithm};
 use cohesion_core::KirkpatrickAlgorithm;
 use cohesion_engine::{SimulationBuilder, SimulationReport};
-use cohesion_geometry::Vec2;
-use cohesion_model::{Algorithm, Configuration, FrameMode, NilAlgorithm};
+use cohesion_geometry::{Vec2, Vec3};
+use cohesion_model::{
+    Algorithm, Configuration, FrameMode, MotionModel, NilAlgorithm, PerceptionModel,
+};
 use cohesion_scheduler::{
     AsyncScheduler, FSyncScheduler, KAsyncScheduler, NestAScheduler, SSyncScheduler, Scheduler,
+    ScriptedScheduler,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -37,6 +40,15 @@ pub enum AlgorithmSpec {
     Kirkpatrick {
         /// The asynchrony bound the safe regions are scaled for.
         k: u32,
+    },
+    /// The paper's algorithm with its §6.1 error-tolerance parameters.
+    KirkpatrickTolerant {
+        /// The asynchrony bound the safe regions are scaled for.
+        k: u32,
+        /// Relative distance-error bound `δ` the safe regions absorb.
+        delta: f64,
+        /// Angular-skew bound `λ` the safe regions absorb.
+        skew: f64,
     },
     /// Ando's SSync smallest-enclosing-circle baseline.
     Ando {
@@ -55,14 +67,51 @@ pub enum AlgorithmSpec {
 
 impl AlgorithmSpec {
     /// Instantiates the algorithm.
+    #[must_use]
     pub fn build(&self) -> Box<dyn Algorithm<Vec2>> {
         match *self {
             AlgorithmSpec::Kirkpatrick { k } => Box::new(KirkpatrickAlgorithm::new(k)),
+            AlgorithmSpec::KirkpatrickTolerant { k, delta, skew } => {
+                Box::new(KirkpatrickAlgorithm::with_error_tolerance(k, delta, skew))
+            }
             AlgorithmSpec::Ando { v } => Box::new(AndoAlgorithm::new(v)),
             AlgorithmSpec::Katreniak => Box::new(KatreniakAlgorithm::new()),
             AlgorithmSpec::Cog => Box::new(CogAlgorithm::new()),
             AlgorithmSpec::Gcm => Box::new(GcmAlgorithm::new()),
             AlgorithmSpec::Nil => Box::new(NilAlgorithm),
+        }
+    }
+
+    /// Instantiates the 3D variant (the §6.3.2 extension). Only the paper's
+    /// algorithm and the nil control generalize to `Vec3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the 2D-only baselines.
+    #[must_use]
+    pub fn build3(&self) -> Box<dyn Algorithm<Vec3>> {
+        match *self {
+            AlgorithmSpec::Kirkpatrick { k } => Box::new(KirkpatrickAlgorithm::new(k)),
+            AlgorithmSpec::KirkpatrickTolerant { k, delta, skew } => {
+                Box::new(KirkpatrickAlgorithm::with_error_tolerance(k, delta, skew))
+            }
+            AlgorithmSpec::Nil => Box::new(NilAlgorithm),
+            other => panic!("{other:?} has no 3D generalization"),
+        }
+    }
+
+    /// The algorithm's family label, as the experiment tables print it.
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::Kirkpatrick { .. } | AlgorithmSpec::KirkpatrickTolerant { .. } => {
+                "kirkpatrick"
+            }
+            AlgorithmSpec::Ando { .. } => "ando",
+            AlgorithmSpec::Katreniak => "katreniak",
+            AlgorithmSpec::Cog => "cog",
+            AlgorithmSpec::Gcm => "gcm",
+            AlgorithmSpec::Nil => "nil",
         }
     }
 }
@@ -96,10 +145,30 @@ pub enum SchedulerSpec {
         /// Scheduler RNG seed.
         seed: u64,
     },
+    /// The scripted Figure 4(a) schedule (the 1-Async Ando counterexample).
+    Figure4a,
+    /// The scripted Figure 4(b) schedule (the 2-NestA Ando counterexample).
+    Figure4b,
+    /// The §7 sliver-flattening adversary with unbounded nesting. This is a
+    /// *driver*, not an engine scheduler: scenarios carrying it must use a
+    /// [`WorkloadSpec::SpiralTail`] workload and run through the lab's
+    /// outcome dispatch (`crate::lab::Outcome::compute`), which hands the
+    /// victim algorithm to `cohesion_adversary::run_impossibility`.
+    AdversaryNested {
+        /// Budget of flattening sweeps over the spiral tail.
+        max_sweeps: usize,
+    },
 }
 
 impl SchedulerSpec {
     /// Instantiates the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`SchedulerSpec::AdversaryNested`], whose schedule is
+    /// constructed adaptively by the impossibility driver rather than
+    /// replayed through the engine.
+    #[must_use]
     pub fn build(&self) -> Box<dyn Scheduler> {
         match *self {
             SchedulerSpec::FSync => Box::new(FSyncScheduler::new()),
@@ -107,6 +176,19 @@ impl SchedulerSpec {
             SchedulerSpec::NestA { k, seed } => Box::new(NestAScheduler::new(k, seed)),
             SchedulerSpec::KAsync { k, seed } => Box::new(KAsyncScheduler::new(k, seed)),
             SchedulerSpec::Async { seed } => Box::new(AsyncScheduler::new(seed)),
+            SchedulerSpec::Figure4a => Box::new(ScriptedScheduler::new(
+                "figure4",
+                cohesion_adversary::ando_counterexample::figure4a_schedule(),
+            )),
+            SchedulerSpec::Figure4b => Box::new(ScriptedScheduler::new(
+                "figure4",
+                cohesion_adversary::ando_counterexample::figure4b_schedule(),
+            )),
+            SchedulerSpec::AdversaryNested { .. } => {
+                panic!(
+                    "the §7 adversary drives its own schedule; run it via the lab outcome dispatch"
+                )
+            }
         }
     }
 }
@@ -146,10 +228,80 @@ pub enum WorkloadSpec {
         /// Lattice spacing.
         spacing: f64,
     },
+    /// Two dense clusters bridged by a single chain (sparse-cut stress).
+    Dumbbell {
+        /// Robots per cluster.
+        per_side: usize,
+        /// Visibility scale.
+        v: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A generic Archimedean spiral (stress workload).
+    Spiral {
+        /// Robot count.
+        n: usize,
+        /// Radial step.
+        step: f64,
+    },
+    /// Two connected clouds `gap` apart — the §6.3.1 disconnected start.
+    TwoClusters {
+        /// Robots per cluster.
+        per_cluster: usize,
+        /// Visibility scale.
+        v: f64,
+        /// Horizontal translation of the second cluster.
+        gap: f64,
+        /// Generator seed of the first cluster.
+        seed_a: u64,
+        /// Generator seed of the second cluster.
+        seed_b: u64,
+    },
+    /// Observer + two distant neighbours at `±γ` (the Figure 15 half-sector).
+    Wedge {
+        /// The half-sector angle `γ` in radians.
+        half_angle: f64,
+    },
+    /// Observer surrounded by `arms` distant neighbours (the §5 nil-move case).
+    Star {
+        /// Number of surrounding neighbours (≥ 3).
+        arms: usize,
+    },
+    /// The doomed-engagement pair + pinned anchors (Figures 10–14 search).
+    EngagementPair {
+        /// Visibility scale.
+        v: f64,
+        /// Anchor-placement seed.
+        seed: u64,
+    },
+    /// The exact Figure 4 counterexample geometry.
+    Figure4,
+    /// The §7 spiral-tail construction for turn angle `ψ` (robot count grows
+    /// like `e^{3π/(8 sin ψ)}`).
+    SpiralTail {
+        /// The spiral's turn angle `ψ`.
+        psi: f64,
+    },
+    /// A connected random 3D ball — the §6.3.2 extension workload. Build it
+    /// with [`WorkloadSpec::build3`]; scenarios carrying it run through the
+    /// lab's 3D dispatch.
+    Ball3 {
+        /// Robot count.
+        n: usize,
+        /// Visibility radius used for the connectivity guarantee.
+        v: f64,
+        /// Generator seed.
+        seed: u64,
+    },
 }
 
 impl WorkloadSpec {
     /// Materializes the initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`WorkloadSpec::Ball3`] — use [`WorkloadSpec::build3`].
+    #[must_use]
     pub fn build(&self) -> Configuration<Vec2> {
         match *self {
             WorkloadSpec::RandomConnected { n, v, seed } => {
@@ -162,6 +314,44 @@ impl WorkloadSpec {
                 cols,
                 spacing,
             } => cohesion_workloads::grid(rows, cols, spacing),
+            WorkloadSpec::Dumbbell { per_side, v, seed } => {
+                cohesion_workloads::dumbbell(per_side, v, seed)
+            }
+            WorkloadSpec::Spiral { n, step } => cohesion_workloads::spiral(n, step),
+            WorkloadSpec::TwoClusters {
+                per_cluster,
+                v,
+                gap,
+                seed_a,
+                seed_b,
+            } => cohesion_workloads::two_clusters(per_cluster, v, gap, seed_a, seed_b),
+            WorkloadSpec::Wedge { half_angle } => cohesion_workloads::wedge(half_angle),
+            WorkloadSpec::Star { arms } => cohesion_workloads::star(arms),
+            WorkloadSpec::EngagementPair { v, seed } => {
+                cohesion_workloads::engagement_pair(v, seed)
+            }
+            WorkloadSpec::Figure4 => {
+                cohesion_adversary::ando_counterexample::figure4_configuration()
+            }
+            WorkloadSpec::SpiralTail { psi } => {
+                cohesion_adversary::SpiralConstruction::paper(psi).configuration
+            }
+            WorkloadSpec::Ball3 { .. } => {
+                panic!("Ball3 is a 3D workload; materialize it with build3()")
+            }
+        }
+    }
+
+    /// Materializes the 3D initial configuration of [`WorkloadSpec::Ball3`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for every 2D workload.
+    #[must_use]
+    pub fn build3(&self) -> Configuration<Vec3> {
+        match *self {
+            WorkloadSpec::Ball3 { n, v, seed } => cohesion_workloads::ball3(n, v, seed),
+            other => panic!("{other:?} is a 2D workload; materialize it with build()"),
         }
     }
 }
@@ -193,6 +383,16 @@ pub struct ScenarioSpec {
     pub hull_check_every: usize,
     /// Diameter-sampling cadence (`0` disables).
     pub diameter_sample_every: usize,
+    /// Perception-error model (Look phases).
+    pub perception: PerceptionModel,
+    /// Motion-imperfection model (Move phases).
+    pub motion: MotionModel,
+    /// Experiment-local cell discriminator for grid cells whose computation
+    /// is driven by the experiment itself (Monte-Carlo trials, timeline
+    /// renders, …) rather than one engine run. Empty for plain scenarios.
+    pub tag: &'static str,
+    /// Trial budget for Monte-Carlo cells (`0` when not applicable).
+    pub trials: usize,
 }
 
 impl ScenarioSpec {
@@ -201,6 +401,7 @@ impl ScenarioSpec {
     /// and hull-nesting checks are off — dedicated experiments measure
     /// those, and sweeps should not pay for them (note this differs from
     /// `SimulationBuilder`'s defaults, which keep hull checks on).
+    #[must_use]
     pub fn new(workload: WorkloadSpec, algorithm: AlgorithmSpec, scheduler: SchedulerSpec) -> Self {
         ScenarioSpec {
             workload,
@@ -214,10 +415,64 @@ impl ScenarioSpec {
             track_strong_visibility: false,
             hull_check_every: 0,
             diameter_sample_every: 32,
+            perception: PerceptionModel::EXACT,
+            motion: MotionModel::RIGID,
+            tag: "",
+            trials: 0,
+        }
+    }
+
+    /// A spec replaying one of the scripted Figure 4 schedules against
+    /// `algorithm` on the exact counterexample geometry, with the engine
+    /// knobs `cohesion_adversary::run_figure4` pins (aligned frames,
+    /// `ε = 10⁻⁶`, builder-default budgets and monitors) so the two paths
+    /// produce identical reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scheduler` is `Figure4a` or `Figure4b`.
+    #[must_use]
+    pub fn figure4(algorithm: AlgorithmSpec, scheduler: SchedulerSpec) -> Self {
+        assert!(
+            matches!(scheduler, SchedulerSpec::Figure4a | SchedulerSpec::Figure4b),
+            "figure4 scenarios need a scripted Figure 4 schedule"
+        );
+        ScenarioSpec {
+            visibility: cohesion_adversary::ando_counterexample::V,
+            epsilon: 1e-6,
+            max_events: 100_000,
+            frame_mode: FrameMode::Aligned,
+            track_strong_visibility: true,
+            hull_check_every: 64,
+            ..ScenarioSpec::new(WorkloadSpec::Figure4, algorithm, scheduler)
+        }
+    }
+
+    /// A spec with an experiment-local cell `tag`. Tags discriminate cells
+    /// the owning experiment drives itself (Monte-Carlo trials, pure
+    /// geometry, timeline renders) or label cells for reduction; the
+    /// workload/algorithm/scheduler still describe the cell's subject
+    /// declaratively.
+    #[must_use]
+    pub fn tagged(
+        tag: &'static str,
+        workload: WorkloadSpec,
+        algorithm: AlgorithmSpec,
+        scheduler: SchedulerSpec,
+    ) -> Self {
+        ScenarioSpec {
+            tag,
+            ..ScenarioSpec::new(workload, algorithm, scheduler)
         }
     }
 
     /// Runs the scenario to a full report.
+    ///
+    /// # Panics
+    ///
+    /// Panics for specs that are not a single 2D engine run (3D workloads,
+    /// the §7 adversary) — the lab's `Outcome::compute` dispatches those.
+    #[must_use]
     pub fn run(&self) -> SimulationReport<Vec2> {
         SimulationBuilder::new(self.workload.build(), self.algorithm.build())
             .visibility(self.visibility)
@@ -229,6 +484,30 @@ impl ScenarioSpec {
             .track_strong_visibility(self.track_strong_visibility)
             .hull_check_every(self.hull_check_every)
             .diameter_sample_every(self.diameter_sample_every)
+            .perception(self.perception)
+            .motion(self.motion)
+            .run()
+    }
+
+    /// Runs a 3D scenario ([`WorkloadSpec::Ball3`]) to a full report.
+    ///
+    /// # Panics
+    ///
+    /// Panics for 2D workloads or algorithms without a 3D generalization.
+    #[must_use]
+    pub fn run3(&self) -> SimulationReport<Vec3> {
+        SimulationBuilder::<Vec3>::new(self.workload.build3(), self.algorithm.build3())
+            .visibility(self.visibility)
+            .scheduler(self.scheduler.build())
+            .seed(self.seed)
+            .epsilon(self.epsilon)
+            .max_events(self.max_events)
+            .frame_mode(self.frame_mode)
+            .track_strong_visibility(self.track_strong_visibility)
+            .hull_check_every(self.hull_check_every)
+            .diameter_sample_every(self.diameter_sample_every)
+            .perception(self.perception)
+            .motion(self.motion)
             .run()
     }
 }
@@ -323,8 +602,15 @@ impl Default for SweepRunner {
 
 /// `true` when the experiment binary was invoked with `--quick` (the CI
 /// smoke mode: shrink the grid and budgets, keep the full code path).
+#[deprecated(
+    since = "0.1.0",
+    note = "experiments resolve their profile through the lab runtime \
+            (`crate::lab::Profile`); the deprecated COHESION_SWEEP_QUICK \
+            env fallback warns on stderr"
+)]
+#[must_use]
 pub fn quick_requested() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    std::env::args().any(|a| a == "--quick") || crate::lab::profile_env_fallback().is_some()
 }
 
 #[cfg(test)]
@@ -382,5 +668,79 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = SweepRunner::with_threads(0);
+    }
+
+    #[test]
+    fn every_2d_workload_spec_materializes() {
+        let cases: [(WorkloadSpec, usize); 10] = [
+            (
+                WorkloadSpec::RandomConnected {
+                    n: 6,
+                    v: 1.0,
+                    seed: 1,
+                },
+                6,
+            ),
+            (WorkloadSpec::Line { n: 4, spacing: 0.9 }, 4),
+            (WorkloadSpec::Ring { n: 5, side: 1.0 }, 5),
+            (
+                WorkloadSpec::Grid {
+                    rows: 2,
+                    cols: 3,
+                    spacing: 0.5,
+                },
+                6,
+            ),
+            (
+                WorkloadSpec::Dumbbell {
+                    per_side: 3,
+                    v: 1.0,
+                    seed: 2,
+                },
+                // Two 3-robot clusters plus the bridge chain.
+                9,
+            ),
+            (WorkloadSpec::Spiral { n: 7, step: 0.4 }, 7),
+            (
+                WorkloadSpec::TwoClusters {
+                    per_cluster: 3,
+                    v: 1.0,
+                    gap: 10.0,
+                    seed_a: 3,
+                    seed_b: 4,
+                },
+                6,
+            ),
+            (WorkloadSpec::Wedge { half_angle: 0.4 }, 3),
+            (WorkloadSpec::Star { arms: 4 }, 5),
+            (WorkloadSpec::EngagementPair { v: 1.0, seed: 5 }, 4),
+        ];
+        for (spec, robots) in cases {
+            assert_eq!(spec.build().len(), robots, "{spec:?}");
+        }
+        // The scripted/constructed workloads have their own invariants.
+        assert_eq!(WorkloadSpec::Figure4.build().len(), 5);
+        assert!(WorkloadSpec::SpiralTail { psi: 0.35 }.build().len() > 3);
+        assert_eq!(
+            WorkloadSpec::Ball3 {
+                n: 5,
+                v: 1.0,
+                seed: 6
+            }
+            .build3()
+            .len(),
+            5
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "3D workload")]
+    fn ball3_rejected_by_2d_build() {
+        let _ = WorkloadSpec::Ball3 {
+            n: 3,
+            v: 1.0,
+            seed: 0,
+        }
+        .build();
     }
 }

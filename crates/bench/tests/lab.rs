@@ -1,0 +1,202 @@
+//! The lab runtime's sharding contract.
+//!
+//! `--shard I/M` must be invisible in the output: running the `M` contiguous
+//! shards of a grid and concatenating their JSONL files in index order is
+//! byte-identical to one unsharded run. These tests pin that at three
+//! levels: a property test over random grid sizes and shard counts with a
+//! synthetic experiment, an end-to-end check on real registry experiments
+//! (including `merge_shards`), and the CLI's rejection of malformed or
+//! out-of-range `--shard` arguments.
+
+use cohesion_bench::lab::{
+    lab_main, merge_shards, run_experiment, Experiment, JsonRow, LabOptions, Outcome, Profile,
+    Shard,
+};
+use cohesion_bench::{AlgorithmSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec};
+use proptest::prelude::*;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A synthetic experiment with a configurable cell count: each cell is
+/// analytic and reduces to a row that depends only on its spec, like every
+/// real registry entry.
+struct SyntheticGrid {
+    cells: usize,
+}
+
+#[derive(Serialize)]
+struct SyntheticRow {
+    cell: u64,
+    mixed: u64,
+}
+
+impl Experiment for SyntheticGrid {
+    fn name(&self) -> &'static str {
+        "synthetic_grid"
+    }
+
+    fn id(&self) -> &'static str {
+        "TEST"
+    }
+
+    fn title(&self) -> &'static str {
+        "synthetic sharding fixture"
+    }
+
+    fn claim(&self) -> &'static str {
+        "test fixture"
+    }
+
+    fn output_stem(&self) -> &'static str {
+        "synthetic_grid"
+    }
+
+    fn grid(&self, _profile: Profile) -> Vec<ScenarioSpec> {
+        (0..self.cells)
+            .map(|i| ScenarioSpec {
+                seed: i as u64,
+                ..ScenarioSpec::tagged(
+                    "synthetic",
+                    WorkloadSpec::Line { n: 1, spacing: 0.0 },
+                    AlgorithmSpec::Nil,
+                    SchedulerSpec::FSync,
+                )
+            })
+            .collect()
+    }
+
+    fn run(&self, _spec: &ScenarioSpec) -> Outcome {
+        Outcome::Analytic
+    }
+
+    fn reduce(&self, spec: &ScenarioSpec, _outcome: &Outcome) -> Vec<JsonRow> {
+        vec![JsonRow::of(&SyntheticRow {
+            cell: spec.seed,
+            mixed: spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        })]
+    }
+}
+
+/// A fresh scratch directory under the target dir (kept out of
+/// `target/experiments/` so test artifacts never mix with real outputs).
+fn scratch_dir(label: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/lab-test-scratch")
+        .join(format!("{label}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_sharded(exp: &dyn Experiment, dir: &Path, shard: Option<Shard>) {
+    let opts = LabOptions {
+        profile: Profile::Quick,
+        threads: Some(2),
+        out_dir: Some(dir.to_path_buf()),
+        shard,
+    };
+    run_experiment(exp, &opts).expect("experiment runs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concatenating `--shard i/m` outputs in index order must reproduce
+    /// the unsharded JSONL byte-for-byte, for arbitrary grid sizes and
+    /// shard counts.
+    #[test]
+    fn sharded_concatenation_matches_unsharded_synthetic(
+        cells in 0usize..40,
+        m in (0usize..4).prop_map(|i| [1usize, 2, 3, 7][i]),
+    ) {
+        let exp = SyntheticGrid { cells };
+        let dir = scratch_dir("prop");
+        run_sharded(&exp, &dir, None);
+        let unsharded =
+            std::fs::read(dir.join("synthetic_grid.jsonl")).expect("unsharded output");
+        let mut concatenated = Vec::new();
+        for index in 0..m {
+            let shard = Shard { index, count: m };
+            run_sharded(&exp, &dir, Some(shard));
+            let bytes = std::fs::read(dir.join(shard.file_name("synthetic_grid")))
+                .expect("shard output");
+            concatenated.extend_from_slice(&bytes);
+        }
+        prop_assert_eq!(&unsharded, &concatenated);
+        // And merge_shards agrees (it overwrites the unsharded file).
+        let merged = merge_shards("synthetic_grid", &dir).expect("merge");
+        prop_assert_eq!(&std::fs::read(merged).expect("merged bytes"), &unsharded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The same contract end-to-end on real registry experiments (quick
+/// profile): every instant-grid entry plus one engine-backed sweep.
+#[test]
+fn sharded_concatenation_matches_unsharded_registry() {
+    for name in ["safe_regions", "ando_separation", "k_scaling"] {
+        let exp = *cohesion_bench::experiments::REGISTRY
+            .iter()
+            .find(|e| e.name() == name)
+            .expect("registered");
+        let dir = scratch_dir(name);
+        run_sharded(exp, &dir, None);
+        let unsharded = std::fs::read(dir.join(format!("{}.jsonl", exp.output_stem())))
+            .expect("unsharded output");
+        for index in 0..2 {
+            run_sharded(exp, &dir, Some(Shard { index, count: 2 }));
+        }
+        let merged = merge_shards(exp.output_stem(), &dir).expect("merge");
+        assert_eq!(
+            std::fs::read(merged).expect("merged bytes"),
+            unsharded,
+            "{name}: shard-and-merge must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Out-of-range and malformed `--shard` arguments fail with a clear error,
+/// both at the parser and through the CLI entry point.
+#[test]
+fn out_of_range_shard_arguments_fail_clearly() {
+    let err = Shard::parse("2/2").unwrap_err();
+    assert!(err.contains("out of range"), "{err}");
+    assert!(err.contains("0..=1"), "{err}");
+
+    let args: Vec<String> = ["run", "k_scaling", "--shard", "5/3"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let err = lab_main(&args).unwrap_err();
+    assert!(err.contains("invalid --shard '5/3'"), "{err}");
+    assert!(err.contains("out of range"), "{err}");
+
+    let args: Vec<String> = ["run", "k_scaling", "--shard", "0/0"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let err = lab_main(&args).unwrap_err();
+    assert!(err.contains("at least 1"), "{err}");
+}
+
+/// `merge_shards` refuses incomplete or mixed shard sets instead of
+/// silently producing a short file.
+#[test]
+fn merge_rejects_incomplete_and_mixed_shard_sets() {
+    let exp = SyntheticGrid { cells: 6 };
+    let dir = scratch_dir("merge");
+    run_sharded(&exp, &dir, Some(Shard { index: 0, count: 3 }));
+    let err = merge_shards("synthetic_grid", &dir).unwrap_err();
+    assert!(err.contains("incomplete shard set"), "{err}");
+
+    run_sharded(&exp, &dir, Some(Shard { index: 1, count: 2 }));
+    let err = merge_shards("synthetic_grid", &dir).unwrap_err();
+    assert!(err.contains("mixed shard counts"), "{err}");
+
+    let err = merge_shards("no_such_stem", &dir).unwrap_err();
+    assert!(err.contains("no shard files"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -564,6 +564,54 @@ impl Scheduler for ScriptedScheduler {
     }
 }
 
+/// A randomized interleaved engagement script for robots `0` and `1` — the
+/// Figure 10 pattern of the paper's Lemma 5 analysis: robot 0's `j`-th long
+/// interval overlaps a cluster of up to `k` short activations of robot 1,
+/// each seeing the other mid-move, repeated for a seeded number of cluster
+/// rounds. Deterministic in `seed`; feed the result to a
+/// [`ScriptedScheduler`].
+#[must_use]
+pub fn interleaved_engagement(k: u32, seed: u64) -> Vec<ActivationInterval> {
+    assert!(k >= 1, "the overlap bound k must be at least 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut script = Vec::new();
+    let mut t = 0.0;
+    for _ in 0..rng.gen_range(3..9) {
+        let cluster = rng.gen_range(1..=k);
+        let x_start = t;
+        let x_end = t + 1.0;
+        script.push(ActivationInterval::new(
+            RobotId(0),
+            x_start,
+            x_start + 0.1,
+            x_end,
+        ));
+        let mut s = x_start + 0.15;
+        for _ in 0..cluster {
+            // Aim activations at ~0.8/k so a full k-cluster fits inside
+            // robot 0's unit interval; for k ≥ 10 that target dips below the
+            // 0.08 floor, so clamp to a thin band instead of handing
+            // `gen_range` an empty range (the cluster then self-truncates
+            // at the `s + dur >= x_end` check below).
+            let dur_cap = (0.8 / f64::from(k)).max(0.0801);
+            let dur = rng.gen_range(0.08..dur_cap);
+            if s + dur >= x_end {
+                break;
+            }
+            script.push(ActivationInterval::new(
+                RobotId(1),
+                s,
+                s + dur * 0.4,
+                s + dur,
+            ));
+            s += dur + 0.01;
+        }
+        t = x_end + rng.gen_range(0.01..0.1);
+    }
+    script.sort_by(|a, b| a.look.partial_cmp(&b.look).expect("finite times"));
+    script
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -671,6 +719,26 @@ mod tests {
             for b in ivs.iter().skip(i + 1) {
                 assert!(!a.overlaps(b), "{a} overlaps {b}");
             }
+        }
+    }
+
+    #[test]
+    fn interleaved_engagement_is_deterministic_and_well_formed() {
+        for k in [1u32, 2, 4, 8, 10, 16] {
+            let script = interleaved_engagement(k, 7 + u64::from(k));
+            assert_eq!(script, interleaved_engagement(k, 7 + u64::from(k)));
+            assert!(!script.is_empty());
+            // Only the engaged pair appears, in non-decreasing Look order,
+            // and robot 1's cluster never exceeds k activations inside one
+            // of robot 0's intervals.
+            let mut last_look = f64::NEG_INFINITY;
+            for iv in &script {
+                assert!(iv.robot == RobotId(0) || iv.robot == RobotId(1));
+                assert!(iv.look >= last_look);
+                last_look = iv.look;
+            }
+            let trace = ScheduleTrace::from_intervals(script);
+            assert!(minimal_async_k(&trace) <= k, "overlap bound exceeded");
         }
     }
 

@@ -21,8 +21,8 @@ pub mod trace;
 pub mod validate;
 
 pub use generators::{
-    AsyncScheduler, CentralizedScheduler, FSyncScheduler, KAsyncScheduler, NestAScheduler,
-    SSyncScheduler, ScriptedScheduler,
+    interleaved_engagement, AsyncScheduler, CentralizedScheduler, FSyncScheduler, KAsyncScheduler,
+    NestAScheduler, SSyncScheduler, ScriptedScheduler,
 };
 pub use interval::{ActivationInterval, Phase};
 pub use trace::ScheduleTrace;

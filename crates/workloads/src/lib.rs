@@ -127,6 +127,71 @@ pub fn spiral(n: usize, step: f64) -> Configuration {
     Configuration::new(pts)
 }
 
+/// Two connected random clouds of `per_cluster` robots each, the second
+/// translated `gap` to the right — the §6.3.1 *disconnected start* workload
+/// (for `gap > v` the components never see each other and must converge
+/// independently).
+pub fn two_clusters(
+    per_cluster: usize,
+    v: f64,
+    gap: f64,
+    seed_a: u64,
+    seed_b: u64,
+) -> Configuration {
+    assert!(per_cluster >= 1, "need at least one robot per cluster");
+    assert!(v > 0.0, "visibility must be positive");
+    let mut pts: Vec<Vec2> = random_connected(per_cluster, v, seed_a)
+        .positions()
+        .to_vec();
+    pts.extend(
+        random_connected(per_cluster, v, seed_b)
+            .positions()
+            .iter()
+            .map(|&p| p + Vec2::new(gap, 0.0)),
+    );
+    Configuration::new(pts)
+}
+
+/// An observer at the origin plus two distant neighbours at angles `±γ` on
+/// the unit circle — the half-sector geometry of the paper's target rule
+/// (Figure 15): the computed destination must be `r·cosγ` along the
+/// bisector.
+pub fn wedge(half_angle: f64) -> Configuration {
+    assert!(
+        half_angle > 0.0 && half_angle < std::f64::consts::FRAC_PI_2,
+        "half-angle must lie in (0, π/2)"
+    );
+    Configuration::new(vec![
+        Vec2::ZERO,
+        Vec2::from_angle(half_angle),
+        Vec2::from_angle(-half_angle),
+    ])
+}
+
+/// An observer at the origin surrounded by `arms ≥ 3` distant neighbours
+/// spread evenly over the full circle — the §5 "surrounded" case in which
+/// the target rule yields the nil move.
+pub fn star(arms: usize) -> Configuration {
+    assert!(arms >= 3, "a star needs at least three arms");
+    let mut pts = vec![Vec2::ZERO];
+    pts.extend((0..arms).map(|i| Vec2::from_angle(i as f64 / arms as f64 * std::f64::consts::TAU)));
+    Configuration::new(pts)
+}
+
+/// A robot pair at the visibility threshold plus two pinned anchors pulling
+/// them in roughly opposite directions — the doomed-engagement search
+/// workload of the Lemma 5 experiments (Figures 10–14). The anchors are
+/// placed randomly (seeded) behind each robot of the pair.
+pub fn engagement_pair(v: f64, seed: u64) -> Configuration {
+    assert!(v > 0.0, "visibility must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let x0 = Vec2::ZERO;
+    let y0 = Vec2::new(v, 0.0);
+    let ax = x0 + Vec2::from_angle(rng.gen_range(2.0..4.3)) * rng.gen_range(0.7 * v..v);
+    let ay = y0 + Vec2::from_angle(rng.gen_range(-1.2..1.2)) * rng.gen_range(0.7 * v..v);
+    Configuration::new(vec![x0, y0, ax, ay])
+}
+
 /// A connected random 3D ball of `n` robots with visibility `v` (the §6.3.2
 /// extension workload), grown like [`random_connected`].
 pub fn ball3(n: usize, v: f64, seed: u64) -> Configuration<Vec3> {
@@ -218,5 +283,40 @@ mod tests {
     #[test]
     fn spiral_size() {
         assert_eq!(spiral(12, 0.4).len(), 12);
+    }
+
+    #[test]
+    fn two_clusters_components() {
+        let c = two_clusters(6, 1.0, 40.0, 72, 73);
+        assert_eq!(c.len(), 12);
+        let g = VisibilityGraph::from_configuration(&c, 1.0);
+        assert!(!g.is_connected(), "gap 40 ≫ v keeps the clusters apart");
+        let p = c.positions();
+        for i in 0..6 {
+            for j in 6..12 {
+                assert!(p[i].dist(p[j]) > 1.0, "cross-cluster pair within v");
+            }
+        }
+    }
+
+    #[test]
+    fn wedge_and_star_shapes() {
+        let w = wedge(0.5);
+        assert_eq!(w.len(), 3);
+        let p = w.positions();
+        assert!((p[1].norm() - 1.0).abs() < 1e-12);
+        assert!((p[2].norm() - 1.0).abs() < 1e-12);
+        let s = star(3);
+        assert_eq!(s.len(), 4);
+        assert!(s.positions()[0].norm() < 1e-12);
+    }
+
+    #[test]
+    fn engagement_pair_at_threshold() {
+        let c = engagement_pair(1.0, 9);
+        assert_eq!(c.len(), 4);
+        let p = c.positions();
+        assert!((p[0].dist(p[1]) - 1.0).abs() < 1e-12);
+        assert_eq!(engagement_pair(1.0, 9), engagement_pair(1.0, 9));
     }
 }
