@@ -13,7 +13,7 @@
 //! scripts come from the spec types (`WorkloadSpec::EngagementPair`,
 //! `cohesion_scheduler::interleaved_engagement`).
 
-use crate::lab::{Experiment, JsonRow, LabCell, Outcome, Profile};
+use crate::lab::{CellProgress, Experiment, JsonRow, LabCell, Outcome, Profile};
 use crate::sweep::{AlgorithmSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec};
 use cohesion_core::analysis::lemma5::{verify_chain, COS_THETA_MIN};
 use cohesion_engine::Engine;
@@ -125,7 +125,7 @@ impl Experiment for ChainInvariant {
             .collect()
     }
 
-    fn run(&self, spec: &ScenarioSpec) -> Outcome {
+    fn run(&self, spec: &ScenarioSpec, _progress: &CellProgress<'_>) -> Outcome {
         let k = cell_k(spec);
         let mut worst: f64 = 0.0;
         let mut min_cos: f64 = 1.0;

@@ -12,7 +12,7 @@
 //! perception/motion models and tolerance-parameterized algorithm, and the
 //! cell driver re-runs the spec across its seed batch.
 
-use crate::lab::{Experiment, JsonRow, LabCell, Outcome, Profile};
+use crate::lab::{CellProgress, Experiment, JsonRow, LabCell, Outcome, Profile};
 use crate::sweep::{AlgorithmSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec};
 use cohesion_model::{MotionError, MotionModel, PerceptionModel};
 use serde::Serialize;
@@ -189,7 +189,7 @@ impl Experiment for ErrorTolerance {
         cells
     }
 
-    fn run(&self, spec: &ScenarioSpec) -> Outcome {
+    fn run(&self, spec: &ScenarioSpec, _progress: &CellProgress<'_>) -> Outcome {
         let mut ok = 0usize;
         let mut broken = 0usize;
         for s in 0..spec.trials as u64 {

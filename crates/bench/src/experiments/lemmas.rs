@@ -12,7 +12,7 @@
 //! Each lemma family is one analytic Monte-Carlo cell (seeded, independent),
 //! so the four families run in parallel and shard like any other grid.
 
-use crate::lab::{Experiment, JsonRow, LabCell, Outcome, Profile};
+use crate::lab::{CellProgress, Experiment, JsonRow, LabCell, Outcome, Profile};
 use crate::sweep::{AlgorithmSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec};
 use cohesion_core::analysis::congregation::{
     hull_radius_and_critical_points, lemma6_bound, lemma7_bound, lemma8_perimeter_drop,
@@ -202,7 +202,7 @@ impl Experiment for Lemmas {
         .collect()
     }
 
-    fn run(&self, spec: &ScenarioSpec) -> Outcome {
+    fn run(&self, spec: &ScenarioSpec, _progress: &CellProgress<'_>) -> Outcome {
         Outcome::Stats(vec![violations(spec) as f64])
     }
 

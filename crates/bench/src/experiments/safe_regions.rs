@@ -16,7 +16,7 @@
 //! are literally two-robot `Line` workloads at distance `d`; the target-rule
 //! cells are `Wedge`/`Star` workloads.
 
-use crate::lab::{Experiment, JsonRow, LabCell, Outcome, Profile};
+use crate::lab::{CellProgress, Experiment, JsonRow, LabCell, Outcome, Profile};
 use crate::sweep::{AlgorithmSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec};
 use cohesion_algorithms::{AndoAlgorithm, KatreniakAlgorithm};
 use cohesion_core::SafeRegion;
@@ -137,7 +137,7 @@ impl Experiment for SafeRegions {
         cells
     }
 
-    fn run(&self, spec: &ScenarioSpec) -> Outcome {
+    fn run(&self, spec: &ScenarioSpec, _progress: &CellProgress<'_>) -> Outcome {
         match spec.tag {
             "region" => {
                 let WorkloadSpec::Line { spacing: d, .. } = spec.workload else {

@@ -3,16 +3,27 @@
 //! Each cell is *analytic*: the scheduler spec itself is the subject — the
 //! cell collects a trace prefix, validates it against its model's
 //! structural invariants, and renders the Look/Compute/Move timeline.
+//!
+//! The trace comes from the engine's **event stream**: the cell builds the
+//! session its spec describes (Nil algorithm — nobody moves), registers a
+//! [`TraceRecorder`] observer, and steps until the first `trials`
+//! activation intervals are fully reconstructed. This replaced a bespoke
+//! recorder that pulled activations straight off the scheduler; the
+//! regression test below pins that both produce the identical trace, so
+//! the rows are byte-for-byte what they were.
 
-use crate::lab::{Experiment, JsonRow, LabCell, Outcome, Profile};
+use crate::lab::{CellProgress, Experiment, JsonRow, LabCell, Outcome, Profile};
 use crate::sweep::{AlgorithmSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec};
+use cohesion_engine::TraceRecorder;
 use cohesion_scheduler::render::render_timeline;
 use cohesion_scheduler::validate::{
     max_nesting_depth, minimal_async_k, validate_fairness, validate_fsync, validate_nested,
     validate_ssync,
 };
-use cohesion_scheduler::{ScheduleContext, ScheduleTrace, Scheduler};
+use cohesion_scheduler::ScheduleTrace;
 use serde::Serialize;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 #[derive(Serialize)]
 struct Row {
@@ -26,17 +37,22 @@ struct Row {
 
 const ROBOTS: usize = 3;
 
-fn collect(mut s: Box<dyn Scheduler>, robots: usize, count: usize) -> ScheduleTrace {
-    let ctx = ScheduleContext {
-        robot_count: robots,
-    };
-    let mut trace = ScheduleTrace::new();
-    for _ in 0..count {
-        match s.next_activation(&ctx) {
-            Some(iv) => trace.push(iv),
-            None => break,
-        }
+/// The first `count` activation intervals of the spec's schedule, rebuilt
+/// from a live session's event stream by a [`TraceRecorder`] observer.
+fn collect(spec: &ScenarioSpec, count: usize) -> ScheduleTrace {
+    let recorder = Rc::new(RefCell::new(TraceRecorder::new()));
+    let mut session = spec.session();
+    session.observe(Rc::clone(&recorder));
+    while recorder.borrow().complete_prefix() < count {
+        assert!(
+            !session.step().is_terminal(),
+            "session ended before {count} activation intervals completed"
+        );
     }
+    let trace = recorder
+        .borrow()
+        .trace(count)
+        .expect("prefix is complete by the loop condition");
     trace
 }
 
@@ -52,7 +68,7 @@ fn model_label(scheduler: SchedulerSpec) -> &'static str {
 }
 
 fn cell_row(spec: &ScenarioSpec) -> (ScheduleTrace, Row) {
-    let trace = collect(spec.scheduler.build(), ROBOTS, spec.trials);
+    let trace = collect(spec, spec.trials);
     let (rounds, validated) = match spec.scheduler {
         SchedulerSpec::FSync => {
             let r = validate_fsync(&trace, ROBOTS).expect("FSync trace validates");
@@ -122,8 +138,8 @@ impl Experiment for Timelines {
         .collect()
     }
 
-    fn run(&self, _spec: &ScenarioSpec) -> Outcome {
-        // Validation happens in reduce; the cell needs no engine run.
+    fn run(&self, _spec: &ScenarioSpec, _progress: &CellProgress<'_>) -> Outcome {
+        // The trace is collected in reduce; the cell itself is analytic.
         Outcome::Analytic
     }
 
@@ -167,6 +183,46 @@ impl Experiment for Timelines {
                     row.minimal_k
                 ),
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohesion_scheduler::{ScheduleContext, Scheduler};
+
+    /// The historical bespoke recorder: pull `count` activations straight
+    /// off the scheduler. Kept only as the reference for the pin below.
+    fn collect_from_scheduler(mut s: Box<dyn Scheduler>, count: usize) -> ScheduleTrace {
+        let ctx = ScheduleContext {
+            robot_count: ROBOTS,
+        };
+        let mut trace = ScheduleTrace::new();
+        for _ in 0..count {
+            match s.next_activation(&ctx) {
+                Some(iv) => trace.push(iv),
+                None => break,
+            }
+        }
+        trace
+    }
+
+    /// The observer-backed trace is byte-identical to the bespoke
+    /// scheduler-driving recorder it replaced, for every grid cell — the
+    /// engine surfaces each activation as Look/MoveStart/MoveEnd events at
+    /// exactly the interval's times, in schedule order.
+    #[test]
+    fn observer_trace_matches_the_bespoke_recorder() {
+        for spec in Timelines.grid(Profile::Full) {
+            let from_session = collect(&spec, spec.trials);
+            let from_scheduler = collect_from_scheduler(spec.scheduler.build(), spec.trials);
+            assert_eq!(
+                from_session.intervals(),
+                from_scheduler.intervals(),
+                "{:?}",
+                spec.scheduler
+            );
         }
     }
 }

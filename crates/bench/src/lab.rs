@@ -24,9 +24,11 @@ use crate::sweep::{ScenarioSpec, SchedulerSpec, SweepRunner, WorkloadSpec};
 use cohesion_adversary::{run_impossibility, ImpossibilityOutcome};
 use cohesion_engine::SimulationReport;
 use cohesion_geometry::{Vec2, Vec3};
+use cohesion_model::Progress;
 use serde::Serialize;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 // ---------------------------------------------------------------------------
 // Profile
@@ -73,6 +75,189 @@ pub fn profile_env_fallback() -> Option<Profile> {
             Some(Profile::Quick)
         }
         _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Progress sidecar
+// ---------------------------------------------------------------------------
+
+/// Heartbeat cadence for engine-driven cells, in events: each cell's
+/// session is driven in slices of this size and a heartbeat record lands in
+/// the sidecar between slices. Deterministic per cell (event counts are),
+/// though sidecar *line interleaving* across worker threads is not — the
+/// sidecar is telemetry, not part of the byte-identity contract.
+pub const PROGRESS_HEARTBEAT_EVENTS: usize = 100_000;
+
+/// One line of the progress sidecar (`<stem>.progress.jsonl`, or
+/// `<stem>.shardIofM.progress.jsonl` under `--shard`).
+///
+/// Every cell contributes a `start` record, zero or more `heartbeat`
+/// records (engine-driven cells only, every
+/// [`PROGRESS_HEARTBEAT_EVENTS`] events), and a `done` record carrying the
+/// cell's final accounting and the number of JSONL rows it reduced to.
+#[derive(Debug, Serialize)]
+pub struct ProgressRecord {
+    /// Registry name of the experiment.
+    pub experiment: String,
+    /// Shard assignment as `"I/M"`, or `""` for an unsharded run.
+    pub shard: String,
+    /// Absolute cell index in the experiment's (unsharded) grid.
+    pub cell: usize,
+    /// The cell's experiment-local tag (`""` for plain scenarios).
+    pub tag: String,
+    /// `"start"`, `"heartbeat"`, or `"done"`.
+    pub phase: String,
+    /// Engine events processed so far (0 for `start` and non-engine cells).
+    pub events: usize,
+    /// Completed rounds so far.
+    pub rounds: usize,
+    /// Simulated time so far.
+    pub time: f64,
+    /// Configuration diameter at the record (0 when not applicable).
+    pub diameter: f64,
+    /// Cohesion-so-far (`true` when not applicable).
+    pub cohesion_ok: bool,
+    /// Whether the run has converged — distinguishes a `done` record's
+    /// convergence from mere budget exhaustion (`false` when not
+    /// applicable).
+    pub converged: bool,
+    /// Rows the cell reduced to (`done` records only, else 0).
+    pub rows: usize,
+}
+
+/// The shared sidecar writer one experiment run appends to. Lines are
+/// written atomically under a mutex, so concurrent cells interleave whole
+/// records, never bytes.
+#[derive(Debug)]
+pub struct ProgressSink {
+    experiment: &'static str,
+    shard: String,
+    out: Mutex<std::fs::File>,
+}
+
+impl ProgressSink {
+    /// Creates (truncating) the sidecar file for one experiment run.
+    pub fn create(
+        path: &Path,
+        experiment: &'static str,
+        shard: Option<Shard>,
+    ) -> Result<ProgressSink, String> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("create progress sidecar {}: {e}", path.display()))?;
+        Ok(ProgressSink {
+            experiment,
+            shard: shard.map_or(String::new(), |s| format!("{}/{}", s.index, s.count)),
+            out: Mutex::new(file),
+        })
+    }
+
+    fn emit(&self, cell: usize, tag: &str, phase: &str, p: &Progress, rows: usize) {
+        let record = ProgressRecord {
+            experiment: self.experiment.to_string(),
+            shard: self.shard.clone(),
+            cell,
+            tag: tag.to_string(),
+            phase: phase.to_string(),
+            events: p.events,
+            rounds: p.rounds,
+            time: p.time,
+            diameter: p.diameter,
+            cohesion_ok: p.cohesion_ok,
+            converged: p.converged,
+            rows,
+        };
+        let line = serde_json::to_string(&record).expect("serialize progress record");
+        let mut out = self.out.lock().expect("progress sidecar poisoned");
+        writeln!(out, "{line}").expect("write progress record");
+    }
+}
+
+/// A zeroed progress view for records without a live session behind them.
+fn idle_progress() -> Progress {
+    Progress {
+        events: 0,
+        rounds: 0,
+        time: 0.0,
+        diameter: 0.0,
+        cohesion_ok: true,
+        converged: false,
+    }
+}
+
+/// The per-cell progress handle the runtime hands to [`Experiment::run`].
+///
+/// Disabled (the default, when `--progress` was not given) it is a no-op;
+/// enabled, [`CellProgress::heartbeat`] appends a heartbeat record for this
+/// cell to the experiment's sidecar. Bespoke cell drivers may call
+/// `heartbeat` at their own cadence; the default engine dispatch
+/// ([`Outcome::compute_with`]) beats every [`PROGRESS_HEARTBEAT_EVENTS`]
+/// events.
+#[derive(Debug, Clone, Copy)]
+pub struct CellProgress<'a> {
+    sink: Option<&'a ProgressSink>,
+    cell: usize,
+    tag: &'a str,
+}
+
+/// The inert handle, for driving an experiment cell outside the lab
+/// runtime (tests, shims, ad-hoc harnesses).
+pub const NO_PROGRESS: CellProgress<'static> = CellProgress {
+    sink: None,
+    cell: 0,
+    tag: "",
+};
+
+impl<'a> CellProgress<'a> {
+    /// A live handle appending to `sink` for grid cell `cell` — for ad-hoc
+    /// harnesses that drive cells outside `run_experiment`.
+    #[must_use]
+    pub fn new(sink: Option<&'a ProgressSink>, cell: usize, tag: &'a str) -> Self {
+        CellProgress { sink, cell, tag }
+    }
+
+    /// `true` when heartbeats actually land in a sidecar — lets a bespoke
+    /// driver skip progress bookkeeping entirely when nobody is listening.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Appends a heartbeat record for this cell.
+    pub fn heartbeat(&self, progress: &Progress) {
+        if let Some(sink) = self.sink {
+            sink.emit(self.cell, self.tag, "heartbeat", progress, 0);
+        }
+    }
+
+    fn start(&self) {
+        if let Some(sink) = self.sink {
+            sink.emit(self.cell, self.tag, "start", &idle_progress(), 0);
+        }
+    }
+
+    fn done(&self, outcome: &Outcome, rows: usize) {
+        let Some(sink) = self.sink else { return };
+        let p = match outcome {
+            Outcome::Report(r) => Progress {
+                events: r.events,
+                rounds: r.rounds,
+                time: r.end_time,
+                diameter: r.final_diameter,
+                cohesion_ok: r.cohesion_maintained,
+                converged: r.converged,
+            },
+            Outcome::Report3(r) => Progress {
+                events: r.events,
+                rounds: r.rounds,
+                time: r.end_time,
+                diameter: r.final_diameter,
+                cohesion_ok: r.cohesion_maintained,
+                converged: r.converged,
+            },
+            _ => idle_progress(),
+        };
+        sink.emit(self.cell, self.tag, "done", &p, rows);
     }
 }
 
@@ -128,6 +313,21 @@ impl Outcome {
     /// [`WorkloadSpec::SpiralTail`] workload.
     #[must_use]
     pub fn compute(spec: &ScenarioSpec) -> Outcome {
+        Outcome::compute_with(spec, &NO_PROGRESS)
+    }
+
+    /// [`Outcome::compute`] with live telemetry: engine-driven cells run as
+    /// sessions in [`PROGRESS_HEARTBEAT_EVENTS`]-event slices, emitting a
+    /// heartbeat between slices. With a disabled handle the session is
+    /// driven uninterrupted — either way the report is byte-identical (the
+    /// session equivalence suite pins sliced ≡ one-shot).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`SchedulerSpec::AdversaryNested`] scheduler without a
+    /// [`WorkloadSpec::SpiralTail`] workload.
+    #[must_use]
+    pub fn compute_with(spec: &ScenarioSpec, progress: &CellProgress<'_>) -> Outcome {
         match (spec.workload, spec.scheduler) {
             (WorkloadSpec::SpiralTail { psi }, SchedulerSpec::AdversaryNested { max_sweeps }) => {
                 let victim = spec.algorithm.build();
@@ -136,7 +336,13 @@ impl Outcome {
             (_, SchedulerSpec::AdversaryNested { .. }) => {
                 panic!("AdversaryNested schedules require a SpiralTail workload")
             }
+            (WorkloadSpec::Ball3 { .. }, _) if progress.enabled() => Outcome::Report3(Box::new(
+                spec.run3_with_heartbeat(PROGRESS_HEARTBEAT_EVENTS, |p| progress.heartbeat(p)),
+            )),
             (WorkloadSpec::Ball3 { .. }, _) => Outcome::Report3(Box::new(spec.run3())),
+            _ if progress.enabled() => Outcome::Report(Box::new(
+                spec.run_with_heartbeat(PROGRESS_HEARTBEAT_EVENTS, |p| progress.heartbeat(p)),
+            )),
             _ => Outcome::Report(Box::new(spec.run())),
         }
     }
@@ -226,10 +432,12 @@ pub trait Experiment: Sync {
     fn grid(&self, profile: Profile) -> Vec<ScenarioSpec>;
 
     /// Runs one cell. The default dispatches to the engine or the §7
-    /// adversary; experiments with bespoke drivers (Monte-Carlo searches,
-    /// pure geometry) override this.
-    fn run(&self, spec: &ScenarioSpec) -> Outcome {
-        Outcome::compute(spec)
+    /// adversary, streaming heartbeats through `progress` when the run has
+    /// a sidecar; experiments with bespoke drivers (Monte-Carlo searches,
+    /// pure geometry) override this — they may ignore `progress` or beat at
+    /// their own cadence.
+    fn run(&self, spec: &ScenarioSpec, progress: &CellProgress<'_>) -> Outcome {
+        Outcome::compute_with(spec, progress)
     }
 
     /// Reduces one cell's outcome to its JSONL rows (possibly none).
@@ -323,6 +531,9 @@ pub struct LabOptions {
     pub out_dir: Option<PathBuf>,
     /// Process-level shard assignment.
     pub shard: Option<Shard>,
+    /// Write per-cell progress heartbeats to a `<stem>.progress.jsonl`
+    /// sidecar (`--progress`).
+    pub progress: bool,
 }
 
 /// What one experiment run produced.
@@ -342,8 +553,21 @@ fn out_dir(opts: &LabOptions) -> PathBuf {
     opts.out_dir.clone().unwrap_or_else(crate::experiments_dir)
 }
 
+/// The sidecar file name for an output stem under an optional shard
+/// assignment: `<stem>.progress.jsonl`, or
+/// `<stem>.shard<I>of<M>.progress.jsonl` — shard-qualified exactly like the
+/// row files, so concurrent shard processes never contend on one sidecar.
+#[must_use]
+pub fn progress_file_name(stem: &str, shard: Option<Shard>) -> String {
+    match shard {
+        Some(s) => format!("{stem}.shard{}of{}.progress.jsonl", s.index, s.count),
+        None => format!("{stem}.progress.jsonl"),
+    }
+}
+
 /// Executes one experiment: materialize the grid, slice the shard, run the
-/// cells in parallel, write rows in spec order, render, check.
+/// cells in parallel (streaming per-cell progress into the sidecar when
+/// enabled), write rows in spec order, render, check.
 pub fn run_experiment(exp: &dyn Experiment, opts: &LabOptions) -> Result<RunSummary, String> {
     crate::banner(exp.id(), exp.title());
     let grid = exp.grid(opts.profile);
@@ -355,14 +579,30 @@ pub fn run_experiment(exp: &dyn Experiment, opts: &LabOptions) -> Result<RunSumm
             s.index, s.count, range.start, range.end, total
         );
     }
+    let cell_base = range.start;
     let specs = &grid[range];
     let runner = match opts.threads {
         Some(t) => SweepRunner::with_threads(t),
         None => SweepRunner::new(),
     };
-    let results = runner.run(specs, |_, spec| {
-        let outcome = exp.run(spec);
+
+    let dir = out_dir(opts);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("create output dir {}: {e}", dir.display()))?;
+    let sink = if opts.progress {
+        let path = dir.join(progress_file_name(exp.output_stem(), opts.shard));
+        Some((ProgressSink::create(&path, exp.name(), opts.shard)?, path))
+    } else {
+        None
+    };
+    let sink_ref = sink.as_ref().map(|(s, _)| s);
+
+    let results = runner.run(specs, |i, spec| {
+        let progress = CellProgress::new(sink_ref, cell_base + i, spec.tag);
+        progress.start();
+        let outcome = exp.run(spec, &progress);
         let rows = exp.reduce(spec, &outcome);
+        progress.done(&outcome, rows.len());
         (outcome, rows)
     });
     let cells: Vec<LabCell> = specs
@@ -376,9 +616,6 @@ pub fn run_experiment(exp: &dyn Experiment, opts: &LabOptions) -> Result<RunSumm
         })
         .collect();
 
-    let dir = out_dir(opts);
-    std::fs::create_dir_all(&dir)
-        .map_err(|e| format!("create output dir {}: {e}", dir.display()))?;
     let file = match opts.shard {
         Some(s) => s.file_name(exp.output_stem()),
         None => format!("{}.jsonl", exp.output_stem()),
@@ -398,6 +635,9 @@ pub fn run_experiment(exp: &dyn Experiment, opts: &LabOptions) -> Result<RunSumm
 
     exp.render(&cells);
     println!("\n[{} rows -> {}]", rows_written, path.display());
+    if let Some((_, sidecar)) = &sink {
+        println!("[progress sidecar -> {}]", sidecar.display());
+    }
     exp.check(&cells)
         .map_err(|e| format!("{}: invariant check failed: {e}", exp.name()))?;
     Ok(RunSummary {
@@ -484,7 +724,10 @@ options:
   --out DIR        output directory (default: target/experiments)
   --shard I/M      run only the I-th of M contiguous grid chunks; outputs to
                    <stem>.shardIofM.jsonl — concatenating shards 0..M in order
-                   (lab merge) is byte-identical to an unsharded run";
+                   (lab merge) is byte-identical to an unsharded run
+  --progress       stream per-cell heartbeats to a <stem>.progress.jsonl
+                   sidecar (shard-qualified under --shard): one start/done
+                   record per cell plus a heartbeat per 100k engine events";
 
 fn find_experiment(name: &str) -> Result<&'static dyn Experiment, String> {
     let canonical = name.strip_prefix("exp_").unwrap_or(name);
@@ -544,6 +787,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
                 let v = it.next().ok_or("--shard needs an I/M value")?;
                 parsed.opts.shard = Some(Shard::parse(v)?);
             }
+            "--progress" => parsed.opts.progress = true,
             "--all" => parsed.all = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag '{flag}'\n\n{USAGE}"));

@@ -21,10 +21,12 @@
 
 use cohesion_algorithms::{AndoAlgorithm, CogAlgorithm, GcmAlgorithm, KatreniakAlgorithm};
 use cohesion_core::KirkpatrickAlgorithm;
-use cohesion_engine::{SimulationBuilder, SimulationReport};
+use cohesion_engine::{Simulation, SimulationBuilder, SimulationReport};
 use cohesion_geometry::{Vec2, Vec3};
+use cohesion_model::frame::Ambient;
 use cohesion_model::{
-    Algorithm, Configuration, FrameMode, MotionModel, NilAlgorithm, PerceptionModel,
+    Algorithm, Budget, Configuration, FrameMode, MotionModel, NilAlgorithm, PerceptionModel,
+    Progress,
 };
 use cohesion_scheduler::{
     AsyncScheduler, FSyncScheduler, KAsyncScheduler, NestAScheduler, SSyncScheduler, Scheduler,
@@ -466,15 +468,15 @@ impl ScenarioSpec {
         }
     }
 
-    /// Runs the scenario to a full report.
-    ///
-    /// # Panics
-    ///
-    /// Panics for specs that are not a single 2D engine run (3D workloads,
-    /// the §7 adversary) — the lab's `Outcome::compute` dispatches those.
-    #[must_use]
-    pub fn run(&self) -> SimulationReport<Vec2> {
-        SimulationBuilder::new(self.workload.build(), self.algorithm.build())
+    /// The fully-configured builder this spec describes, for a
+    /// caller-chosen initial configuration and algorithm (the 2D/3D split
+    /// materializes those two; every other knob is shared).
+    fn configure<P: Ambient>(
+        &self,
+        initial: Configuration<P>,
+        algorithm: Box<dyn Algorithm<P>>,
+    ) -> SimulationBuilder<P> {
+        SimulationBuilder::new(initial, algorithm)
             .visibility(self.visibility)
             .scheduler(self.scheduler.build())
             .seed(self.seed)
@@ -486,7 +488,42 @@ impl ScenarioSpec {
             .diameter_sample_every(self.diameter_sample_every)
             .perception(self.perception)
             .motion(self.motion)
-            .run()
+    }
+
+    /// Builds the resumable session this spec describes — the unit the
+    /// sweep and lab layers drive in budgeted slices. Attach observers or
+    /// drive it directly; `run()` is the one-shot convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics for specs that are not a single 2D engine run (3D workloads,
+    /// the §7 adversary) — the lab's `Outcome::compute` dispatches those.
+    #[must_use]
+    pub fn session(&self) -> Simulation<Vec2> {
+        self.configure(self.workload.build(), self.algorithm.build())
+            .build()
+    }
+
+    /// Builds the 3D session of a [`WorkloadSpec::Ball3`] spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics for 2D workloads or algorithms without a 3D generalization.
+    #[must_use]
+    pub fn session3(&self) -> Simulation<Vec3> {
+        self.configure(self.workload.build3(), self.algorithm.build3())
+            .build()
+    }
+
+    /// Runs the scenario to a full report.
+    ///
+    /// # Panics
+    ///
+    /// Panics for specs that are not a single 2D engine run (3D workloads,
+    /// the §7 adversary) — the lab's `Outcome::compute` dispatches those.
+    #[must_use]
+    pub fn run(&self) -> SimulationReport<Vec2> {
+        self.session().run_to_completion()
     }
 
     /// Runs a 3D scenario ([`WorkloadSpec::Ball3`]) to a full report.
@@ -496,20 +533,45 @@ impl ScenarioSpec {
     /// Panics for 2D workloads or algorithms without a 3D generalization.
     #[must_use]
     pub fn run3(&self) -> SimulationReport<Vec3> {
-        SimulationBuilder::<Vec3>::new(self.workload.build3(), self.algorithm.build3())
-            .visibility(self.visibility)
-            .scheduler(self.scheduler.build())
-            .seed(self.seed)
-            .epsilon(self.epsilon)
-            .max_events(self.max_events)
-            .frame_mode(self.frame_mode)
-            .track_strong_visibility(self.track_strong_visibility)
-            .hull_check_every(self.hull_check_every)
-            .diameter_sample_every(self.diameter_sample_every)
-            .perception(self.perception)
-            .motion(self.motion)
-            .run()
+        self.session3().run_to_completion()
     }
+
+    /// Runs the 2D scenario in `every`-event slices, reporting a
+    /// [`Progress`] view between slices — the driver behind the lab's
+    /// per-cell heartbeats. Slicing is invisible in the report (the session
+    /// equivalence suite pins sliced ≡ uninterrupted byte-for-byte).
+    #[must_use]
+    pub fn run_with_heartbeat(
+        &self,
+        every: usize,
+        on_beat: impl FnMut(&Progress),
+    ) -> SimulationReport<Vec2> {
+        drive_with_heartbeat(self.session(), every, on_beat)
+    }
+
+    /// The 3D counterpart of [`ScenarioSpec::run_with_heartbeat`].
+    #[must_use]
+    pub fn run3_with_heartbeat(
+        &self,
+        every: usize,
+        on_beat: impl FnMut(&Progress),
+    ) -> SimulationReport<Vec3> {
+        drive_with_heartbeat(self.session3(), every, on_beat)
+    }
+}
+
+/// Drives a session to termination in `every`-event slices, invoking
+/// `on_beat` with a fresh progress view after each incomplete slice.
+fn drive_with_heartbeat<P: Ambient>(
+    mut session: Simulation<P>,
+    every: usize,
+    mut on_beat: impl FnMut(&Progress),
+) -> SimulationReport<P> {
+    assert!(every > 0, "heartbeat cadence must be positive");
+    while !session.run_for(Budget::events(every)).is_terminal() {
+        on_beat(&session.progress());
+    }
+    session.into_report()
 }
 
 /// Executes work items in parallel on a scoped thread pool and merges
@@ -592,6 +654,24 @@ impl SweepRunner {
     pub fn run_scenarios(&self, specs: &[ScenarioSpec]) -> Vec<SimulationReport<Vec2>> {
         self.run(specs, |_, spec| spec.run())
     }
+
+    /// Like [`SweepRunner::run_scenarios`], but each cell is driven as a
+    /// session in `every`-event slices and `on_beat(spec_index, progress)`
+    /// fires between slices — live per-cell telemetry for long sweeps,
+    /// with reports still byte-identical to the unobserved run.
+    pub fn run_scenarios_observed<F>(
+        &self,
+        specs: &[ScenarioSpec],
+        every: usize,
+        on_beat: F,
+    ) -> Vec<SimulationReport<Vec2>>
+    where
+        F: Fn(usize, &Progress) + Sync,
+    {
+        self.run(specs, |i, spec| {
+            spec.run_with_heartbeat(every, |p| on_beat(i, p))
+        })
+    }
 }
 
 impl Default for SweepRunner {
@@ -668,6 +748,41 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = SweepRunner::with_threads(0);
+    }
+
+    #[test]
+    fn heartbeat_driver_beats_and_matches_the_plain_run() {
+        let spec = ScenarioSpec {
+            max_events: 1_000,
+            ..ScenarioSpec::new(
+                WorkloadSpec::Line { n: 3, spacing: 0.9 },
+                AlgorithmSpec::Nil,
+                SchedulerSpec::FSync,
+            )
+        };
+        let mut beats = 0usize;
+        let mut last_events = 0usize;
+        let observed = spec.run_with_heartbeat(100, |p| {
+            beats += 1;
+            assert!(p.events > last_events, "beats carry fresh progress");
+            last_events = p.events;
+            assert!(p.cohesion_ok && !p.converged);
+        });
+        assert!(
+            beats >= 9,
+            "a 1000-event run in 100-event slices beats ≥ 9×, got {beats}"
+        );
+        assert_eq!(observed, spec.run(), "slicing must not perturb the report");
+
+        let runner = SweepRunner::with_threads(2);
+        let specs = [spec.clone(), spec.clone()];
+        let plain = runner.run_scenarios(&specs);
+        let counter = AtomicUsize::new(0);
+        let watched = runner.run_scenarios_observed(&specs, 100, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(plain, watched);
+        assert!(counter.load(Ordering::Relaxed) >= 18);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! out-of-range `--shard` arguments.
 
 use cohesion_bench::lab::{
-    lab_main, merge_shards, run_experiment, Experiment, JsonRow, LabOptions, Outcome, Profile,
-    Shard,
+    lab_main, merge_shards, progress_file_name, run_experiment, CellProgress, Experiment, JsonRow,
+    LabOptions, Outcome, Profile, Shard,
 };
 use cohesion_bench::{AlgorithmSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec};
 use proptest::prelude::*;
@@ -66,7 +66,7 @@ impl Experiment for SyntheticGrid {
             .collect()
     }
 
-    fn run(&self, _spec: &ScenarioSpec) -> Outcome {
+    fn run(&self, _spec: &ScenarioSpec, _progress: &CellProgress<'_>) -> Outcome {
         Outcome::Analytic
     }
 
@@ -96,6 +96,7 @@ fn run_sharded(exp: &dyn Experiment, dir: &Path, shard: Option<Shard>) {
         threads: Some(2),
         out_dir: Some(dir.to_path_buf()),
         shard,
+        progress: false,
     };
     run_experiment(exp, &opts).expect("experiment runs");
 }
@@ -155,6 +156,206 @@ fn sharded_concatenation_matches_unsharded_registry() {
             "{name}: shard-and-merge must be byte-identical"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Minimal structural well-formedness for one JSONL sidecar line (the
+/// offline serde_json stand-in has no decoder): one object per line with
+/// balanced quoting and every schema key present.
+fn assert_well_formed_progress_line(line: &str) {
+    assert!(
+        line.starts_with('{') && line.ends_with('}'),
+        "not a JSON object: {line}"
+    );
+    let quotes = line.matches('"').count() - line.matches("\\\"").count();
+    assert_eq!(quotes % 2, 0, "unbalanced quotes: {line}");
+    for key in [
+        "\"experiment\":",
+        "\"shard\":",
+        "\"cell\":",
+        "\"tag\":",
+        "\"phase\":",
+        "\"events\":",
+        "\"rounds\":",
+        "\"time\":",
+        "\"diameter\":",
+        "\"cohesion_ok\":",
+        "\"converged\":",
+        "\"rows\":",
+    ] {
+        assert!(line.contains(key), "missing {key}: {line}");
+    }
+}
+
+/// `--progress` writes a well-formed JSONL sidecar — one start and one done
+/// record per cell, heartbeats for engine cells — while the row file stays
+/// byte-identical to a run without it.
+#[test]
+fn progress_sidecar_is_written_and_well_formed() {
+    let name = "k_scaling";
+    let exp = *cohesion_bench::experiments::REGISTRY
+        .iter()
+        .find(|e| e.name() == name)
+        .expect("registered");
+    let dir = scratch_dir("progress");
+    run_sharded(exp, &dir, None);
+    let rows_plain = std::fs::read(dir.join(format!("{}.jsonl", exp.output_stem()))).expect("rows");
+
+    let opts = LabOptions {
+        profile: Profile::Quick,
+        threads: Some(2),
+        out_dir: Some(dir.clone()),
+        shard: None,
+        progress: true,
+    };
+    let summary = run_experiment(exp, &opts).expect("experiment runs");
+    let rows_observed =
+        std::fs::read(dir.join(format!("{}.jsonl", exp.output_stem()))).expect("rows");
+    assert_eq!(
+        rows_plain, rows_observed,
+        "the sidecar must not perturb the row file"
+    );
+
+    let sidecar = dir.join(progress_file_name(exp.output_stem(), None));
+    let content = std::fs::read_to_string(&sidecar).expect("sidecar written");
+    let lines: Vec<&str> = content.lines().collect();
+    assert!(!lines.is_empty(), "sidecar is empty");
+    let mut starts = 0usize;
+    let mut dones = 0usize;
+    for line in &lines {
+        assert_well_formed_progress_line(line);
+        assert!(
+            line.contains(&format!("\"experiment\":\"{name}\"")),
+            "{line}"
+        );
+        assert!(line.contains("\"shard\":\"\""), "unsharded run: {line}");
+        if line.contains("\"phase\":\"start\"") {
+            starts += 1;
+        }
+        if line.contains("\"phase\":\"done\"") {
+            dones += 1;
+        }
+    }
+    assert_eq!(starts, summary.cells, "one start record per cell");
+    assert_eq!(dones, summary.cells, "one done record per cell");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A cell whose budget exceeds the 100k-event heartbeat cadence actually
+/// streams heartbeats through `Outcome::compute_with`, with monotonically
+/// increasing event counts, and still lands on the plain-run report.
+#[test]
+fn engine_cells_past_the_cadence_emit_heartbeats() {
+    use cohesion_bench::lab::{CellProgress, ProgressSink, PROGRESS_HEARTBEAT_EVENTS};
+    let dir = scratch_dir("heartbeat");
+    let spec = ScenarioSpec {
+        max_events: 2 * PROGRESS_HEARTBEAT_EVENTS + PROGRESS_HEARTBEAT_EVENTS / 2,
+        ..ScenarioSpec::new(
+            WorkloadSpec::Line { n: 3, spacing: 0.9 },
+            AlgorithmSpec::Nil,
+            SchedulerSpec::FSync,
+        )
+    };
+    let sidecar = dir.join("heartbeat.progress.jsonl");
+    let sink = ProgressSink::create(&sidecar, "heartbeat_fixture", None).expect("sink");
+    let outcome = Outcome::compute_with(&spec, &CellProgress::new(Some(&sink), 0, spec.tag));
+    drop(sink);
+
+    let content = std::fs::read_to_string(&sidecar).expect("sidecar written");
+    let beats: Vec<&str> = content
+        .lines()
+        .filter(|l| l.contains("\"phase\":\"heartbeat\""))
+        .collect();
+    assert_eq!(beats.len(), 2, "250k events at a 100k cadence beat twice");
+    for (i, line) in beats.iter().enumerate() {
+        assert_well_formed_progress_line(line);
+        let expected = (i + 1) * PROGRESS_HEARTBEAT_EVENTS;
+        assert!(
+            line.contains(&format!("\"events\":{expected},")),
+            "beat {i} should land at {expected} events: {line}"
+        );
+    }
+    assert_eq!(
+        outcome.report(),
+        &spec.run(),
+        "heartbeat-driven cell must reproduce the plain run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Under `--shard` the sidecar is shard-qualified (no cross-process file
+/// contention) and its cell indices are absolute grid positions.
+#[test]
+fn progress_sidecar_is_shard_qualified() {
+    let exp = SyntheticGrid { cells: 10 };
+    let dir = scratch_dir("progress-shard");
+    let shard = Shard { index: 1, count: 2 };
+    let opts = LabOptions {
+        profile: Profile::Quick,
+        threads: Some(2),
+        out_dir: Some(dir.clone()),
+        shard: Some(shard),
+        progress: true,
+    };
+    run_experiment(&exp, &opts).expect("experiment runs");
+    let sidecar = dir.join(progress_file_name("synthetic_grid", Some(shard)));
+    let content = std::fs::read_to_string(&sidecar).expect("sharded sidecar written");
+    for line in content.lines() {
+        assert_well_formed_progress_line(line);
+        assert!(line.contains("\"shard\":\"1/2\""), "{line}");
+    }
+    // Shard 1/2 of 10 cells owns the absolute range 5..10.
+    for cell in 5..10 {
+        assert!(
+            content.contains(&format!("\"cell\":{cell},")),
+            "missing absolute cell {cell}"
+        );
+    }
+    assert!(
+        !content.contains("\"cell\":0,"),
+        "cell 0 belongs to shard 0"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every deprecated `exp_*` shim binary forwards to exactly the registry
+/// experiment id `lab list` reports, and no shim is orphaned — the sources
+/// are scanned so a registry rename cannot silently drift from its shim.
+#[test]
+fn shim_binaries_forward_to_registry_experiments() {
+    let bin_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    let mut shims: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&bin_dir).expect("read src/bin") {
+        let path = entry.expect("dir entry").path();
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let Some(name) = stem.strip_prefix("exp_") else {
+            continue;
+        };
+        let source = std::fs::read_to_string(&path).expect("read shim source");
+        assert!(
+            source.contains(&format!("shim_main(\"{name}\")")),
+            "{stem}: shim must forward to `shim_main(\"{name}\")`, the registry name \
+             matching its binary name"
+        );
+        shims.push(name.to_string());
+    }
+    let registry: Vec<&str> = cohesion_bench::experiments::REGISTRY
+        .iter()
+        .map(|e| e.name())
+        .collect();
+    for name in &shims {
+        assert!(
+            registry.contains(&name.as_str()),
+            "shim exp_{name} forwards to an unregistered experiment"
+        );
+    }
+    for name in &registry {
+        assert!(
+            shims.iter().any(|s| s == name),
+            "registry experiment '{name}' has no exp_{name} shim binary"
+        );
     }
 }
 

@@ -57,7 +57,10 @@ pub use cohesion_workloads as workloads;
 pub mod prelude {
     pub use crate::algorithms::{AndoAlgorithm, CogAlgorithm, GcmAlgorithm, KatreniakAlgorithm};
     pub use crate::core::KirkpatrickAlgorithm;
-    pub use crate::engine::{Monitor, MonitorContext, SimulationBuilder, SimulationReport};
+    pub use crate::engine::{
+        Budget, EventView, Monitor, MonitorContext, Observer, Progress, SessionStatus, Simulation,
+        SimulationBuilder, SimulationReport, TraceRecorder,
+    };
     pub use crate::geometry::{SpatialGrid, Vec2, Vec3};
     pub use crate::model::{Configuration, RobotId, VisibilityGraph};
     pub use crate::scheduler::{

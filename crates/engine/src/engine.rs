@@ -492,17 +492,38 @@ where
         &self.algorithm
     }
 
-    /// Processes the next event; `None` when the schedule is exhausted and
-    /// all in-flight phases have completed.
-    pub fn step(&mut self) -> Option<EngineEvent> {
-        // Keep one upcoming activation staged so we can order it against
-        // pending phase events.
+    /// The timestamp of the next event [`Engine::step`] would process, or
+    /// `None` when the schedule is exhausted and no phase is in flight.
+    ///
+    /// Staging the upcoming activation here is exactly what `step` does, so
+    /// peeking never perturbs the event sequence — it lets a driver honour a
+    /// simulated-time budget *before* committing to an event instead of
+    /// noticing the overrun one event too late.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        self.stage_next_activation();
+        match (&self.staged, self.heap.peek()) {
+            (Some(iv), Some(p)) => Some(iv.look.min(p.time)),
+            (Some(iv), None) => Some(iv.look),
+            (None, Some(p)) => Some(p.time),
+            (None, None) => None,
+        }
+    }
+
+    /// Keeps one upcoming activation staged so it can be ordered against
+    /// pending phase events.
+    fn stage_next_activation(&mut self) {
         if self.staged.is_none() {
             let ctx = ScheduleContext {
                 robot_count: self.states.len(),
             };
             self.staged = self.scheduler.next_activation(&ctx);
         }
+    }
+
+    /// Processes the next event; `None` when the schedule is exhausted and
+    /// all in-flight phases have completed.
+    pub fn step(&mut self) -> Option<EngineEvent> {
+        self.stage_next_activation();
         let take_staged = match (&self.staged, self.heap.peek()) {
             (Some(iv), Some(p)) => iv.look <= p.time,
             (Some(_), None) => true,

@@ -18,12 +18,18 @@
 //!   verified on a configurable cadence;
 //! * rounds are counted in the standard way (a round ends when every robot
 //!   has completed at least one full cycle), giving the convergence-rate
-//!   measure used by the rate experiments.
+//!   measure used by the rate experiments;
+//! * runs are **resumable sessions** ([`session`]): `SimulationBuilder::build`
+//!   yields a [`Simulation`] that can be stepped, driven in budgeted slices
+//!   (`run_for` / `run_until`), inspected mid-flight (`progress`), and
+//!   streamed through registered [`Observer`]s — with `run()` remaining the
+//!   one-shot `build().run_to_completion()` convenience.
 
 pub mod engine;
 pub mod monitors;
 pub mod report;
 pub mod runner;
+pub mod session;
 pub mod state;
 
 pub use engine::{Engine, EngineEvent, EngineEventKind, LookPath};
@@ -32,4 +38,9 @@ pub use monitors::{
 };
 pub use report::SimulationReport;
 pub use runner::SimulationBuilder;
+pub use session::{EventView, Observer, SessionStatus, Simulation, TraceRecorder};
 pub use state::RobotState;
+
+// Driver-facing plain data, re-exported from the model crate so session
+// consumers need only one import path.
+pub use cohesion_model::{Budget, Progress};

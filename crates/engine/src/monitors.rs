@@ -118,6 +118,12 @@ impl CohesionMonitor {
         self.violations.is_empty()
     }
 
+    /// The violations recorded so far (first observation per pair, in event
+    /// order, ties within an event broken by pair order).
+    pub fn violations(&self) -> &[CohesionViolation] {
+        &self.violations
+    }
+
     /// The recorded violations (first observation per pair, in event order,
     /// ties within an event broken by pair order).
     pub fn into_violations(self) -> Vec<CohesionViolation> {

@@ -1,17 +1,21 @@
-//! The simulation driver: engine loop + predicate checking + metrics.
+//! The simulation builder: configures a [`Simulation`] session (or runs one
+//! to completion in a single call).
 
 use crate::engine::{Engine, LookPath};
-use crate::monitors::{
-    self, CohesionMonitor, DiameterMonitor, HullMonitor, Monitor, MonitorContext,
-    StrongVisibilityMonitor,
-};
+use crate::monitors::{CohesionMonitor, DiameterMonitor, HullMonitor, StrongVisibilityMonitor};
 use crate::report::SimulationReport;
+use crate::session::Simulation;
 use cohesion_geometry::Vec2;
 use cohesion_model::frame::{Ambient, FrameMode};
-use cohesion_model::{Algorithm, Configuration, MotionModel, PerceptionModel, VisibilityGraph};
+use cohesion_model::{
+    Algorithm, Budget, Configuration, MotionModel, PerceptionModel, VisibilityGraph,
+};
 use cohesion_scheduler::Scheduler;
 
-/// Configures and runs one simulation; produces a [`SimulationReport`].
+/// Configures one simulation. [`SimulationBuilder::build`] yields a
+/// resumable [`Simulation`] session; [`SimulationBuilder::run`] is the
+/// one-shot convenience (`build().run_to_completion()`) producing a
+/// [`SimulationReport`].
 ///
 /// ```
 /// use cohesion_engine::SimulationBuilder;
@@ -92,7 +96,14 @@ impl<P: Ambient> SimulationBuilder<P> {
     /// becomes directional (robot `i` sees `j` iff `|ij| ≤ radii[i]`);
     /// the cohesion predicate is evaluated over the initial *mutual*
     /// visibility graph (edges where `|ij| ≤ min(radii[i], radii[j])`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there is exactly one radius per robot — a
+    /// misconfiguration fails here, at construction, not after the session
+    /// is built.
     pub fn visibility_radii(mut self, radii: Vec<f64>) -> Self {
+        assert_eq!(radii.len(), self.initial.len(), "one radius per robot");
         self.visibility_radii = Some(radii);
         self
     }
@@ -116,9 +127,18 @@ impl<P: Ambient> SimulationBuilder<P> {
         self
     }
 
-    /// Sets the simulated-time budget.
+    /// Sets the simulated-time budget. No event stamped beyond `t` is
+    /// processed (the budget clamps *before* an event commits, per
+    /// [`Budget::admits_time`]).
     pub fn max_time(mut self, t: f64) -> Self {
         self.max_time = t;
+        self
+    }
+
+    /// Sets both budgets at once from a [`Budget`].
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.max_events = budget.max_events;
+        self.max_time = budget.max_time;
         self
     }
 
@@ -188,15 +208,17 @@ impl<P: Ambient> SimulationBuilder<P> {
         self
     }
 
-    /// Runs the simulation to convergence or budget exhaustion.
+    /// Builds a resumable [`Simulation`] session: the engine, the monitor
+    /// pipeline, and the dirty-set bookkeeping, ready to be stepped, driven
+    /// in budgeted slices, and observed mid-flight.
     ///
     /// Predicate checking is delegated to the incremental monitors of
     /// [`crate::monitors`]: positions are piecewise-linear in time, so only
     /// robots in their Move phase can change position between consecutive
     /// events, and the monitors re-check exactly the pairs incident to that
-    /// *dirty set*, reading positions from a driver-owned buffer instead of
-    /// cloning a [`Configuration`] per event.
-    pub fn run(self) -> SimulationReport<P> {
+    /// *dirty set*, reading positions from a session-owned buffer instead
+    /// of cloning a [`Configuration`] per event.
+    pub fn build(self) -> Simulation<P> {
         let n = self.initial.len();
         // Cohesion is judged on the mutual visibility graph: with a common
         // radius that is the usual E(0); with per-robot radii, an edge needs
@@ -210,7 +232,6 @@ impl<P: Ambient> SimulationBuilder<P> {
                     .collect()
             }
             Some(radii) => {
-                assert_eq!(radii.len(), n, "one radius per robot");
                 let pos = self.initial.positions();
                 let mut edges = Vec::new();
                 for i in 0..n {
@@ -245,13 +266,8 @@ impl<P: Ambient> SimulationBuilder<P> {
         let v = self.visibility;
         let cohesion_tol = 1e-9 * (1.0 + v);
 
-        // Monitor pipeline. Positions live in one driver-owned buffer; each
-        // event updates only the dirty entries.
-        let mut positions: Vec<P> = self.initial.positions().to_vec();
-        let mut dirty: Vec<usize> = Vec::with_capacity(n);
-        let mut dirty_mask: Vec<bool> = vec![false; n];
-
-        let mut cohesion = match &self.visibility_radii {
+        let positions: Vec<P> = self.initial.positions().to_vec();
+        let cohesion = match &self.visibility_radii {
             None => CohesionMonitor::new(n, &initial_edges, |_, _| v, cohesion_tol),
             Some(radii) => CohesionMonitor::new(
                 n,
@@ -260,122 +276,42 @@ impl<P: Ambient> SimulationBuilder<P> {
                 cohesion_tol,
             ),
         };
-        let mut strong = self
+        let strong = self
             .track_strong_visibility
             .then(|| StrongVisibilityMonitor::new(v, cohesion_tol, &positions));
         // 2D-only hull checks: the ConvexHull type is planar. For other
         // dimensions the check is skipped (reported as None).
         let hull_checks_possible = P::DIM == 2;
-        let mut hull = (hull_checks_possible && self.hull_check_every > 0)
+        let hull = (hull_checks_possible && self.hull_check_every > 0)
             .then(|| HullMonitor::new(self.hull_check_every, 1e-7 * (1.0 + initial_diameter)));
-        let mut diameter = DiameterMonitor::new(
+        let diameter = DiameterMonitor::new(
             self.diameter_sample_every,
             self.epsilon,
             (0.0, initial_diameter),
         );
 
-        let mut round_diameters: Vec<(usize, f64)> = Vec::new();
-        let mut rounds = 0usize;
-        let mut round_base: Vec<u64> = vec![0; n];
-        let mut events = 0usize;
-        let mut converged = false;
-        // Pooled vertex buffer for the hull monitor's sampling closure (the
-        // closure is `Fn`, so interior mutability bridges the reuse).
-        let hull_scratch: std::cell::RefCell<Vec<P>> = std::cell::RefCell::new(Vec::new());
-
-        loop {
-            if events >= self.max_events || engine.time() > self.max_time {
-                break;
-            }
-            let Some(event) = engine.step() else { break };
-            events += 1;
-
-            // The dirty set: robots mid-Move plus the robot whose Move just
-            // ended — the only positions that changed since the last event.
-            engine.collect_motile(&mut dirty);
-            if event.kind == crate::engine::EngineEventKind::MoveEnd {
-                let idx = event.robot.index();
-                if let Err(slot) = dirty.binary_search(&idx) {
-                    dirty.insert(slot, idx);
-                }
-            }
-            for &i in &dirty {
-                dirty_mask[i] = true;
-                positions[i] = engine.position_of_at(i, event.time);
-            }
-
-            // Cohesion at every event: event times are exactly where
-            // piecewise-linear pair distances attain maxima, so checking
-            // dirty pairs at event boundaries is exhaustive.
-            let hull_points = |out: &mut Vec<Vec2>| {
-                let mut buf = hull_scratch.borrow_mut();
-                engine.positions_with_targets_into(&mut buf);
-                out.clear();
-                out.extend(buf.iter().map(|p| Vec2::new(p.coord(0), p.coord(1))));
-            };
-            let ctx = MonitorContext {
-                time: event.time,
-                events,
-                positions: &positions,
-                dirty: &dirty,
-                dirty_mask: &dirty_mask,
-                hull_points: &hull_points,
-            };
-            Monitor::<P>::on_event(&mut cohesion, &ctx);
-            if let Some(m) = strong.as_mut() {
-                Monitor::<P>::on_event(m, &ctx);
-            }
-            if let Some(m) = hull.as_mut() {
-                m.on_event(&ctx);
-            }
-
-            // Round accounting.
-            let cycles = engine.completed_cycles();
-            if (0..n).all(|i| cycles[i] > round_base[i]) {
-                rounds += 1;
-                round_base = cycles.to_vec();
-                round_diameters.push((rounds, monitors::diameter_of(&positions)));
-            }
-
-            // Diameter sampling + convergence test.
-            diameter.on_event(&ctx);
-
-            for &i in &dirty {
-                dirty_mask[i] = false;
-            }
-            if diameter.converged() {
-                converged = true;
-                break;
-            }
-        }
-
-        let final_configuration = engine.configuration();
-        let final_diameter = final_configuration.diameter();
-        if final_diameter <= self.epsilon {
-            converged = true;
-        }
-        let mut diameter_series = diameter.into_series();
-        diameter_series.push((engine.time(), final_diameter));
-
-        SimulationReport {
-            algorithm: engine.algorithm().name().to_string(),
-            scheduler: engine.scheduler().name().to_string(),
-            robots: n,
-            visibility: v,
-            converged,
-            cohesion_maintained: cohesion.maintained(),
-            cohesion_violations: cohesion.into_violations(),
-            strong_visibility_ok: strong.map(|m| m.ok()),
-            hulls_nested: hull.map(|m| m.nested()),
+        Simulation::from_parts(
+            engine,
+            self.epsilon,
+            Budget {
+                max_events: self.max_events,
+                max_time: self.max_time,
+            },
             initial_diameter,
-            final_diameter,
-            events,
-            rounds,
-            end_time: engine.time(),
-            diameter_series,
-            round_diameters,
-            final_configuration,
-        }
+            positions,
+            crate::session::MonitorPipeline {
+                cohesion,
+                strong,
+                hull,
+                diameter,
+            },
+        )
+    }
+
+    /// Runs the simulation to convergence or budget exhaustion — the
+    /// one-shot convenience, literally `build().run_to_completion()`.
+    pub fn run(self) -> SimulationReport<P> {
+        self.build().run_to_completion()
     }
 }
 

@@ -1,0 +1,766 @@
+//! The resumable simulation session: incremental drivers + streaming
+//! observers.
+//!
+//! [`SimulationBuilder::build`](crate::SimulationBuilder::build) turns a
+//! configured builder into a [`Simulation`] — a first-class session that
+//! owns the engine, the monitor pipeline, and the dirty-set bookkeeping the
+//! one-shot `run()` used to keep as loop locals. A session can be
+//!
+//! * **stepped** one engine event at a time ([`Simulation::step`]),
+//! * **driven in budgeted slices** ([`Simulation::run_for`] with a
+//!   [`Budget`], or [`Simulation::run_until`] with a stop predicate over
+//!   [`Progress`]),
+//! * **observed mid-flight** ([`Simulation::progress`] for a cheap view;
+//!   registered [`Observer`]s for a streaming one), and
+//! * **finished** into the exact [`SimulationReport`] the historical
+//!   monolithic loop produced ([`Simulation::run_to_completion`] /
+//!   [`Simulation::into_report`]) — the equivalence suite pins the reports
+//!   byte-for-byte across all five scheduler classes.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//! SimulationBuilder ──build()──▶ Simulation (Running)
+//!        │                          │  step() / run_for(Budget) / run_until(pred)
+//!        │                          ▼
+//!        │                 Converged │ BudgetExhausted │ ScheduleExhausted
+//!        │                          │
+//!        └────run()────▶            └──into_report()──▶ SimulationReport
+//!              (≡ build().run_to_completion())
+//! ```
+//!
+//! # Observers
+//!
+//! An [`Observer`] receives the session's event stream as it happens:
+//! every engine event ([`Observer::on_event`]), round boundaries
+//! ([`Observer::on_round`]), cohesion violations as they are first recorded
+//! ([`Observer::on_violation`]), and diameter samples
+//! ([`Observer::on_sample`]). The four standard monitors of
+//! [`crate::monitors`] are themselves re-expressed as observers (each
+//! implements the trait by delegating to its incremental
+//! [`Monitor::on_event`] check), and the session drives its internal
+//! pipeline through exactly that interface — registered observers see the
+//! same stream the report is computed from.
+//!
+//! To read an observer's state *while the session still owns it*, register
+//! a shared handle: `Rc<RefCell<O>>` implements [`Observer`] whenever `O`
+//! does, so keep one clone and hand the other to the session.
+
+use crate::engine::{Engine, EngineEvent, EngineEventKind};
+use crate::monitors::{
+    self, CohesionMonitor, DiameterMonitor, HullMonitor, Monitor, MonitorContext,
+    StrongVisibilityMonitor,
+};
+use crate::report::{CohesionViolation, SimulationReport};
+use cohesion_geometry::Vec2;
+use cohesion_model::frame::Ambient;
+use cohesion_model::{Algorithm, Budget, Progress};
+use cohesion_scheduler::{ActivationInterval, ScheduleTrace, Scheduler};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What state a [`Simulation`] session is in after a driver call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The session can process more events (a slice budget may have been
+    /// exhausted, but the run itself has not terminated).
+    Running,
+    /// A sampled diameter reached the convergence threshold `ε`.
+    Converged,
+    /// The session's overall event or time budget is exhausted.
+    BudgetExhausted,
+    /// The scheduler produced no further activations and no phase is in
+    /// flight (scripted schedules end; generative ones never do).
+    ScheduleExhausted,
+}
+
+impl SessionStatus {
+    /// `true` for every status except [`SessionStatus::Running`]: the
+    /// session will process no further events.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self != SessionStatus::Running
+    }
+}
+
+/// What an [`Observer`] may look at for one engine event: the event itself
+/// plus the monitor-grade context (positions in place, the dirty set, the
+/// hull-vertex provider) the internal predicate checkers read.
+pub struct EventView<'a, P: Ambient = Vec2> {
+    /// The event just processed.
+    pub event: EngineEvent,
+    /// The monitor context for this event — positions at `event.time`, the
+    /// dirty set, and the 1-based event count.
+    pub monitors: MonitorContext<'a, P>,
+}
+
+/// A streaming consumer of a session's event stream. All hooks default to
+/// no-ops — implement only what the sink needs.
+///
+/// The standard monitors ([`CohesionMonitor`], [`StrongVisibilityMonitor`],
+/// [`HullMonitor`], [`DiameterMonitor`]) implement this trait by delegating
+/// to their incremental [`Monitor::on_event`] checks; the session's internal
+/// pipeline and registered observers are driven through the same interface.
+///
+/// ```
+/// use cohesion_engine::{Observer, EventView, SimulationBuilder};
+/// use cohesion_model::NilAlgorithm;
+/// use cohesion_geometry::Vec2;
+///
+/// #[derive(Default)]
+/// struct EventCounter(usize);
+///
+/// impl Observer for EventCounter {
+///     fn on_event(&mut self, _view: &EventView<'_>) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// // Keep a shared handle to read the count back mid-run.
+/// let counter = std::rc::Rc::new(std::cell::RefCell::new(EventCounter::default()));
+/// let config = cohesion_model::Configuration::new(vec![
+///     Vec2::new(0.0, 0.0),
+///     Vec2::new(0.9, 0.0),
+/// ]);
+/// let mut session = SimulationBuilder::new(config, NilAlgorithm)
+///     .max_events(30)
+///     .build();
+/// session.observe(std::rc::Rc::clone(&counter));
+/// let report = session.run_to_completion();
+/// assert_eq!(counter.borrow().0, report.events);
+/// ```
+pub trait Observer<P: Ambient = Vec2> {
+    /// Called once per processed engine event.
+    fn on_event(&mut self, view: &EventView<'_, P>) {
+        let _ = view;
+    }
+
+    /// Called at each round boundary (every robot completed ≥ 1 cycle since
+    /// the previous boundary) with the configuration diameter at it.
+    fn on_round(&mut self, round: usize, time: f64, diameter: f64) {
+        let _ = (round, time, diameter);
+    }
+
+    /// Called when a cohesion violation is first recorded for a pair.
+    fn on_violation(&mut self, violation: &CohesionViolation) {
+        let _ = violation;
+    }
+
+    /// Called at each diameter sample (the `diameter_sample_every` cadence).
+    fn on_sample(&mut self, time: f64, diameter: f64) {
+        let _ = (time, diameter);
+    }
+}
+
+impl<P: Ambient> Observer<P> for CohesionMonitor {
+    fn on_event(&mut self, view: &EventView<'_, P>) {
+        Monitor::on_event(self, &view.monitors);
+    }
+}
+
+impl<P: Ambient> Observer<P> for StrongVisibilityMonitor {
+    fn on_event(&mut self, view: &EventView<'_, P>) {
+        Monitor::on_event(self, &view.monitors);
+    }
+}
+
+impl<P: Ambient> Observer<P> for HullMonitor {
+    fn on_event(&mut self, view: &EventView<'_, P>) {
+        Monitor::on_event(self, &view.monitors);
+    }
+}
+
+impl<P: Ambient> Observer<P> for DiameterMonitor {
+    fn on_event(&mut self, view: &EventView<'_, P>) {
+        Monitor::on_event(self, &view.monitors);
+    }
+}
+
+/// Shared-handle registration: keep one clone, give the session the other.
+impl<P: Ambient, O: Observer<P>> Observer<P> for Rc<RefCell<O>> {
+    fn on_event(&mut self, view: &EventView<'_, P>) {
+        self.borrow_mut().on_event(view);
+    }
+
+    fn on_round(&mut self, round: usize, time: f64, diameter: f64) {
+        self.borrow_mut().on_round(round, time, diameter);
+    }
+
+    fn on_violation(&mut self, violation: &CohesionViolation) {
+        self.borrow_mut().on_violation(violation);
+    }
+
+    fn on_sample(&mut self, time: f64, diameter: f64) {
+        self.borrow_mut().on_sample(time, diameter);
+    }
+}
+
+/// An [`Observer`] that reconstructs the [`ScheduleTrace`] of activation
+/// intervals from the engine's event stream.
+///
+/// Each activation surfaces as three events — `Look`, `MoveStart`,
+/// `MoveEnd` — at exactly the interval's times, and a robot is never
+/// re-activated before its Move ends, so pairing a robot's phase events in
+/// arrival order rebuilds its intervals exactly. This replaces the bespoke
+/// scheduler-driving recorder the timelines experiment used: the trace now
+/// comes from the *same* event stream the simulation actually executed.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    /// Reconstructed intervals in Look (= schedule) order. `move_start` and
+    /// `end` hold NaN until the matching phase event arrives.
+    intervals: Vec<(cohesion_model::RobotId, f64, f64, f64)>,
+    /// Per robot: index into `intervals` of its open activation, if any.
+    open: Vec<Option<usize>>,
+}
+
+impl TraceRecorder {
+    /// A fresh recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Number of activation intervals whose three phase events have all
+    /// been observed. Complete intervals form a prefix *per robot*, not
+    /// globally, so this counts the globally-complete prefix — the longest
+    /// leading run of intervals that are fully reconstructed.
+    #[must_use]
+    pub fn complete_prefix(&self) -> usize {
+        self.intervals
+            .iter()
+            .take_while(|&&(_, _, _, end)| !end.is_nan())
+            .count()
+    }
+
+    /// The first `count` reconstructed intervals as a [`ScheduleTrace`], or
+    /// `None` while fewer than `count` are complete.
+    #[must_use]
+    pub fn trace(&self, count: usize) -> Option<ScheduleTrace> {
+        if self.complete_prefix() < count {
+            return None;
+        }
+        let mut trace = ScheduleTrace::new();
+        for &(robot, look, move_start, end) in self.intervals.iter().take(count) {
+            trace.push(ActivationInterval::new(robot, look, move_start, end));
+        }
+        Some(trace)
+    }
+}
+
+impl<P: Ambient> Observer<P> for TraceRecorder {
+    fn on_event(&mut self, view: &EventView<'_, P>) {
+        let EngineEvent { time, robot, kind } = view.event;
+        let idx = robot.index();
+        if idx >= self.open.len() {
+            self.open.resize(idx + 1, None);
+        }
+        match kind {
+            EngineEventKind::Look => {
+                self.open[idx] = Some(self.intervals.len());
+                self.intervals.push((robot, time, f64::NAN, f64::NAN));
+            }
+            EngineEventKind::MoveStart => {
+                let slot = self.open[idx].expect("MoveStart for an open activation");
+                self.intervals[slot].2 = time;
+            }
+            EngineEventKind::MoveEnd => {
+                let slot = self.open[idx]
+                    .take()
+                    .expect("MoveEnd for an open activation");
+                self.intervals[slot].3 = time;
+            }
+        }
+    }
+}
+
+/// A live simulation session: the engine, the monitor pipeline, and the
+/// round/diameter accounting behind an incremental driver API.
+///
+/// Built by [`SimulationBuilder::build`](crate::SimulationBuilder::build);
+/// the one-shot [`SimulationBuilder::run`](crate::SimulationBuilder::run) is
+/// now literally `build().run_to_completion()`, and the equivalence suite
+/// pins that a session driven in arbitrary `run_for` slices produces the
+/// same report byte-for-byte.
+///
+/// ```
+/// use cohesion_engine::{SessionStatus, SimulationBuilder};
+/// use cohesion_core::KirkpatrickAlgorithm;
+/// use cohesion_model::{Budget, Configuration};
+/// use cohesion_geometry::Vec2;
+///
+/// let config = Configuration::new(vec![
+///     Vec2::new(0.0, 0.0),
+///     Vec2::new(0.9, 0.0),
+///     Vec2::new(1.8, 0.0),
+/// ]);
+/// let builder = || {
+///     SimulationBuilder::new(config.clone(), KirkpatrickAlgorithm::new(1))
+///         .epsilon(0.05)
+///         .max_events(50_000)
+/// };
+///
+/// // Drive the session in 1000-event slices, watching progress between.
+/// let mut session = builder().build();
+/// while !session.run_for(Budget::events(1000)).is_terminal() {
+///     let p = session.progress();
+///     assert!(p.cohesion_ok && p.diameter <= 1.8);
+/// }
+/// assert_eq!(session.status(), SessionStatus::Converged);
+///
+/// // The sliced run reproduces the one-shot report exactly.
+/// assert_eq!(session.into_report(), builder().run());
+/// ```
+pub struct Simulation<P: Ambient = Vec2> {
+    pub(crate) engine: Engine<P, Box<dyn Algorithm<P>>, Box<dyn Scheduler>>,
+    pub(crate) epsilon: f64,
+    /// The session's overall budget (the builder's `max_events`/`max_time`).
+    pub(crate) budget: Budget,
+    pub(crate) initial_diameter: f64,
+    /// Driver-owned position buffer; each event updates the dirty entries.
+    pub(crate) positions: Vec<P>,
+    pub(crate) dirty: Vec<usize>,
+    pub(crate) dirty_mask: Vec<bool>,
+    pub(crate) cohesion: CohesionMonitor,
+    pub(crate) strong: Option<StrongVisibilityMonitor>,
+    pub(crate) hull: Option<HullMonitor>,
+    pub(crate) diameter: DiameterMonitor,
+    pub(crate) round_diameters: Vec<(usize, f64)>,
+    pub(crate) rounds: usize,
+    pub(crate) round_base: Vec<u64>,
+    pub(crate) events: usize,
+    pub(crate) converged: bool,
+    pub(crate) status: SessionStatus,
+    /// Pooled vertex buffer for the hull monitor's sampling closure (the
+    /// closure is `Fn`, so interior mutability bridges the reuse).
+    pub(crate) hull_scratch: RefCell<Vec<P>>,
+    observers: Vec<Box<dyn Observer<P>>>,
+    /// How many cohesion violations / diameter samples have already been
+    /// streamed to observers.
+    violations_streamed: usize,
+    samples_streamed: usize,
+}
+
+/// The four standard monitors a session is built around, bundled for
+/// construction (the builder materializes them, the session owns them).
+pub(crate) struct MonitorPipeline {
+    pub(crate) cohesion: CohesionMonitor,
+    pub(crate) strong: Option<StrongVisibilityMonitor>,
+    pub(crate) hull: Option<HullMonitor>,
+    pub(crate) diameter: DiameterMonitor,
+}
+
+impl<P: Ambient> Simulation<P> {
+    pub(crate) fn from_parts(
+        engine: Engine<P, Box<dyn Algorithm<P>>, Box<dyn Scheduler>>,
+        epsilon: f64,
+        budget: Budget,
+        initial_diameter: f64,
+        positions: Vec<P>,
+        monitors: MonitorPipeline,
+    ) -> Self {
+        let MonitorPipeline {
+            cohesion,
+            strong,
+            hull,
+            diameter,
+        } = monitors;
+        let n = positions.len();
+        // The series arrives seeded with the t = 0 point; only samples
+        // taken after it stream through `on_sample`.
+        let samples_streamed = diameter.series().len();
+        Simulation {
+            engine,
+            epsilon,
+            budget,
+            initial_diameter,
+            positions,
+            dirty: Vec::with_capacity(n),
+            dirty_mask: vec![false; n],
+            cohesion,
+            strong,
+            hull,
+            diameter,
+            round_diameters: Vec::new(),
+            rounds: 0,
+            round_base: vec![0; n],
+            events: 0,
+            converged: false,
+            status: SessionStatus::Running,
+            hull_scratch: RefCell::new(Vec::new()),
+            observers: Vec::new(),
+            violations_streamed: 0,
+            samples_streamed,
+        }
+    }
+
+    /// Registers a streaming observer. Observers see every event processed
+    /// *after* registration; register before the first driver call to see
+    /// the whole stream. To read the observer back mid-run, register an
+    /// `Rc<RefCell<O>>` handle and keep a clone.
+    pub fn observe(&mut self, observer: impl Observer<P> + 'static) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// The session's current status. [`SessionStatus::Running`] until a
+    /// driver call hits convergence, the overall budget, or the end of the
+    /// schedule.
+    #[must_use]
+    pub fn status(&self) -> SessionStatus {
+        self.status
+    }
+
+    /// Engine events processed so far.
+    #[must_use]
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Simulated time of the last processed event (`0` before the first).
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.engine.time()
+    }
+
+    /// The underlying engine (read-only), e.g. for its recorded
+    /// [`ScheduleTrace`](cohesion_scheduler::ScheduleTrace) or current
+    /// configuration.
+    #[must_use]
+    pub fn engine(&self) -> &Engine<P, Box<dyn Algorithm<P>>, Box<dyn Scheduler>> {
+        &self.engine
+    }
+
+    /// A point-in-time progress view: events, rounds, simulated time, the
+    /// current configuration diameter, and cohesion-so-far. Costs one
+    /// `O(n²)` diameter computation — cheap next to an event slice, but
+    /// meant for heartbeats and stop predicates, not per-event polling.
+    #[must_use]
+    pub fn progress(&self) -> Progress {
+        Progress {
+            events: self.events,
+            rounds: self.rounds,
+            time: self.engine.time(),
+            diameter: monitors::diameter_of(&self.positions),
+            cohesion_ok: self.cohesion.maintained(),
+            converged: self.converged,
+        }
+    }
+
+    /// Processes one engine event; returns the status afterwards. A
+    /// terminal session is left untouched (the call is a no-op).
+    pub fn step(&mut self) -> SessionStatus {
+        if self.status.is_terminal() {
+            return self.status;
+        }
+        if self.budget.events_exhausted(self.events) {
+            self.status = SessionStatus::BudgetExhausted;
+            return self.status;
+        }
+        // The time budget clamps *before* the event is committed: the
+        // historical loop compared the budget against the previous event's
+        // time and so overran by one event; peeking the next event's
+        // timestamp closes that gap without perturbing the event sequence.
+        if self.budget.max_time.is_finite() {
+            if let Some(t) = self.engine.peek_time() {
+                if !self.budget.admits_time(t) {
+                    self.status = SessionStatus::BudgetExhausted;
+                    return self.status;
+                }
+            }
+        }
+        let Some(event) = self.engine.step() else {
+            self.status = SessionStatus::ScheduleExhausted;
+            return self.status;
+        };
+        self.events += 1;
+        self.process(event);
+        if self.diameter.converged() {
+            self.converged = true;
+            self.status = SessionStatus::Converged;
+        }
+        self.status
+    }
+
+    /// The per-event pipeline: dirty-set maintenance, the monitor
+    /// observers, round accounting, diameter sampling, and observer
+    /// streaming — the body of the historical `run()` loop, verbatim where
+    /// it affects the report.
+    fn process(&mut self, event: EngineEvent) {
+        let n = self.positions.len();
+
+        // The dirty set: robots mid-Move plus the robot whose Move just
+        // ended — the only positions that changed since the last event.
+        self.engine.collect_motile(&mut self.dirty);
+        if event.kind == EngineEventKind::MoveEnd {
+            let idx = event.robot.index();
+            if let Err(slot) = self.dirty.binary_search(&idx) {
+                self.dirty.insert(slot, idx);
+            }
+        }
+        for &i in &self.dirty {
+            self.dirty_mask[i] = true;
+            self.positions[i] = self.engine.position_of_at(i, event.time);
+        }
+
+        // Split borrows: the monitor context reads positions/dirty/engine
+        // immutably while the monitors and observers are driven mutably.
+        let engine = &self.engine;
+        let hull_scratch = &self.hull_scratch;
+        let hull_points = move |out: &mut Vec<Vec2>| {
+            let mut buf = hull_scratch.borrow_mut();
+            engine.positions_with_targets_into(&mut buf);
+            out.clear();
+            out.extend(buf.iter().map(|p| Vec2::new(p.coord(0), p.coord(1))));
+        };
+        let view = EventView {
+            event,
+            monitors: MonitorContext {
+                time: event.time,
+                events: self.events,
+                positions: &self.positions,
+                dirty: &self.dirty,
+                dirty_mask: &self.dirty_mask,
+                hull_points: &hull_points,
+            },
+        };
+
+        // Cohesion at every event: event times are exactly where
+        // piecewise-linear pair distances attain maxima, so checking dirty
+        // pairs at event boundaries is exhaustive.
+        Observer::on_event(&mut self.cohesion, &view);
+        if let Some(m) = self.strong.as_mut() {
+            Observer::on_event(m, &view);
+        }
+        if let Some(m) = self.hull.as_mut() {
+            Observer::on_event(m, &view);
+        }
+        for obs in &mut self.observers {
+            obs.on_event(&view);
+        }
+        for v in &self.cohesion.violations()[self.violations_streamed..] {
+            for obs in &mut self.observers {
+                obs.on_violation(v);
+            }
+        }
+        self.violations_streamed = self.cohesion.violations().len();
+
+        // Round accounting.
+        let cycles = self.engine.completed_cycles();
+        if (0..n).all(|i| cycles[i] > self.round_base[i]) {
+            self.rounds += 1;
+            self.round_base = cycles.to_vec();
+            let d = monitors::diameter_of(&self.positions);
+            self.round_diameters.push((self.rounds, d));
+            for obs in &mut self.observers {
+                obs.on_round(self.rounds, event.time, d);
+            }
+        }
+
+        // Diameter sampling + convergence test.
+        Observer::on_event(&mut self.diameter, &view);
+        for &(t, d) in &self.diameter.series()[self.samples_streamed..] {
+            for obs in &mut self.observers {
+                obs.on_sample(t, d);
+            }
+        }
+        self.samples_streamed = self.diameter.series().len();
+
+        for &i in &self.dirty {
+            self.dirty_mask[i] = false;
+        }
+    }
+
+    /// Runs until the *slice* budget is exhausted or the session
+    /// terminates. `slice.max_events` is relative (that many more events);
+    /// `slice.max_time` is an absolute simulated-time ceiling, clamped so
+    /// no event beyond it is processed. Returns [`SessionStatus::Running`]
+    /// when only the slice — not the session — is spent.
+    pub fn run_for(&mut self, slice: Budget) -> SessionStatus {
+        let end_events = self.events.saturating_add(slice.max_events);
+        while !self.status.is_terminal() {
+            if self.events >= end_events {
+                break;
+            }
+            if slice.max_time.is_finite() {
+                match self.engine.peek_time() {
+                    Some(t) if !slice.admits_time(t) => break,
+                    _ => {}
+                }
+            }
+            self.step();
+        }
+        self.status
+    }
+
+    /// Runs until `stop` returns `true` (checked before every event against
+    /// a fresh [`Progress`] view) or the session terminates. The predicate
+    /// costs a diameter computation per event — for lighter-weight pacing,
+    /// prefer `run_for` slices with a progress check between them.
+    pub fn run_until(&mut self, mut stop: impl FnMut(&Progress) -> bool) -> SessionStatus {
+        while !self.status.is_terminal() {
+            if stop(&self.progress()) {
+                break;
+            }
+            self.step();
+        }
+        self.status
+    }
+
+    /// Drives the session to a terminal status and finishes the report —
+    /// exactly what the historical one-shot `run()` did.
+    #[must_use]
+    pub fn run_to_completion(mut self) -> SimulationReport<P> {
+        while !self.step().is_terminal() {}
+        self.into_report()
+    }
+
+    /// Finishes the session into a [`SimulationReport`]. Usable from any
+    /// state: the report covers the horizon simulated so far (the final
+    /// diameter sample and the `diameter ≤ ε` re-check happen here, as they
+    /// did at the end of the historical loop).
+    #[must_use]
+    pub fn into_report(self) -> SimulationReport<P> {
+        let final_configuration = self.engine.configuration();
+        let final_diameter = final_configuration.diameter();
+        let converged = self.converged || final_diameter <= self.epsilon;
+        let mut diameter_series = self.diameter.into_series();
+        diameter_series.push((self.engine.time(), final_diameter));
+
+        SimulationReport {
+            algorithm: self.engine.algorithm().name().to_string(),
+            scheduler: self.engine.scheduler().name().to_string(),
+            robots: self.positions.len(),
+            visibility: self.engine.visibility(),
+            converged,
+            cohesion_maintained: self.cohesion.maintained(),
+            cohesion_violations: self.cohesion.into_violations(),
+            strong_visibility_ok: self.strong.map(|m| m.ok()),
+            hulls_nested: self.hull.map(|m| m.nested()),
+            initial_diameter: self.initial_diameter,
+            final_diameter,
+            events: self.events,
+            rounds: self.rounds,
+            end_time: self.engine.time(),
+            diameter_series,
+            round_diameters: self.round_diameters,
+            final_configuration,
+        }
+    }
+}
+
+impl<P: Ambient> std::fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("robots", &self.positions.len())
+            .field("events", &self.events)
+            .field("rounds", &self.rounds)
+            .field("time", &self.engine.time())
+            .field("status", &self.status)
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimulationBuilder;
+    use cohesion_model::{Configuration, NilAlgorithm};
+    use cohesion_scheduler::FSyncScheduler;
+
+    fn line(n: usize, spacing: f64) -> Configuration {
+        Configuration::new((0..n).map(|i| Vec2::new(i as f64 * spacing, 0.0)).collect())
+    }
+
+    #[test]
+    fn session_statuses_and_progress() {
+        let mut session = SimulationBuilder::new(line(3, 0.9), NilAlgorithm)
+            .scheduler(FSyncScheduler::new())
+            .max_events(10)
+            .build();
+        assert_eq!(session.status(), SessionStatus::Running);
+        assert_eq!(session.events(), 0);
+        let p0 = session.progress();
+        assert_eq!(p0.events, 0);
+        assert_eq!(p0.diameter, 1.8);
+        assert!(p0.cohesion_ok && !p0.converged);
+
+        assert_eq!(session.run_for(Budget::events(4)), SessionStatus::Running);
+        assert_eq!(session.events(), 4);
+        assert_eq!(
+            session.run_for(Budget::UNLIMITED),
+            SessionStatus::BudgetExhausted
+        );
+        assert_eq!(session.events(), 10);
+        // Terminal sessions are inert.
+        assert_eq!(session.step(), SessionStatus::BudgetExhausted);
+        assert_eq!(session.events(), 10);
+        let report = session.into_report();
+        assert_eq!(report.events, 10);
+        assert!(!report.converged);
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let mut session = SimulationBuilder::new(line(3, 0.9), NilAlgorithm)
+            .scheduler(FSyncScheduler::new())
+            .max_events(100)
+            .build();
+        let status = session.run_until(|p| p.events >= 7);
+        assert_eq!(status, SessionStatus::Running);
+        assert_eq!(session.events(), 7);
+    }
+
+    #[test]
+    fn observers_see_the_event_stream() {
+        #[derive(Default)]
+        struct Counts {
+            events: usize,
+            rounds: usize,
+            samples: usize,
+        }
+        impl Observer for Counts {
+            fn on_event(&mut self, _view: &EventView<'_>) {
+                self.events += 1;
+            }
+            fn on_round(&mut self, _round: usize, _time: f64, _diameter: f64) {
+                self.rounds += 1;
+            }
+            fn on_sample(&mut self, _time: f64, _diameter: f64) {
+                self.samples += 1;
+            }
+        }
+        let counts = Rc::new(RefCell::new(Counts::default()));
+        let mut session = SimulationBuilder::new(line(3, 0.9), NilAlgorithm)
+            .scheduler(FSyncScheduler::new())
+            .max_events(90)
+            .diameter_sample_every(10)
+            .build();
+        session.observe(Rc::clone(&counts));
+        let report = session.run_to_completion();
+        let counts = counts.borrow();
+        assert_eq!(counts.events, report.events);
+        assert_eq!(counts.rounds, report.rounds);
+        // The series carries the seeded t=0 point and the final sample
+        // appended by into_report; neither streams through on_sample.
+        assert_eq!(counts.samples, report.diameter_series.len() - 2);
+    }
+
+    #[test]
+    fn trace_recorder_rebuilds_the_engine_trace() {
+        let recorder = Rc::new(RefCell::new(TraceRecorder::new()));
+        let mut session = SimulationBuilder::new(line(3, 0.9), NilAlgorithm)
+            .scheduler(FSyncScheduler::new())
+            .max_events(60)
+            .build();
+        session.observe(Rc::clone(&recorder));
+        while recorder.borrow().complete_prefix() < 12 {
+            assert!(
+                !session.step().is_terminal(),
+                "budget too small for 12 intervals"
+            );
+        }
+        let rebuilt = recorder.borrow().trace(12).expect("12 complete intervals");
+        let engine_trace = session.engine().trace();
+        assert_eq!(rebuilt.intervals(), &engine_trace.intervals()[..12]);
+    }
+}

@@ -17,13 +17,16 @@
 //!   angular skew `λ`, `ξ`-rigidity, and linear/quadratic relative motion
 //!   error (§2.3.2–2.3.3, §6.1, Figure 18);
 //! * the [`Algorithm`] trait every convergence algorithm in the workspace
-//!   implements.
+//!   implements;
+//! * driver-facing plain data ([`progress`]): the [`Budget`] a simulation
+//!   slice may consume and the [`Progress`] view a running session reports.
 
 pub mod algorithm;
 pub mod configuration;
 pub mod errors;
 pub mod frame;
 pub mod ids;
+pub mod progress;
 pub mod snapshot;
 pub mod visibility;
 
@@ -34,5 +37,6 @@ pub use frame::{Ambient, FrameMode};
 pub use frame::{Distortion, Frame, Iso2, Iso3};
 pub use ids::RobotId;
 pub use ids::RobotPair;
+pub use progress::{Budget, Progress};
 pub use snapshot::{ObservedRobot, Snapshot};
 pub use visibility::VisibilityGraph;
