@@ -3,9 +3,11 @@
 //!
 //! Two groups: the historical `engine_events` sweep at small `n`, and the
 //! `events_per_sec` end-to-end run-throughput trajectory (n ∈ {64, 256,
-//! 1024}, FSync and unbounded Async, Kirkpatrick algorithm, bounded-density
-//! lattices) whose medians are committed as `BENCH_engine.json` — the
-//! workspace's record of how fast full runs get over time.
+//! 1024, 16384}, FSync and unbounded Async, Kirkpatrick algorithm,
+//! bounded-density lattices) whose medians are committed as
+//! `BENCH_engine.json` — the workspace's record of how fast full runs get
+//! over time. The 16384 row is the two-orders-beyond-the-paper size the
+//! ROADMAP asks the event core to sustain.
 
 use cohesion_bench::lookbench::look_lattice;
 use cohesion_core::KirkpatrickAlgorithm;
@@ -74,7 +76,7 @@ fn bench_engine(c: &mut Criterion) {
 /// convergence-rate sweeps actually run.
 fn bench_events_per_sec(c: &mut Criterion) {
     let mut group = c.benchmark_group("events_per_sec");
-    for n in [64usize, 256, 1024] {
+    for n in [64usize, 256, 1024, 16384] {
         let config = look_lattice(n);
         let events = 3 * n as u64;
         group.throughput(Throughput::Elements(events));

@@ -15,10 +15,23 @@
 //! session layer is bookkeeping, not work, and this fails if per-slice (or
 //! per-event) overhead ever grows into the hot path.
 //!
+//! A fourth check guards unbounded-Async scheduling: at `n = 1024` the
+//! `events_per_sec` fixture's Async arm must stay within
+//! [`MAX_ASYNC_FSYNC_RATIO`]× of the FSync arm. Async pays real per-event
+//! costs FSync amortizes over whole rounds (a fairness argmin per
+//! activation, a pop-min per event instead of per round), so the ratio is
+//! structurally above 1 — but the calendar queue, blocked argmin, and
+//! origin-indexed grid hold it well under 2×, and a revert of any of them
+//! (or new per-event work on the Async path) pushes it back over. Arms are
+//! interleaved in pairs and the median pair ratio is compared, so the bound
+//! is hardware-independent and loaded-runner-robust.
+//!
 //! Usage: `cargo run --release -p cohesion-bench --bin perf_smoke [-- --quick]`
 //! (`--quick` trims samples for CI).
 
-use cohesion_bench::lookbench::{look_lattice, median_ns_per_event, LOOK_BENCH_SIZES};
+use cohesion_bench::lookbench::{
+    async_fsync_paired_ratio, look_lattice, median_ns_per_event, LOOK_BENCH_SIZES,
+};
 
 use cohesion_engine::{Budget, LookPath, SimulationBuilder};
 use cohesion_model::NilAlgorithm;
@@ -34,6 +47,13 @@ const MIN_BRUTE_RATIO: f64 = 3.0;
 /// A sliced session-driven run may be at most this many times slower than
 /// the one-shot `run()` on the same workload.
 const MAX_SESSION_OVERHEAD: f64 = 1.1;
+
+/// The Async arm of the throughput fixture may be at most this many times
+/// slower than the FSync arm at [`ASYNC_CANARY_N`] (median paired ratio).
+const MAX_ASYNC_FSYNC_RATIO: f64 = 2.0;
+
+/// Swarm size of the Async-scheduling-overhead canary.
+const ASYNC_CANARY_N: usize = 1024;
 
 /// Swarm size and event budget of the session-overhead canary.
 const SESSION_CANARY_N: usize = 256;
@@ -97,6 +117,19 @@ fn main() {
             "session-driven run is {overhead:.3}x the one-shot run() \
              (bound {MAX_SESSION_OVERHEAD}x) — per-slice or per-event session \
              overhead crept into the driver loop?"
+        ));
+    }
+
+    let async_ratio = async_fsync_paired_ratio(ASYNC_CANARY_N, samples);
+    println!(
+        "async canary at n={ASYNC_CANARY_N}: async/fsync = {async_ratio:.2}x \
+         (need ≤ {MAX_ASYNC_FSYNC_RATIO}x)"
+    );
+    if async_ratio > MAX_ASYNC_FSYNC_RATIO {
+        failures.push(format!(
+            "unbounded Async is {async_ratio:.2}x FSync throughput at \
+             n={ASYNC_CANARY_N} (bound {MAX_ASYNC_FSYNC_RATIO}x) — per-event \
+             work crept into the Async scheduling path?"
         ));
     }
 

@@ -9,10 +9,11 @@
 //! `O(deg)` grid path and the `O(n)`–`O(n²)` brute reference visible as a
 //! slope, not a constant.
 
+use cohesion_core::KirkpatrickAlgorithm;
 use cohesion_engine::{Engine, LookPath};
 use cohesion_geometry::Vec2;
 use cohesion_model::{Configuration, NilAlgorithm};
-use cohesion_scheduler::FSyncScheduler;
+use cohesion_scheduler::{AsyncScheduler, FSyncScheduler, Scheduler};
 
 /// Swarm sizes the Look benches sweep (perfect squares: lattice sides 8,
 /// 16, 32).
@@ -82,6 +83,50 @@ pub fn median_ns_per_event(
     } else {
         (ns[ns.len() / 2 - 1] + ns[ns.len() / 2]) / 2.0
     }
+}
+
+/// One fresh-engine throughput run of the `events_per_sec` fixture: the
+/// Kirkpatrick algorithm on a bounded-density lattice, unbounded Async or
+/// FSync scheduling (the same arms `engine_throughput` records in
+/// `BENCH_engine.json`). Returns ns per event over `3n` events including
+/// engine construction, exactly as the committed bench measures.
+pub fn throughput_run_ns_per_event(config: &Configuration, n: usize, async_arm: bool) -> f64 {
+    let events = 3 * n;
+    let start = std::time::Instant::now();
+    let mut engine = if async_arm {
+        let sched: Box<dyn Scheduler> = Box::new(AsyncScheduler::new(3));
+        Engine::new(config, 1.0, KirkpatrickAlgorithm::new(4), sched, 1)
+    } else {
+        let sched: Box<dyn Scheduler> = Box::new(FSyncScheduler::new());
+        Engine::new(config, 1.0, KirkpatrickAlgorithm::new(1), sched, 1)
+    };
+    for _ in 0..events {
+        engine.step();
+    }
+    std::hint::black_box(engine.time());
+    start.elapsed().as_nanos() as f64 / events as f64
+}
+
+/// The Async/FSync throughput ratio at size `n`: arms interleaved in pairs
+/// so machine-wide noise (frequency transients, preemptions) hits both and
+/// cancels in each pair, median of the per-pair ratios. This is the
+/// noise-robust estimator the scheduling-overhead canary needs — medians of
+/// independently-timed arms drift apart on loaded CI runners even when the
+/// engine hasn't changed.
+pub fn async_fsync_paired_ratio(n: usize, pairs: usize) -> f64 {
+    let config = look_lattice(n);
+    // One warm-up pair (allocator, branch predictors, frequency ramp).
+    throughput_run_ns_per_event(&config, n, true);
+    throughput_run_ns_per_event(&config, n, false);
+    let mut ratios: Vec<f64> = (0..pairs.max(3))
+        .map(|_| {
+            let a = throughput_run_ns_per_event(&config, n, true);
+            let f = throughput_run_ns_per_event(&config, n, false);
+            a / f
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    ratios[ratios.len() / 2]
 }
 
 #[cfg(test)]

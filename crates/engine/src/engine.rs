@@ -9,18 +9,24 @@
 //! allocation), scanned all `n` robots linearly, and ran an `O(n)` occlusion
 //! test per visible candidate — `O(n)`–`O(n²)` per Look. Under limited
 //! visibility each robot actually sees only `O(deg)` neighbours, so the
-//! engine now keeps an incremental [`DynamicGrid`] of the **stationary**
-//! robots (cells sized by the largest perception radius) plus a small
-//! side-list of the robots currently in their Move phase:
+//! engine keeps one incremental [`DynamicGrid`] over **all** robots (cells
+//! sized to half the largest perception radius), indexed at their *base*
+//! positions:
 //!
-//! * a robot leaves the grid when its Move starts and re-enters at its final
-//!   position when the Move ends — the invariant is *in the grid ⇔ not in
-//!   the Move phase* (`Idle` and `Computing` robots are stationary);
-//! * a Look queries the grid for the `O(deg)` stationary robots in range and
-//!   checks the motile side-list brute-force at interpolated
-//!   `position_at(t)` — `O(deg + motile)` instead of `O(n)`;
-//! * the occlusion test walks only the grid cells around the sight segment
-//!   (plus the motile list) instead of all `n` robots;
+//! * a stationary robot (`Idle`/`Computing`) is indexed where it stands; a
+//!   motile robot stays indexed at its Move *origin* — which is where it
+//!   already was when the Move started, so `MoveStart` touches nothing and
+//!   `MoveEnd` relocates one entry origin → destination;
+//! * a motile robot's interpolated position never strays farther from its
+//!   origin than the *displacement high-water mark* (the largest `|to −
+//!   from|` since the motile set was last empty), so one query padded by
+//!   that mark is a guaranteed superset of the robots in range, trimmed by
+//!   the exact range predicate — `O(deg)` per Look, no side-list scan;
+//! * interpolations of motile robots are memoized per *tick* (exact
+//!   timestamp × motile epoch), so a same-timestamp Look burst — a whole
+//!   FSync round — interpolates each motile robot at most once;
+//! * the occlusion test walks only the (padded) grid cells around the sight
+//!   segment instead of all `n` robots;
 //! * all working sets live in pooled scratch buffers ([`LookScratch`]),
 //!   including the [`Snapshot`] handed to the algorithm — the steady-state
 //!   Look performs no heap allocation.
@@ -30,9 +36,12 @@
 //! `sample_distance_factor` per observed robot) happens in the same sequence
 //! and outputs are bit-for-bit identical to the old loop. That old loop is
 //! kept verbatim as [`LookPath::BruteReference`], the property-tested
-//! reference and bench baseline.
+//! reference and bench baseline. Pending phase events live in a tick-batched
+//! calendar queue (see [`crate::queue`]) with the historical `BinaryHeap`
+//! behind the same kind of knob.
 
-use crate::state::RobotState;
+use crate::queue::{EventQueue, Pending, QueuePath};
+use crate::state::{RobotState, RobotStates};
 use cohesion_geometry::DynamicGrid;
 use cohesion_model::frame::{Ambient, Frame, FrameMode};
 use cohesion_model::{
@@ -41,7 +50,6 @@ use cohesion_model::{
 use cohesion_scheduler::{ActivationInterval, ScheduleContext, ScheduleTrace, Scheduler};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::BinaryHeap;
 
 /// What happened at an engine step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,34 +87,6 @@ pub enum LookPath {
     BruteReference,
 }
 
-/// Internal heap entry (min-heap by time, stable by sequence number).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Pending {
-    time: f64,
-    seq: u64,
-    robot: RobotId,
-    kind: EngineEventKind,
-}
-
-impl Eq for Pending {}
-
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse for a min-heap; tie-break on sequence for determinism.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("finite event times")
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Reusable working memory for the Look phase, owned by the engine so the
 /// steady-state observation pipeline allocates nothing.
 #[derive(Debug)]
@@ -116,8 +96,14 @@ struct LookScratch<P> {
     candidates: Vec<usize>,
     /// Occlusion-candidate indices near the current sight segment.
     occluders: Vec<usize>,
+    /// Raw padded-range hits awaiting their exact range check.
+    range_hits: Vec<usize>,
     /// Pooled observation buffer handed to the algorithm's Compute.
     snapshot: Snapshot<P>,
+    /// All-robot position buffer for the brute-force reference path (the
+    /// historical per-Look `collect()`, pooled so the reference stays usable
+    /// at `n = 1024` in the equivalence matrix).
+    brute_positions: Vec<P>,
 }
 
 impl<P> Default for LookScratch<P> {
@@ -125,9 +111,38 @@ impl<P> Default for LookScratch<P> {
         LookScratch {
             candidates: Vec::new(),
             occluders: Vec::new(),
+            range_hits: Vec::new(),
             snapshot: Snapshot::default(),
+            brute_positions: Vec::new(),
         }
     }
+}
+
+/// The same-tick motile working set: interpolated positions of motile
+/// robots, each computed at most once per `(timestamp, motile-set)` pair.
+///
+/// Same-timestamp Look bursts are the synchronous schedulers' signature (a
+/// whole FSync round Looks at one instant) and occur under every scheduler
+/// whenever activations coincide; without the cache each of those Looks
+/// re-interpolated every motile robot it examined. Entries memoize lazily —
+/// only robots a query actually touches are interpolated — so the cache
+/// costs `O(hits)`, not `O(motile)`, per tick. Validity is a per-robot
+/// stamp against the current *tick id*; the tick id advances whenever the
+/// timestamp bits or the motile epoch (bumped at every `MoveStart` /
+/// `MoveEnd`) change, so a cached read is bitwise the interpolation it
+/// replaced.
+#[derive(Debug)]
+struct MotileCache<P> {
+    /// `f64::to_bits` of the timestamp the current tick was opened at.
+    time_bits: u64,
+    /// The engine's `motile_version` the current tick was opened under.
+    version: u64,
+    /// Monotone tick id; a robot's entry is valid iff its stamp matches.
+    tick: u64,
+    /// Per-robot stamp of the tick its cached position was computed in.
+    stamps: Vec<u64>,
+    /// Per-robot memoized interpolated position (valid iff stamped).
+    positions: Vec<P>,
 }
 
 /// The discrete-event simulator for one robot system.
@@ -137,7 +152,7 @@ impl<P> Default for LookScratch<P> {
 /// [`SimulationBuilder`](crate::runner::SimulationBuilder) wraps this loop
 /// with metrics and convergence/cohesion checks.
 pub struct Engine<P: Ambient, A, S> {
-    states: Vec<RobotState<P>>,
+    states: RobotStates<P>,
     visibility: f64,
     visibility_radii: Option<Vec<f64>>,
     algorithm: A,
@@ -150,17 +165,48 @@ pub struct Engine<P: Ambient, A, S> {
     rng: SmallRng,
     time: f64,
     seq: u64,
-    heap: BinaryHeap<Pending>,
+    queue: EventQueue,
     staged: Option<ActivationInterval>,
     trace: ScheduleTrace,
     completed_cycles: Vec<u64>,
-    /// Stationary robots (`Idle` and `Computing`), indexed for `O(deg)`
-    /// range and occlusion queries. Lifecycle: out at `MoveStart`, back in
-    /// at `MoveEnd`.
+    /// Every robot, indexed at its *base* position — its true position while
+    /// stationary (`Idle`/`Computing`), its Move origin (`from`) while
+    /// motile. An interpolated position never strays farther than
+    /// `motile_pad` from the origin, so one range query at
+    /// `radius + motile_pad` is a guaranteed superset of all robots in
+    /// range — `O(deg)` per Look with no per-Look side-list scan. Lifecycle:
+    /// a robot's entry moves origin → destination at `MoveEnd` (nothing to
+    /// do at `MoveStart`; it is already indexed at the origin).
     grid: DynamicGrid<P>,
-    /// Ascending dense indices of the robots currently in their Move phase —
-    /// the complement of the grid's contents.
+    /// Dense indices of the robots currently in their Move phase, in
+    /// arbitrary order (swap-remove set: under asynchronous scheduling most
+    /// of the swarm is mid-Move at any instant, and keeping this sorted cost
+    /// an `O(n)` shift on every MoveStart/MoveEnd). `collect_motile` sorts
+    /// on the way out for callers that need ascending order.
     motile: Vec<u32>,
+    /// Per-robot slot in `motile` (`u32::MAX` when not motile).
+    motile_slot: Vec<u32>,
+    /// Largest `|to − from|` over the *currently* motile robots — the bound
+    /// on every origin-to-interpolation distance. Maintained exactly (not as
+    /// a sticky high-water mark): under asynchronous scheduling the motile
+    /// set essentially never empties, and a high-water pad would permanently
+    /// widen every Look query to the largest Move ever taken.
+    motile_pad: f64,
+    /// Set when the robot carrying `motile_pad` departed and the max was
+    /// not re-taken yet. While set, `motile_pad` only *over*estimates (still
+    /// a correct superset bound); the next observation refreshes it. The
+    /// recompute is deferred to the read because doing it at `MoveEnd`
+    /// degenerates: a synchronous round ends with a burst of `n` MoveEnds,
+    /// and when displacements tie (all-zero under the Nil algorithm) every
+    /// one of them re-scans the shrinking motile set — `O(n²)` per round.
+    motile_pad_stale: bool,
+    /// `|to − from|` per robot, valid while that robot is motile.
+    motile_disp: Vec<f64>,
+    /// Motile epoch: bumped whenever `motile` changes, invalidating the
+    /// per-tick cache below.
+    motile_version: u64,
+    /// Per-tick interpolated positions of the motile robots.
+    motile_cache: MotileCache<P>,
     scratch: LookScratch<P>,
     look_path: LookPath,
 }
@@ -188,16 +234,13 @@ where
         // Dense grid extent over the initial configuration: the paper's
         // hull-diminishing dynamics keep the swarm inside it, so probes stay
         // on the direct-addressed fast path (strays spill gracefully).
-        let mut grid = DynamicGrid::with_extent(initial.len(), visibility, initial.positions());
+        let mut grid =
+            DynamicGrid::with_extent(initial.len(), grid_cell(visibility), initial.positions());
         for (i, &position) in initial.positions().iter().enumerate() {
             grid.insert(i, position);
         }
         Engine {
-            states: initial
-                .positions()
-                .iter()
-                .map(|&position| RobotState::Idle { position })
-                .collect(),
+            states: RobotStates::new(initial.positions()),
             visibility,
             visibility_radii: None,
             algorithm,
@@ -210,12 +253,24 @@ where
             rng: SmallRng::seed_from_u64(seed),
             time: 0.0,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(QueuePath::default()),
             staged: None,
             trace: ScheduleTrace::new(),
             completed_cycles: vec![0; initial.len()],
             grid,
             motile: Vec::new(),
+            motile_slot: vec![u32::MAX; initial.len()],
+            motile_pad: 0.0,
+            motile_pad_stale: false,
+            motile_disp: vec![0.0; initial.len()],
+            motile_version: 1,
+            motile_cache: MotileCache {
+                time_bits: 0,
+                version: 0,
+                tick: 1,
+                stamps: vec![0; initial.len()],
+                positions: initial.positions().to_vec(),
+            },
             scratch: LookScratch::default(),
             look_path: LookPath::default(),
         }
@@ -249,6 +304,16 @@ where
         self.look_path = path;
     }
 
+    /// Selects the pending-event queue. The default [`QueuePath::Calendar`]
+    /// and the [`QueuePath::HeapReference`] pop in the identical
+    /// `(time, seq)` order (property-tested against each other and pinned by
+    /// the session equivalence hashes); the heap exists for differential
+    /// testing and benchmarking. Switching mid-run drains and refills, so it
+    /// is safe at any event boundary.
+    pub fn set_queue_path(&mut self, path: QueuePath) {
+        self.queue.set_path(path);
+    }
+
     /// Enables the occlusion model (one of the paper's §8 future-work
     /// constraints, studied in its citations [3, 5]): robot `Y` is hidden
     /// from `X` when some third robot sits on the sight line `X → Y`
@@ -274,14 +339,15 @@ where
     /// tolerance — the grid-backed occlusion test.
     ///
     /// Only robots within `tolerance` of the sight segment can block it, so
-    /// stationary candidates come from the `O(1)` cells around the segment
-    /// instead of a full scan; the motile few are checked directly. The
+    /// candidates come from the `O(1)` cells around the segment (padded by
+    /// the displacement high-water mark, so origin-indexed motile robots
+    /// cannot be missed) instead of a full scan. The
     /// observer and the candidate are excluded **by index**: a third robot
     /// exactly coincident with either is still examined (and then rejected
     /// by the strictly-between window on its own merits) rather than
     /// silently skipped the way the historical position-equality test did.
     fn is_occluded(
-        &self,
+        &mut self,
         observer: usize,
         candidate: usize,
         origin: P,
@@ -297,24 +363,20 @@ where
         if len_sq == 0.0 {
             return false;
         }
+        // Motile blockers sit within `motile_pad` of their indexed origin,
+        // so padding the segment query by it yields a superset for them too.
         occluders.clear();
         self.grid
-            .query_segment_cells(origin, target, tol, occluders);
+            .query_segment_cells(origin, target, tol + self.motile_pad, occluders);
         for &z_idx in occluders.iter() {
             if z_idx == observer || z_idx == candidate {
                 continue;
             }
-            let z = self.grid.position(z_idx).expect("occluder present in grid");
-            if blocks_sight(origin, line, len_sq, z, tol) {
-                return true;
-            }
-        }
-        for &m in &self.motile {
-            let m = m as usize;
-            if m == observer || m == candidate {
-                continue;
-            }
-            let z = self.states[m].position_at(look);
+            let z = if self.states.is_motile(z_idx) {
+                self.motile_position_cached(z_idx, look)
+            } else {
+                self.grid.position(z_idx).expect("occluder present in grid")
+            };
             if blocks_sight(origin, line, len_sq, z, tol) {
                 return true;
             }
@@ -364,8 +426,8 @@ where
     /// radii faithfully). Perception becomes directional: robot `i` sees `j`
     /// iff `|ij| ≤ radii[i]`.
     ///
-    /// The observation grid is re-celled to the largest radius so every
-    /// per-robot range query stays a one-cell-deep probe.
+    /// The observation grid is re-celled to the largest radius (see
+    /// [`grid_cell`]) so every per-robot range query stays a few-cell probe.
     ///
     /// # Panics
     ///
@@ -381,7 +443,8 @@ where
         self.rebuild_grid();
     }
 
-    /// The largest perception radius — the observation grid's cell edge.
+    /// The largest perception radius — the observation grid's cell edge is
+    /// derived from it (see [`grid_cell`]).
     fn max_radius(&self) -> f64 {
         match &self.visibility_radii {
             Some(radii) => radii.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)),
@@ -393,13 +456,14 @@ where
     /// it). Exactly the stationary robots are indexed; the dense extent is
     /// re-anchored on the current positions.
     fn rebuild_grid(&mut self) {
-        let mut positions = Vec::new();
-        self.positions_at_into(self.time, &mut positions);
-        let mut grid = DynamicGrid::with_extent(self.states.len(), self.max_radius(), &positions);
-        for (i, s) in self.states.iter().enumerate() {
-            if !s.is_motile() {
-                grid.insert(i, positions[i]);
-            }
+        // Every robot indexes at its base position (= Move origin while
+        // motile); the displacement high-water mark stays valid across the
+        // re-cell.
+        let positions = self.states.base_positions();
+        let mut grid =
+            DynamicGrid::with_extent(self.states.len(), grid_cell(self.max_radius()), positions);
+        for (i, &position) in positions.iter().enumerate() {
+            grid.insert(i, position);
         }
         self.grid = grid;
     }
@@ -420,7 +484,9 @@ where
     /// The configuration at time `t` (positions of all robots, interpolated
     /// for motile robots).
     pub fn configuration_at(&self, t: f64) -> Configuration<P> {
-        Configuration::new(self.states.iter().map(|s| s.position_at(t)).collect())
+        let mut positions = Vec::new();
+        self.positions_at_into(t, &mut positions);
+        Configuration::new(positions)
     }
 
     /// The configuration at the current time.
@@ -432,30 +498,43 @@ where
     /// code read positions in place instead of materializing a whole
     /// [`Configuration`] per event.
     pub fn position_of_at(&self, index: usize, t: f64) -> P {
-        self.states[index].position_at(t)
+        self.states.position_at(index, t)
     }
 
     /// Fills `out` (cleared first) with the position of every robot at time
     /// `t` — the buffer-reusing counterpart of [`Engine::configuration_at`]
     /// for per-event metrics code.
+    ///
+    /// Struct-of-arrays fast path: a bulk copy of the base-position array
+    /// (exact for every stationary robot), then interpolation fix-ups for
+    /// the motile few.
     pub fn positions_at_into(&self, t: f64, out: &mut Vec<P>) {
         out.clear();
-        out.extend(self.states.iter().map(|s| s.position_at(t)));
+        out.extend_from_slice(self.states.base_positions());
+        for &m in &self.motile {
+            let m = m as usize;
+            out[m] = self.states.position_at(m, t);
+        }
     }
 
     /// Appends (after clearing) the dense indices of all robots currently in
     /// their Move phase, ascending. Together with the robot of a `MoveEnd`
     /// event, these are the only robots whose positions can have changed
     /// since the previous event — the *dirty set* the incremental monitors
-    /// re-check. Served from the maintained side-list: `O(motile)`, not
-    /// `O(n)`.
+    /// re-check. Served from the maintained side-list and sorted on the way
+    /// out: `O(motile log motile)`, not `O(n)`.
     pub fn collect_motile(&self, out: &mut Vec<usize>) {
         out.clear();
         out.extend(self.motile.iter().map(|&m| m as usize));
+        out.sort_unstable();
     }
 
     /// Current positions plus all pending (planned or in-flight) destinations
     /// — the vertex set of the paper's `CH_t`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "allocates a fresh Vec per call; use `positions_with_targets_into` with a reused buffer"
+    )]
     pub fn positions_with_targets(&self) -> Vec<P> {
         let mut pts = Vec::new();
         self.positions_with_targets_into(&mut pts);
@@ -467,9 +546,12 @@ where
     /// [`Engine::positions_with_targets`] for monitors on a sampling
     /// cadence.
     pub fn positions_with_targets_into(&self, out: &mut Vec<P>) {
-        out.clear();
-        out.extend(self.states.iter().map(|s| s.position_at(self.time)));
-        out.extend(self.states.iter().filter_map(|s| s.pending_target()));
+        self.positions_at_into(self.time, out);
+        for i in 0..self.states.len() {
+            if let Some(target) = self.states.pending_target(i) {
+                out.push(target);
+            }
+        }
     }
 
     /// The schedule trace recorded so far.
@@ -501,10 +583,11 @@ where
     /// noticing the overrun one event too late.
     pub fn peek_time(&mut self) -> Option<f64> {
         self.stage_next_activation();
-        match (&self.staged, self.heap.peek()) {
-            (Some(iv), Some(p)) => Some(iv.look.min(p.time)),
-            (Some(iv), None) => Some(iv.look),
-            (None, Some(p)) => Some(p.time),
+        let staged = self.staged.as_ref().map(|iv| iv.look);
+        match (staged, self.queue.peek_time()) {
+            (Some(look), Some(t)) => Some(look.min(t)),
+            (Some(look), None) => Some(look),
+            (None, Some(t)) => Some(t),
             (None, None) => None,
         }
     }
@@ -524,8 +607,9 @@ where
     /// all in-flight phases have completed.
     pub fn step(&mut self) -> Option<EngineEvent> {
         self.stage_next_activation();
-        let take_staged = match (&self.staged, self.heap.peek()) {
-            (Some(iv), Some(p)) => iv.look <= p.time,
+        let staged = self.staged.as_ref().map(|iv| iv.look);
+        let take_staged = match (staged, self.queue.peek_time()) {
+            (Some(look), Some(t)) => look <= t,
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => return None,
@@ -534,12 +618,12 @@ where
             let iv = self.staged.take().expect("staged activation");
             self.dispatch_look(iv)
         } else {
-            let p = self.heap.pop().expect("pending event");
+            let p = self.queue.pop().expect("pending event");
             self.time = p.time;
             match p.kind {
                 EngineEventKind::MoveStart => self.dispatch_move_start(p),
                 EngineEventKind::MoveEnd => self.dispatch_move_end(p),
-                EngineEventKind::Look => unreachable!("Looks are never heaped"),
+                EngineEventKind::Look => unreachable!("Looks are never queued"),
             }
         }
     }
@@ -554,12 +638,12 @@ where
         self.time = self.time.max(iv.look);
         let robot = iv.robot;
         assert!(
-            self.states[robot.index()].is_idle(),
+            self.states.is_idle(robot.index()),
             "robot {robot} activated while not idle (scheduler bug)"
         );
         self.trace.push(iv);
 
-        let here = self.states[robot.index()].position_at(iv.look);
+        let here = self.states.position_at(robot.index(), iv.look);
         // Perception pipeline: true relative position → (occlusion) →
         // local frame → symmetric distortion → distance error.
         let frame = P::sample_frame(self.frame_mode, &mut self.rng);
@@ -575,14 +659,17 @@ where
         // and frame.
         let global_delta = frame.to_global(P::undistort(local_target, &distortion));
         let target = here + global_delta;
-        self.states[robot.index()] = RobotState::Computing {
-            position: here,
-            target,
-            move_start: iv.move_start,
-            move_end: iv.end,
-        };
+        self.states.set(
+            robot.index(),
+            RobotState::Computing {
+                position: here,
+                target,
+                move_start: iv.move_start,
+                move_end: iv.end,
+            },
+        );
         self.seq += 1;
-        self.heap.push(Pending {
+        self.queue.push(Pending {
             time: iv.move_start,
             seq: self.seq,
             robot,
@@ -593,6 +680,51 @@ where
             robot,
             kind: EngineEventKind::Look,
         })
+    }
+
+    /// Opens (or re-enters) the motile-interpolation tick for this exact
+    /// timestamp and motile epoch: advancing the tick id invalidates every
+    /// memoized entry in `O(1)` (see [`MotileCache`]).
+    fn prepare_motile_tick(&mut self, look: f64) {
+        let time_bits = look.to_bits();
+        let cache = &mut self.motile_cache;
+        if cache.time_bits != time_bits || cache.version != self.motile_version {
+            cache.time_bits = time_bits;
+            cache.version = self.motile_version;
+            cache.tick += 1;
+        }
+    }
+
+    /// The interpolated position of motile robot `i` at the current tick's
+    /// timestamp, memoized per tick so coincident Looks share one
+    /// interpolation. Caller must have opened the tick for `look`.
+    #[inline]
+    fn motile_position_cached(&mut self, i: usize, look: f64) -> P {
+        debug_assert_eq!(
+            self.motile_cache.time_bits,
+            look.to_bits(),
+            "motile read outside the prepared tick"
+        );
+        if self.motile_cache.stamps[i] == self.motile_cache.tick {
+            return self.motile_cache.positions[i];
+        }
+        let p = self.states.position_at(i, look);
+        self.motile_cache.positions[i] = p;
+        self.motile_cache.stamps[i] = self.motile_cache.tick;
+        p
+    }
+
+    /// Re-takes the motile-pad max if a departure left it stale. `O(motile)`,
+    /// at most once per observation no matter how many MoveEnds intervened.
+    fn refresh_motile_pad(&mut self) {
+        if self.motile_pad_stale {
+            self.motile_pad = self
+                .motile
+                .iter()
+                .map(|&j| self.motile_disp[j as usize])
+                .fold(0.0, f64::max);
+            self.motile_pad_stale = false;
+        }
     }
 
     /// The grid-backed observation pipeline: `O(deg + motile)` candidate
@@ -608,18 +740,55 @@ where
     ) -> P {
         let idx = robot.index();
         let radius = self.radius_of(robot);
+        // Open the motile-interpolation tick: coincident Looks (a whole
+        // round of them under the synchronous schedulers) share the memoized
+        // positions instead of re-interpolating.
+        self.prepare_motile_tick(look);
+        self.refresh_motile_pad();
         let mut scratch = std::mem::take(&mut self.scratch);
-        // Stationary robots in range come from the grid (the observer
-        // itself included — skipped below by index); the motile few are
-        // range-checked at their interpolated positions.
+        // One grid query covers everyone (the observer itself included —
+        // skipped below by index): stationary robots are indexed exactly,
+        // motile ones at their Move origin, never farther than `motile_pad`
+        // from where they are now. A query padded by the motile bound is
+        // therefore a superset, trimmed by the exact range check the
+        // historical scan applied; with no motile robots the pad is zero and
+        // the grid's own exact filter needs no trimming at all.
         scratch.candidates.clear();
-        self.grid
-            .query_within(here, radius, &mut scratch.candidates);
-        for &m in &self.motile {
-            let m = m as usize;
-            let pos = self.states[m].position_at(look);
-            if (pos - here).norm() <= radius {
-                scratch.candidates.push(m);
+        if self.motile_pad == 0.0 {
+            self.grid
+                .query_within(here, radius, &mut scratch.candidates);
+        } else {
+            scratch.range_hits.clear();
+            self.grid.query_within_banded(
+                here,
+                radius,
+                self.motile_pad,
+                &mut scratch.candidates,
+                &mut scratch.range_hits,
+            );
+            // The inner band's verdict is exact for stationary robots (they
+            // are indexed at their true position — no distance re-derivation
+            // needed); a motile robot was judged at its Move origin, so it
+            // re-checks against the interpolated position whichever band it
+            // landed in.
+            let mut keep = 0;
+            for k in 0..scratch.candidates.len() {
+                let j = scratch.candidates[k];
+                if !self.states.is_motile(j)
+                    || (self.motile_position_cached(j, look) - here).norm() <= radius
+                {
+                    scratch.candidates[keep] = j;
+                    keep += 1;
+                }
+            }
+            scratch.candidates.truncate(keep);
+            for k in 0..scratch.range_hits.len() {
+                let j = scratch.range_hits[k];
+                if self.states.is_motile(j)
+                    && (self.motile_position_cached(j, look) - here).norm() <= radius
+                {
+                    scratch.candidates.push(j);
+                }
             }
         }
         // Ascending robot order = the historical scan order: the per-robot
@@ -631,7 +800,13 @@ where
             if j == idx {
                 continue;
             }
-            let pos = self.states[j].position_at(look);
+            // The trim above already interpolated every motile candidate
+            // into the per-tick memo; stationary robots read their base.
+            let pos = if self.states.is_motile(j) {
+                self.motile_position_cached(j, look)
+            } else {
+                self.states.base_positions()[j]
+            };
             if self.is_occluded(idx, j, here, pos, look, &mut scratch.occluders) {
                 continue;
             }
@@ -649,8 +824,12 @@ where
         local_target
     }
 
-    /// The historical observation loop, kept verbatim (allocations and all)
-    /// as the differential-testing reference and bench baseline.
+    /// The historical `O(n)`–`O(n²)` observation loop, kept as the
+    /// differential-testing reference and bench baseline. The loop structure
+    /// is verbatim; its two per-Look `collect()`s now draw from the pooled
+    /// [`LookScratch`] (the all-robot position buffer and the snapshot), so
+    /// the reference path stays allocation-free and usable at `n = 1024` in
+    /// the equivalence matrix.
     fn observe_brute(
         &mut self,
         robot: RobotId,
@@ -659,58 +838,70 @@ where
         frame: &P::AmbientFrame,
         distortion: &Distortion,
     ) -> P {
-        let all_positions: Vec<P> = self.states.iter().map(|s| s.position_at(look)).collect();
-        let mut observed: Vec<P> = Vec::new();
-        for (j, &pos) in all_positions.iter().enumerate() {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.positions_at_into(look, &mut scratch.brute_positions);
+        scratch.snapshot.clear();
+        for (j, &pos) in scratch.brute_positions.iter().enumerate() {
             if j == robot.index() {
                 continue;
             }
             let rel = pos - here;
             if rel.norm() <= self.radius_of(robot)
-                && !self.is_occluded_reference(here, pos, &all_positions)
+                && !self.is_occluded_reference(here, pos, &scratch.brute_positions)
             {
                 let local = frame.to_local(rel);
                 let distorted = P::distort(local, distortion);
                 let factor = self.perception.sample_distance_factor(&mut self.rng);
-                observed.push(distorted * factor);
+                scratch.snapshot.push(distorted * factor);
             }
         }
-        let mut snapshot = Snapshot::from_positions(observed);
         if !self.multiplicity_detection {
-            snapshot = snapshot.without_multiplicity(1e-12);
+            scratch.snapshot.dedup_multiplicity(1e-12);
         }
-        self.algorithm.compute(&snapshot)
+        let local_target = self.algorithm.compute(&scratch.snapshot);
+        self.scratch = scratch;
+        local_target
     }
 
     fn dispatch_move_start(&mut self, p: Pending) -> Option<EngineEvent> {
         let idx = p.robot.index();
-        let (position, target, move_end) = match self.states[idx] {
+        let (position, target, move_end) = match self.states.state(idx) {
             RobotState::Computing {
                 position,
                 target,
                 move_end,
                 ..
             } => (position, target, move_end),
-            ref other => unreachable!("MoveStart in state {other:?}"),
+            other => unreachable!("MoveStart in state {other:?}"),
         };
         let realized = self
             .motion
             .resolve(position, target, self.visibility, &mut self.rng);
-        // Grid lifecycle: the robot is motile from here to its MoveEnd.
-        self.grid.remove(idx);
-        let slot = self
-            .motile
-            .binary_search(&(idx as u32))
-            .expect_err("robot cannot already be motile at MoveStart");
-        self.motile.insert(slot, idx as u32);
-        self.states[idx] = RobotState::Moving {
-            from: position,
-            to: realized,
-            t0: p.time,
-            t1: move_end,
-        };
+        // Grid lifecycle: nothing to move — the robot is already indexed at
+        // `position`, which is exactly its Move origin. Only the pad and the
+        // side-list update.
+        let displacement = (realized - position).norm();
+        self.motile_disp[idx] = displacement;
+        self.motile_pad = self.motile_pad.max(displacement);
+        debug_assert_eq!(
+            self.motile_slot[idx],
+            u32::MAX,
+            "robot cannot already be motile at MoveStart"
+        );
+        self.motile_slot[idx] = self.motile.len() as u32;
+        self.motile.push(idx as u32);
+        self.motile_version += 1;
+        self.states.set(
+            idx,
+            RobotState::Moving {
+                from: position,
+                to: realized,
+                t0: p.time,
+                t1: move_end,
+            },
+        );
         self.seq += 1;
-        self.heap.push(Pending {
+        self.queue.push(Pending {
             time: move_end,
             seq: self.seq,
             robot: p.robot,
@@ -725,21 +916,36 @@ where
 
     fn dispatch_move_end(&mut self, p: Pending) -> Option<EngineEvent> {
         let idx = p.robot.index();
-        let final_pos = match self.states[idx] {
+        let final_pos = match self.states.state(idx) {
             RobotState::Moving { to, .. } => to,
-            ref other => unreachable!("MoveEnd in state {other:?}"),
+            other => unreachable!("MoveEnd in state {other:?}"),
         };
-        // Grid lifecycle: stationary again, indexed at the realized
-        // destination.
-        let slot = self
-            .motile
-            .binary_search(&(idx as u32))
-            .expect("motile robot is side-listed");
-        self.motile.remove(slot);
+        let slot = self.motile_slot[idx] as usize;
+        debug_assert_eq!(self.motile[slot], idx as u32, "motile robot is side-listed");
+        self.motile.swap_remove(slot);
+        if let Some(&moved) = self.motile.get(slot) {
+            self.motile_slot[moved as usize] = slot as u32;
+        }
+        self.motile_slot[idx] = u32::MAX;
+        if self.motile.is_empty() {
+            self.motile_pad = 0.0;
+            self.motile_pad_stale = false;
+        } else if self.motile_pad > 0.0 && self.motile_disp[idx] >= self.motile_pad {
+            // The departing robot carried the pad; defer re-taking the max
+            // to the next observation (see `motile_pad_stale`).
+            self.motile_pad_stale = true;
+        }
+        self.motile_version += 1;
+        // Grid lifecycle: the entry relocates from the Move origin to the
+        // realized destination.
+        self.grid.remove(idx);
         self.grid.insert(idx, final_pos);
-        self.states[idx] = RobotState::Idle {
-            position: final_pos,
-        };
+        self.states.set(
+            idx,
+            RobotState::Idle {
+                position: final_pos,
+            },
+        );
         self.completed_cycles[idx] += 1;
         Some(EngineEvent {
             time: p.time,
@@ -747,6 +953,16 @@ where
             kind: EngineEventKind::MoveEnd,
         })
     }
+}
+
+/// Observation-grid cell edge for a given largest perception radius: half
+/// the radius. A radius query's cell box then hugs the disc much tighter
+/// than radius-sized cells would (the padded motile-superset query visits
+/// roughly half the points, each of which costs an exact distance check),
+/// while the box stays a handful of contiguous row runs.
+#[inline]
+fn grid_cell(max_radius: f64) -> f64 {
+    max_radius * 0.5
 }
 
 /// The strictly-between occlusion predicate for one potential blocker `z` on
@@ -978,6 +1194,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn buffered_position_accessors_match_allocating_ones() {
         let mut engine = Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
         for _ in 0..7 {
@@ -993,9 +1210,12 @@ mod tests {
 
     #[test]
     fn grid_and_side_list_track_the_move_phase() {
-        // The lifecycle invariant after every event: a robot is in the grid
-        // iff it is not in its Move phase, the side-list is exactly the
-        // complement (ascending), and grid positions match the states.
+        // The lifecycle invariant after every event: every robot is indexed
+        // in the grid at its base position (true position while stationary,
+        // Move origin while motile), `collect_motile` yields exactly the
+        // motile set ascending, and the pad (max displacement over the
+        // currently motile robots) bounds every motile robot's distance from
+        // its indexed origin.
         let config = cohesion_workloads_stub(9);
         let mut engine = Engine::new(
             &config,
@@ -1008,22 +1228,28 @@ mod tests {
         for _ in 0..300 {
             let Some(_) = engine.step() else { break };
             engine.collect_motile(&mut motile);
-            let scan: Vec<usize> = engine
-                .states
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.is_motile())
-                .map(|(i, _)| i)
+            let scan: Vec<usize> = (0..engine.states.len())
+                .filter(|&i| engine.states.is_motile(i))
                 .collect();
             assert_eq!(motile, scan, "side-list diverged from a state scan");
-            for (i, s) in engine.states.iter().enumerate() {
-                if s.is_motile() {
-                    assert!(!engine.grid.contains(i), "motile robot {i} in grid");
+            for i in 0..engine.states.len() {
+                let base = engine.states.base_positions()[i];
+                assert_eq!(
+                    engine.grid.position(i),
+                    Some(base),
+                    "grid entry of robot {i} is not its base position"
+                );
+                if engine.states.is_motile(i) {
+                    let now = engine.states.position_at(i, engine.time());
+                    assert!(
+                        now.dist(base) <= engine.motile_pad + 1e-12,
+                        "motile robot {i} strayed past the pad"
+                    );
                 } else {
                     assert_eq!(
-                        engine.grid.position(i),
-                        Some(s.position_at(engine.time())),
-                        "grid position of stationary robot {i} is stale"
+                        base,
+                        engine.states.position_at(i, engine.time()),
+                        "stationary robot {i}'s base position is stale"
                     );
                 }
             }

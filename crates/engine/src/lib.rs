@@ -27,6 +27,8 @@
 
 pub mod engine;
 pub mod monitors;
+pub mod queue;
+
 pub mod report;
 pub mod runner;
 pub mod session;
@@ -36,6 +38,7 @@ pub use engine::{Engine, EngineEvent, EngineEventKind, LookPath};
 pub use monitors::{
     CohesionMonitor, DiameterMonitor, HullMonitor, Monitor, MonitorContext, StrongVisibilityMonitor,
 };
+pub use queue::QueuePath;
 pub use report::SimulationReport;
 pub use runner::SimulationBuilder;
 pub use session::{EventView, Observer, SessionStatus, Simulation, TraceRecorder};

@@ -3,6 +3,7 @@
 
 use crate::engine::{Engine, LookPath};
 use crate::monitors::{CohesionMonitor, DiameterMonitor, HullMonitor, StrongVisibilityMonitor};
+use crate::queue::QueuePath;
 use crate::report::SimulationReport;
 use crate::session::Simulation;
 use cohesion_geometry::Vec2;
@@ -53,6 +54,7 @@ pub struct SimulationBuilder<P: Ambient = Vec2> {
     multiplicity_detection: bool,
     occlusion_tolerance: Option<f64>,
     look_path: LookPath,
+    queue_path: QueuePath,
     track_strong_visibility: bool,
     hull_check_every: usize,
     diameter_sample_every: usize,
@@ -79,6 +81,7 @@ impl<P: Ambient> SimulationBuilder<P> {
             multiplicity_detection: false,
             occlusion_tolerance: None,
             look_path: LookPath::default(),
+            queue_path: QueuePath::default(),
             track_strong_visibility: true,
             hull_check_every: 64,
             diameter_sample_every: 32,
@@ -190,6 +193,15 @@ impl<P: Ambient> SimulationBuilder<P> {
         self
     }
 
+    /// Selects the engine's pending-event queue — the calendar-queue
+    /// default or the historical `BinaryHeap` reference (for differential
+    /// testing and benchmarking; both pop in the identical order and
+    /// produce bit-identical reports).
+    pub fn queue_path(mut self, path: QueuePath) -> Self {
+        self.queue_path = path;
+        self
+    }
+
     /// Enables/disables the `O(n²)`-per-event strong-visibility tracking.
     pub fn track_strong_visibility(mut self, enabled: bool) -> Self {
         self.track_strong_visibility = enabled;
@@ -262,6 +274,7 @@ impl<P: Ambient> SimulationBuilder<P> {
         }
         engine.set_occlusion(self.occlusion_tolerance);
         engine.set_look_path(self.look_path);
+        engine.set_queue_path(self.queue_path);
 
         let v = self.visibility;
         let cohesion_tol = 1e-9 * (1.0 + v);

@@ -1,4 +1,23 @@
 //! Per-robot simulation state: the Look–Compute–Move state machine.
+//!
+//! Two representations share the same state machine:
+//!
+//! * [`RobotState`] — the per-robot enum, the readable unit the engine's
+//!   dispatch code matches on and the tests assert against;
+//! * [`RobotStates`] — the engine's **struct-of-arrays** table: parallel
+//!   dense vectors for phase tags, positions, targets, and move windows.
+//!   Hot loops (position interpolation for every candidate of a Look, the
+//!   whole-swarm position fills behind the monitors) touch only the arrays
+//!   they need — a phase-tag byte and a position — instead of striding
+//!   across a `Vec` of multi-word enums, and the all-robot fill becomes a
+//!   `memcpy` of the base-position array plus a fix-up of the few motile
+//!   robots.
+//!
+//! Conversions are lossless in both directions ([`RobotStates::set`] /
+//! [`RobotStates::state`]), and [`RobotStates::position_at`] is the same
+//! arithmetic as [`RobotState::position_at`] expression for expression, so
+//! the layouts are bit-identical in every observable — the session and Look
+//! equivalence suites pin this via their frozen report hashes.
 
 use cohesion_geometry::point::Point;
 use serde::{Deserialize, Serialize};
@@ -82,6 +101,159 @@ impl<P: Point> RobotState<P> {
     }
 }
 
+/// The phase tag of one robot in the struct-of-arrays table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// Inactive, parked (activatable).
+    Idle = 0,
+    /// Between Look and Move start.
+    Computing = 1,
+    /// Motile: moving linearly through its `[t0, t1]` window.
+    Moving = 2,
+}
+
+/// Struct-of-arrays robot state: the whole swarm's state machine in parallel
+/// dense vectors (see the module docs for the layout rationale).
+#[derive(Debug, Clone)]
+pub struct RobotStates<P> {
+    phases: Vec<Phase>,
+    /// `Idle`/`Computing`: the current position; `Moving`: the Move's origin
+    /// (`from`). Stationary robots therefore read straight from this array,
+    /// which doubles as the `memcpy` source of the all-robot position fill.
+    positions: Vec<P>,
+    /// `Computing`: the planned target; `Moving`: the realized destination
+    /// (`to`); `Idle`: the robot's own position (an inert placeholder).
+    targets: Vec<P>,
+    /// `Computing`: the scheduled Move start; `Moving`: `t0`; `Idle`: unused.
+    starts: Vec<f64>,
+    /// `Computing`: the scheduled Move end; `Moving`: `t1`; `Idle`: unused.
+    ends: Vec<f64>,
+}
+
+impl<P: Point> RobotStates<P> {
+    /// A table of `positions.len()` idle robots.
+    pub fn new(positions: &[P]) -> Self {
+        RobotStates {
+            phases: vec![Phase::Idle; positions.len()],
+            positions: positions.to_vec(),
+            targets: positions.to_vec(),
+            starts: vec![0.0; positions.len()],
+            ends: vec![0.0; positions.len()],
+        }
+    }
+
+    /// Number of robots.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Returns `true` when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The phase tag of robot `i`.
+    pub fn phase(&self, i: usize) -> Phase {
+        self.phases[i]
+    }
+
+    /// Returns `true` when robot `i` is in its Move phase (motile).
+    pub fn is_motile(&self, i: usize) -> bool {
+        self.phases[i] == Phase::Moving
+    }
+
+    /// Returns `true` when robot `i` is idle (activatable).
+    pub fn is_idle(&self, i: usize) -> bool {
+        self.phases[i] == Phase::Idle
+    }
+
+    /// The position of robot `i` at time `t` — the same expression as
+    /// [`RobotState::position_at`], reading only the arrays the phase needs.
+    #[inline]
+    pub fn position_at(&self, i: usize, t: f64) -> P {
+        match self.phases[i] {
+            Phase::Idle | Phase::Computing => self.positions[i],
+            Phase::Moving => {
+                let (t0, t1) = (self.starts[i], self.ends[i]);
+                if t1 <= t0 {
+                    return self.targets[i];
+                }
+                let s = ((t - t0) / (t1 - t0)).clamp(0.0, 1.0);
+                self.positions[i].lerp(self.targets[i], s)
+            }
+        }
+    }
+
+    /// The base-position array: exact positions for stationary robots, Move
+    /// origins for motile ones — the `memcpy` source of whole-swarm position
+    /// fills (the caller fixes up the motile few via
+    /// [`RobotStates::position_at`]).
+    pub fn base_positions(&self) -> &[P] {
+        &self.positions
+    }
+
+    /// The planned or in-flight destination of robot `i`, if any (the
+    /// endpoint the paper's convex-hull argument includes in `CH_t`).
+    pub fn pending_target(&self, i: usize) -> Option<P> {
+        match self.phases[i] {
+            Phase::Idle => None,
+            Phase::Computing | Phase::Moving => Some(self.targets[i]),
+        }
+    }
+
+    /// Reconstructs robot `i`'s state as the per-robot enum.
+    pub fn state(&self, i: usize) -> RobotState<P> {
+        match self.phases[i] {
+            Phase::Idle => RobotState::Idle {
+                position: self.positions[i],
+            },
+            Phase::Computing => RobotState::Computing {
+                position: self.positions[i],
+                target: self.targets[i],
+                move_start: self.starts[i],
+                move_end: self.ends[i],
+            },
+            Phase::Moving => RobotState::Moving {
+                from: self.positions[i],
+                to: self.targets[i],
+                t0: self.starts[i],
+                t1: self.ends[i],
+            },
+        }
+    }
+
+    /// Writes robot `i`'s state from the per-robot enum.
+    pub fn set(&mut self, i: usize, state: RobotState<P>) {
+        match state {
+            RobotState::Idle { position } => {
+                self.phases[i] = Phase::Idle;
+                self.positions[i] = position;
+                self.targets[i] = position;
+            }
+            RobotState::Computing {
+                position,
+                target,
+                move_start,
+                move_end,
+            } => {
+                self.phases[i] = Phase::Computing;
+                self.positions[i] = position;
+                self.targets[i] = target;
+                self.starts[i] = move_start;
+                self.ends[i] = move_end;
+            }
+            RobotState::Moving { from, to, t0, t1 } => {
+                self.phases[i] = Phase::Moving;
+                self.positions[i] = from;
+                self.targets[i] = to;
+                self.starts[i] = t0;
+                self.ends[i] = t1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +306,61 @@ mod tests {
             t1: 2.0,
         };
         assert_eq!(m.position_at(2.0), Vec2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn soa_table_round_trips_and_matches_the_enum() {
+        let mut table = RobotStates::new(&[Vec2::ZERO; 4]);
+        let states = [
+            RobotState::Idle {
+                position: Vec2::new(5.0, -5.0),
+            },
+            RobotState::Computing {
+                position: Vec2::new(0.5, 0.5),
+                target: Vec2::new(1.0, 0.0),
+                move_start: 1.0,
+                move_end: 2.0,
+            },
+            RobotState::Moving {
+                from: Vec2::ZERO,
+                to: Vec2::new(2.0, 1.0),
+                t0: 1.0,
+                t1: 3.0,
+            },
+            // The degenerate zero-duration Move.
+            RobotState::Moving {
+                from: Vec2::ZERO,
+                to: Vec2::new(1.0, 1.0),
+                t0: 2.0,
+                t1: 2.0,
+            },
+        ];
+        for (i, s) in states.iter().enumerate() {
+            table.set(i, *s);
+            assert_eq!(table.state(i), *s, "round trip of robot {i}");
+            assert_eq!(table.is_motile(i), s.is_motile());
+            assert_eq!(table.is_idle(i), s.is_idle());
+            assert_eq!(table.pending_target(i), s.pending_target());
+            for t in [-1.0, 0.0, 1.0, 1.5, 2.0, 2.5, 3.0, 9.0] {
+                assert_eq!(
+                    table.position_at(i, t).to_bits_repr(),
+                    s.position_at(t).to_bits_repr(),
+                    "interpolation of robot {i} at t={t}"
+                );
+            }
+        }
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.base_positions()[1], Vec2::new(0.5, 0.5));
+    }
+
+    /// Bitwise comparison helper: equality of interpolated positions must be
+    /// exact, not tolerance-based — the layouts share RNG-visible outputs.
+    trait BitsRepr {
+        fn to_bits_repr(self) -> (u64, u64);
+    }
+    impl BitsRepr for Vec2 {
+        fn to_bits_repr(self) -> (u64, u64) {
+            (self.x.to_bits(), self.y.to_bits())
+        }
     }
 }

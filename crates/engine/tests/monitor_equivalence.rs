@@ -13,7 +13,6 @@
 
 use cohesion_engine::{Engine, SimulationBuilder, SimulationReport};
 use cohesion_geometry::hull::convex_hull;
-use cohesion_geometry::point::Point;
 use cohesion_geometry::Vec2;
 use cohesion_model::{Algorithm, Configuration, RobotPair, VisibilityGraph};
 use cohesion_scheduler::{
@@ -85,6 +84,7 @@ fn reference_run(
     let mut round_base: Vec<u64> = vec![0; n];
     let mut events = 0usize;
     let mut converged = false;
+    let mut hull_points: Vec<Vec2> = Vec::new();
 
     loop {
         if events >= max_events {
@@ -121,15 +121,8 @@ fn reference_run(
         }
 
         if hull_check_every > 0 && events % hull_check_every == 0 {
-            let pts: Vec<Vec2> = engine
-                .positions_with_targets()
-                .iter()
-                .map(|p| {
-                    let c = p.coords();
-                    Vec2::new(c[0], c[1])
-                })
-                .collect();
-            let hull = convex_hull(&pts);
+            engine.positions_with_targets_into(&mut hull_points);
+            let hull = convex_hull(&hull_points);
             if let Some(prev) = &prev_hull {
                 if !prev.contains_hull(&hull, 1e-7 * (1.0 + initial_diameter)) {
                     hulls_nested = false;

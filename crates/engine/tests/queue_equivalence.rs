@@ -1,0 +1,142 @@
+//! Full-engine differential test of the pending-event queue knob.
+//!
+//! The unit-level property test (`queue::tests::calendar_matches_heap_pop_order`)
+//! pins the two structures against each other on synthetic streams; this
+//! suite pins them *through the engine*: the same seeded simulation driven
+//! under [`QueuePath::Calendar`] and [`QueuePath::HeapReference`] must emit
+//! the identical event sequence and the identical serialized report — any
+//! ordering divergence shifts an RNG draw and shows up immediately. A third
+//! test exercises the mid-run drain-and-refill switch at arbitrary event
+//! boundaries.
+
+use cohesion_engine::{Engine, QueuePath, SimulationBuilder};
+use cohesion_model::NilAlgorithm;
+use cohesion_scheduler::{
+    AsyncScheduler, FSyncScheduler, KAsyncScheduler, NestAScheduler, SSyncScheduler, Scheduler,
+};
+
+/// A scheduler class label plus two identically-seeded instances, one per
+/// queue path under comparison.
+type SchedulerPair = (&'static str, Box<dyn Scheduler>, Box<dyn Scheduler>);
+
+fn schedulers() -> Vec<SchedulerPair> {
+    vec![
+        (
+            "fsync",
+            Box::new(FSyncScheduler::new()) as Box<dyn Scheduler>,
+            Box::new(FSyncScheduler::new()),
+        ),
+        (
+            "ssync",
+            Box::new(SSyncScheduler::new(11)),
+            Box::new(SSyncScheduler::new(11)),
+        ),
+        (
+            "k-async",
+            Box::new(KAsyncScheduler::new(2, 11)),
+            Box::new(KAsyncScheduler::new(2, 11)),
+        ),
+        (
+            "nest-a",
+            Box::new(NestAScheduler::new(2, 11)),
+            Box::new(NestAScheduler::new(2, 11)),
+        ),
+        (
+            "async",
+            Box::new(AsyncScheduler::new(11)),
+            Box::new(AsyncScheduler::new(11)),
+        ),
+    ]
+}
+
+/// Step-for-step: both queue paths produce the same `(time, robot, kind)`
+/// stream and the same final clock under every scheduler class — including
+/// the synchronous ones whose whole rounds share one timestamp (the dense
+/// same-tick burst regime) and the asynchronous ones whose every event has
+/// its own (the tick-per-event regime).
+#[test]
+fn event_streams_match_under_both_queue_paths() {
+    for (label, sched_cal, sched_heap) in schedulers() {
+        let config = cohesion_workloads::random_connected(24, 1.0, 404);
+        let k = cohesion_core::KirkpatrickAlgorithm::new(2);
+        let mut calendar = Engine::new(&config, 1.0, k.clone(), sched_cal, 9);
+        let mut heap = Engine::new(&config, 1.0, k, sched_heap, 9);
+        heap.set_queue_path(QueuePath::HeapReference);
+        for step in 0..2_000 {
+            let (c, h) = (calendar.step(), heap.step());
+            match (&c, &h) {
+                (Some(c), Some(h)) => {
+                    assert_eq!(
+                        (c.time, c.robot, c.kind),
+                        (h.time, h.robot, h.kind),
+                        "{label}: event streams diverged at step {step}"
+                    );
+                }
+                (None, None) => break,
+                _ => panic!("{label}: one path exhausted before the other at step {step}"),
+            }
+        }
+        assert_eq!(calendar.time(), heap.time(), "{label}: final clocks differ");
+    }
+}
+
+/// The whole-report pin: identical serialized output under both paths.
+#[test]
+fn reports_match_under_both_queue_paths() {
+    let run = |path: QueuePath| {
+        let report = SimulationBuilder::new(
+            cohesion_workloads::random_connected(16, 1.0, 505),
+            cohesion_core::KirkpatrickAlgorithm::new(2),
+        )
+        .scheduler(KAsyncScheduler::new(2, 0x5E55_10F1))
+        .seed(77)
+        .max_events(1_500)
+        .queue_path(path)
+        .run();
+        serde_json::to_string(&report).expect("serialize")
+    };
+    assert_eq!(
+        run(QueuePath::Calendar),
+        run(QueuePath::HeapReference),
+        "reports differ between queue paths"
+    );
+}
+
+/// Switching the knob mid-run drains and refills without perturbing the
+/// remaining event order: a run that flips Calendar → Heap → Calendar at
+/// arbitrary boundaries matches the never-switched run event for event.
+#[test]
+fn mid_run_switches_preserve_the_stream() {
+    let config = cohesion_workloads::random_connected(20, 1.0, 606);
+    let mk = || {
+        Engine::new(
+            &config,
+            1.0,
+            NilAlgorithm,
+            Box::new(AsyncScheduler::new(5)) as Box<dyn Scheduler>,
+            3,
+        )
+    };
+    let mut steady = mk();
+    let mut switching = mk();
+    for step in 0..1_200 {
+        if step % 97 == 0 {
+            let path = if (step / 97) % 2 == 0 {
+                QueuePath::HeapReference
+            } else {
+                QueuePath::Calendar
+            };
+            switching.set_queue_path(path);
+        }
+        let (s, w) = (steady.step(), switching.step());
+        match (&s, &w) {
+            (Some(s), Some(w)) => assert_eq!(
+                (s.time, s.robot, s.kind),
+                (w.time, w.robot, w.kind),
+                "switched run diverged at step {step}"
+            ),
+            (None, None) => break,
+            _ => panic!("one run exhausted before the other at step {step}"),
+        }
+    }
+}

@@ -137,6 +137,25 @@ fn run_matches_frozen_pre_refactor_hashes() {
     }
 }
 
+/// The `QueuePath::HeapReference` knob reproduces the same frozen hashes:
+/// the calendar queue and the historical `BinaryHeap` pop in the identical
+/// `(time, seq)` order, so the entire report — every RNG draw included —
+/// is byte-for-byte the same under either structure.
+#[test]
+fn heap_reference_queue_matches_frozen_hashes() {
+    for case in &GOLDEN {
+        let report = golden_builder(case)
+            .queue_path(cohesion_engine::QueuePath::HeapReference)
+            .run();
+        assert_eq!(
+            report_hash(&report),
+            case.json_fnv1a,
+            "{}: heap-reference queue diverged from the frozen capture",
+            case.label
+        );
+    }
+}
+
 /// Same pin for the scripted Figure 4(a) adversary schedule.
 #[test]
 fn run_matches_frozen_adversary_schedule_hash() {

@@ -232,6 +232,43 @@ impl<P: Point> DynamicGrid<P> {
         });
     }
 
+    /// Two-band range query: appends to `inner` every present index within
+    /// `radius` of `q`, and to `fringe` every index in the open band
+    /// `(radius, radius + pad]`. One traversal, one distance computation per
+    /// visited point. Callers whose points may have drifted up to `pad` from
+    /// their indexed position get a guaranteed superset (`inner ∪ fringe`)
+    /// *and* the exact verdict for points indexed at their true position —
+    /// the engine's Look trim skips re-deriving distances for stationary
+    /// robots this way. Closed predicates on both radii, same deterministic
+    /// traversal as [`Self::query_within`]; neither vector is cleared or
+    /// sorted.
+    pub fn query_within_banded(
+        &self,
+        q: P,
+        radius: f64,
+        pad: f64,
+        inner: &mut Vec<usize>,
+        fringe: &mut Vec<usize>,
+    ) {
+        let outer = radius + pad;
+        let key = cell_key(q, self.cell);
+        let reach = (outer / self.cell).ceil().max(1.0) as i64;
+        let mut lo = [0i64; KEY_AXES];
+        let mut hi = [0i64; KEY_AXES];
+        for a in 0..P::DIM {
+            lo[a] = key[a].saturating_sub(reach);
+            hi[a] = key[a].saturating_add(reach);
+        }
+        self.for_each_in_key_box(lo, hi, |j, p| {
+            let d = (p - q).norm();
+            if d <= radius {
+                inner.push(j);
+            } else if d <= outer {
+                fringe.push(j);
+            }
+        });
+    }
+
     /// Appends to `out` every present index whose **cell** intersects the
     /// bounding box of segment `a → b` expanded by `pad` — a cheap superset
     /// of the points within `pad` of the segment, for callers with their own

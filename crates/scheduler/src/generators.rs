@@ -7,6 +7,7 @@
 //! that need the specific worst-case timelines of the paper (Figure 4, §7)
 //! use [`ScriptedScheduler`] with hand-built traces instead.
 
+use crate::argmin::ArgMin;
 use crate::interval::ActivationInterval;
 use crate::{ScheduleContext, Scheduler};
 use cohesion_model::RobotId;
@@ -146,7 +147,11 @@ impl Scheduler for SSyncScheduler {
                 chosen.push(self.rng.gen_range(0..ctx.robot_count));
             }
             for r in 0..ctx.robot_count {
-                if chosen.contains(&r) {
+                // `chosen` is built ascending (a filter over `0..n`, plus at
+                // most one fallback push into an empty list), so membership
+                // is a binary search — the historical `contains` scan made
+                // the round setup quadratic in the robot count.
+                if chosen.binary_search(&r).is_ok() {
                     self.skip_counts[r] = 0;
                 } else {
                     self.skip_counts[r] += 1;
@@ -187,7 +192,10 @@ pub struct KAsyncScheduler {
     rng: SmallRng,
     profile: DurationProfile,
     clock: f64,
-    next_free: Vec<f64>,
+    /// Per-robot earliest re-activation times behind an `O(log n)` indexed
+    /// min-tracker (fairness picks the first minimal index, exactly like the
+    /// historical linear scan).
+    next_free: Option<ArgMin>,
     history: Vec<ActivationInterval>,
 }
 
@@ -204,7 +212,7 @@ impl KAsyncScheduler {
             rng: SmallRng::seed_from_u64(seed),
             profile: DurationProfile::default(),
             clock: 0.0,
-            next_free: Vec::new(),
+            next_free: None,
             history: Vec::new(),
         }
     }
@@ -223,19 +231,15 @@ impl KAsyncScheduler {
 
 impl Scheduler for KAsyncScheduler {
     fn next_activation(&mut self, ctx: &ScheduleContext) -> Option<ActivationInterval> {
-        if self.next_free.len() != ctx.robot_count {
-            self.next_free = vec![0.0; ctx.robot_count];
-        }
+        assert!(ctx.robot_count > 0, "at least one robot");
+        let next_free = match self.next_free.as_mut() {
+            Some(a) if a.len() == ctx.robot_count => a,
+            _ => self.next_free.insert(ArgMin::new(ctx.robot_count, 0.0)),
+        };
         // Fairness: activate the robot that has been free the longest.
-        let robot = (0..ctx.robot_count)
-            .min_by(|&a, &b| {
-                self.next_free[a]
-                    .partial_cmp(&self.next_free[b])
-                    .expect("finite")
-            })
-            .expect("at least one robot");
+        let robot = next_free.min_index();
         let mut look =
-            self.next_free[robot].max(self.clock) + self.profile.sample_jitter(&mut self.rng);
+            next_free.get(robot).max(self.clock) + self.profile.sample_jitter(&mut self.rng);
         // Repair loop: postpone past any interval whose per-robot budget the
         // proposal would blow.
         loop {
@@ -262,7 +266,7 @@ impl Scheduler for KAsyncScheduler {
         let end = move_start + self.profile.sample_move(&mut self.rng);
         let iv = ActivationInterval::new(RobotId::from(robot), look, move_start, end);
         self.clock = look;
-        self.next_free[robot] = end + 1e-9;
+        next_free.set(robot, end + 1e-9);
         self.history.push(iv);
         // Prune history. An old interval still matters if it can contain a
         // future Look (ends after the clock) *or* if its own Look could be
@@ -422,7 +426,10 @@ pub struct AsyncScheduler {
     rng: SmallRng,
     profile: DurationProfile,
     clock: f64,
-    next_free: Vec<f64>,
+    /// Per-robot earliest re-activation times behind an `O(log n)` indexed
+    /// min-tracker (fairness picks the first minimal index, exactly like the
+    /// historical linear scan).
+    next_free: Option<ArgMin>,
     /// Probability that an activation gets a 10–30× stretched Move phase.
     pub stretch_probability: f64,
 }
@@ -434,7 +441,7 @@ impl AsyncScheduler {
             rng: SmallRng::seed_from_u64(seed),
             profile: DurationProfile::default(),
             clock: 0.0,
-            next_free: Vec::new(),
+            next_free: None,
             stretch_probability: 0.1,
         }
     }
@@ -448,18 +455,13 @@ impl AsyncScheduler {
 
 impl Scheduler for AsyncScheduler {
     fn next_activation(&mut self, ctx: &ScheduleContext) -> Option<ActivationInterval> {
-        if self.next_free.len() != ctx.robot_count {
-            self.next_free = vec![0.0; ctx.robot_count];
-        }
-        let robot = (0..ctx.robot_count)
-            .min_by(|&a, &b| {
-                self.next_free[a]
-                    .partial_cmp(&self.next_free[b])
-                    .expect("finite")
-            })
-            .expect("at least one robot");
-        let look =
-            self.next_free[robot].max(self.clock) + self.profile.sample_jitter(&mut self.rng);
+        assert!(ctx.robot_count > 0, "at least one robot");
+        let next_free = match self.next_free.as_mut() {
+            Some(a) if a.len() == ctx.robot_count => a,
+            _ => self.next_free.insert(ArgMin::new(ctx.robot_count, 0.0)),
+        };
+        let robot = next_free.min_index();
+        let look = next_free.get(robot).max(self.clock) + self.profile.sample_jitter(&mut self.rng);
         let move_start = look + self.profile.sample_compute(&mut self.rng);
         let mut move_d = self.profile.sample_move(&mut self.rng);
         if self.rng.gen_bool(self.stretch_probability) {
@@ -468,7 +470,7 @@ impl Scheduler for AsyncScheduler {
         let iv =
             ActivationInterval::new(RobotId::from(robot), look, move_start, move_start + move_d);
         self.clock = look;
-        self.next_free[robot] = iv.end + 1e-9;
+        next_free.set(robot, iv.end + 1e-9);
         Some(iv)
     }
 

@@ -14,6 +14,7 @@
 //!   robot within a single active interval of another” condition;
 //! * [`render`] — ASCII timelines reproducing the shape of Figures 1–2.
 
+mod argmin;
 pub mod generators;
 pub mod interval;
 pub mod render;
