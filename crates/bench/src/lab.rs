@@ -96,7 +96,7 @@ pub const PROGRESS_HEARTBEAT_EVENTS: usize = 100_000;
 /// records (engine-driven cells only, every
 /// [`PROGRESS_HEARTBEAT_EVENTS`] events), and a `done` record carrying the
 /// cell's final accounting and the number of JSONL rows it reduced to.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ProgressRecord {
     /// Registry name of the experiment.
     pub experiment: String,
@@ -126,18 +126,52 @@ pub struct ProgressRecord {
     pub rows: usize,
 }
 
-/// The shared sidecar writer one experiment run appends to. Lines are
-/// written atomically under a mutex, so concurrent cells interleave whole
-/// records, never bytes.
+/// Where an experiment run's progress records go. The lab CLI writes them
+/// as JSONL sidecar lines ([`JsonlProgressOutput`]); a `lab worker` bridges
+/// them onto its coordinator socket as `Heartbeat` frames (the
+/// progress-handle → heartbeat bridge in `crate::net::worker`).
+pub trait ProgressOutput: Send + Sync {
+    /// Consumes one record. Implementations serialize whole records
+    /// atomically (concurrent cells may emit at once).
+    fn record(&self, record: &ProgressRecord);
+}
+
+/// File-backed [`ProgressOutput`]: one compact-JSON line per record. Lines
+/// are written atomically under a mutex, so concurrent cells interleave
+/// whole records, never bytes.
 #[derive(Debug)]
-pub struct ProgressSink {
-    experiment: &'static str,
-    shard: String,
+pub struct JsonlProgressOutput {
     out: Mutex<std::fs::File>,
 }
 
+impl ProgressOutput for JsonlProgressOutput {
+    fn record(&self, record: &ProgressRecord) {
+        let line = serde_json::to_string(record).expect("serialize progress record");
+        let mut out = self.out.lock().expect("progress sidecar poisoned");
+        writeln!(out, "{line}").expect("write progress record");
+    }
+}
+
+/// The shared progress sink one experiment run emits through: stamps each
+/// record with the experiment name and shard assignment, then hands it to
+/// the configured [`ProgressOutput`].
+pub struct ProgressSink {
+    experiment: &'static str,
+    shard: String,
+    out: Box<dyn ProgressOutput>,
+}
+
+impl std::fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressSink")
+            .field("experiment", &self.experiment)
+            .field("shard", &self.shard)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ProgressSink {
-    /// Creates (truncating) the sidecar file for one experiment run.
+    /// Creates (truncating) the JSONL sidecar file for one experiment run.
     pub fn create(
         path: &Path,
         experiment: &'static str,
@@ -145,11 +179,28 @@ impl ProgressSink {
     ) -> Result<ProgressSink, String> {
         let file = std::fs::File::create(path)
             .map_err(|e| format!("create progress sidecar {}: {e}", path.display()))?;
-        Ok(ProgressSink {
+        Ok(ProgressSink::with_output(
+            experiment,
+            shard,
+            Box::new(JsonlProgressOutput {
+                out: Mutex::new(file),
+            }),
+        ))
+    }
+
+    /// A sink over an arbitrary output — how the distributed worker routes
+    /// heartbeats onto its coordinator socket instead of a local file.
+    #[must_use]
+    pub fn with_output(
+        experiment: &'static str,
+        shard: Option<Shard>,
+        out: Box<dyn ProgressOutput>,
+    ) -> ProgressSink {
+        ProgressSink {
             experiment,
             shard: shard.map_or(String::new(), |s| format!("{}/{}", s.index, s.count)),
-            out: Mutex::new(file),
-        })
+            out,
+        }
     }
 
     fn emit(&self, cell: usize, tag: &str, phase: &str, p: &Progress, rows: usize) {
@@ -167,9 +218,7 @@ impl ProgressSink {
             converged: p.converged,
             rows,
         };
-        let line = serde_json::to_string(&record).expect("serialize progress record");
-        let mut out = self.out.lock().expect("progress sidecar poisoned");
-        writeln!(out, "{line}").expect("write progress record");
+        self.out.record(&record);
     }
 }
 
@@ -565,26 +614,61 @@ pub fn progress_file_name(stem: &str, shard: Option<Shard>) -> String {
     }
 }
 
+/// The shared cell-execution core: materialize the grid for `profile`,
+/// slice out `shard` (the whole grid when `None`), run the cells in
+/// parallel, reduce each to its rows. Per-cell progress streams through
+/// `sink` when one is given. Both the local CLI ([`run_experiment`]) and
+/// the distributed worker (`crate::net::worker`) are thin wrappers over
+/// this — the byte-identity contract lives here.
+pub fn run_shard_cells(
+    exp: &dyn Experiment,
+    profile: Profile,
+    shard: Option<Shard>,
+    threads: Option<usize>,
+    sink: Option<&ProgressSink>,
+) -> Vec<LabCell> {
+    let grid = exp.grid(profile);
+    let total = grid.len();
+    let range = shard.map_or(0..total, |s| s.slice(total));
+    let cell_base = range.start;
+    let specs = &grid[range];
+    let runner = match threads {
+        Some(t) => SweepRunner::with_threads(t),
+        None => SweepRunner::new(),
+    };
+    let results = runner.run(specs, |i, spec| {
+        let progress = CellProgress::new(sink, cell_base + i, spec.tag);
+        progress.start();
+        let outcome = exp.run(spec, &progress);
+        let rows = exp.reduce(spec, &outcome);
+        progress.done(&outcome, rows.len());
+        (outcome, rows)
+    });
+    specs
+        .iter()
+        .cloned()
+        .zip(results)
+        .map(|(spec, (outcome, rows))| LabCell {
+            spec,
+            outcome,
+            rows,
+        })
+        .collect()
+}
+
 /// Executes one experiment: materialize the grid, slice the shard, run the
 /// cells in parallel (streaming per-cell progress into the sidecar when
 /// enabled), write rows in spec order, render, check.
 pub fn run_experiment(exp: &dyn Experiment, opts: &LabOptions) -> Result<RunSummary, String> {
     crate::banner(exp.id(), exp.title());
-    let grid = exp.grid(opts.profile);
-    let total = grid.len();
-    let range = opts.shard.map_or(0..total, |s| s.slice(total));
     if let Some(s) = opts.shard {
+        let total = exp.grid(opts.profile).len();
+        let range = s.slice(total);
         println!(
             "[shard {}/{}: cells {}..{} of {}]",
             s.index, s.count, range.start, range.end, total
         );
     }
-    let cell_base = range.start;
-    let specs = &grid[range];
-    let runner = match opts.threads {
-        Some(t) => SweepRunner::with_threads(t),
-        None => SweepRunner::new(),
-    };
 
     let dir = out_dir(opts);
     std::fs::create_dir_all(&dir)
@@ -597,24 +681,7 @@ pub fn run_experiment(exp: &dyn Experiment, opts: &LabOptions) -> Result<RunSumm
     };
     let sink_ref = sink.as_ref().map(|(s, _)| s);
 
-    let results = runner.run(specs, |i, spec| {
-        let progress = CellProgress::new(sink_ref, cell_base + i, spec.tag);
-        progress.start();
-        let outcome = exp.run(spec, &progress);
-        let rows = exp.reduce(spec, &outcome);
-        progress.done(&outcome, rows.len());
-        (outcome, rows)
-    });
-    let cells: Vec<LabCell> = specs
-        .iter()
-        .cloned()
-        .zip(results)
-        .map(|(spec, (outcome, rows))| LabCell {
-            spec,
-            outcome,
-            rows,
-        })
-        .collect();
+    let cells = run_shard_cells(exp, opts.profile, opts.shard, opts.threads, sink_ref);
 
     let file = match opts.shard {
         Some(s) => s.file_name(exp.output_stem()),
@@ -695,12 +762,20 @@ pub fn merge_shards(stem: &str, dir: &Path) -> Result<PathBuf, String> {
         ));
     }
     let out = dir.join(format!("{stem}.jsonl"));
-    let mut merged = Vec::new();
+    // Stream each shard through a fixed-size copy buffer instead of
+    // buffering whole files: coordinator-collected shards of billion-event
+    // runs merge in O(1) memory.
+    let mut w = std::io::BufWriter::new(
+        std::fs::File::create(&out).map_err(|e| format!("create {}: {e}", out.display()))?,
+    );
     for (_, _, path) in &shards {
-        let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        merged.extend_from_slice(&bytes);
+        let mut r = std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?,
+        );
+        std::io::copy(&mut r, &mut w).map_err(|e| format!("copy {}: {e}", path.display()))?;
     }
-    std::fs::write(&out, merged).map_err(|e| format!("write {}: {e}", out.display()))?;
+    w.flush()
+        .map_err(|e| format!("flush {}: {e}", out.display()))?;
     Ok(out)
 }
 
@@ -717,6 +792,11 @@ usage:
   lab all [options]                          run every experiment in order
   lab merge <name>... [--out DIR]            merge shard files into <stem>.jsonl
   lab merge --all [--out DIR]                merge every complete shard set
+  lab serve [<name>...] [options]            coordinate a worker fleet over TCP
+                                             (default: every experiment); exits
+                                             once all shards are merged
+  lab worker --connect HOST:PORT [options]   run shards for a coordinator until
+                                             it sends shutdown
 
 options:
   --quick          shrunken CI smoke grids (default: full reproduction)
@@ -727,9 +807,22 @@ options:
                    (lab merge) is byte-identical to an unsharded run
   --progress       stream per-cell heartbeats to a <stem>.progress.jsonl
                    sidecar (shard-qualified under --shard): one start/done
-                   record per cell plus a heartbeat per 100k engine events";
+                   record per cell plus a heartbeat per 100k engine events
 
-fn find_experiment(name: &str) -> Result<&'static dyn Experiment, String> {
+serve options:
+  --addr HOST:PORT     listen address (default 127.0.0.1:7401; port 0 = ephemeral)
+  --workers N          expected fleet size; sets the default shard count (2N)
+  --shards M           shards per experiment grid (default 2x --workers)
+  --heartbeat-ms T     liveness cadence (default 2000); a worker silent for
+                       3 consecutive intervals is declared dead and its shard
+                       is reassigned
+
+worker options:
+  --connect HOST:PORT  coordinator address (required)";
+
+/// Resolves a registry experiment by name (the `exp_` prefix of the old
+/// shim binaries is accepted and stripped).
+pub fn find_experiment(name: &str) -> Result<&'static dyn Experiment, String> {
     let canonical = name.strip_prefix("exp_").unwrap_or(name);
     crate::experiments::REGISTRY
         .iter()
@@ -749,6 +842,11 @@ struct Parsed {
     names: Vec<String>,
     all: bool,
     quick_given: bool,
+    addr: Option<String>,
+    connect: Option<String>,
+    workers: Option<usize>,
+    shards: Option<usize>,
+    heartbeat_ms: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Parsed, String> {
@@ -757,6 +855,11 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         names: Vec::new(),
         all: false,
         quick_given: false,
+        addr: None,
+        connect: None,
+        workers: None,
+        shards: None,
+        heartbeat_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -789,6 +892,44 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
             }
             "--progress" => parsed.opts.progress = true,
             "--all" => parsed.all = true,
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs a HOST:PORT value")?;
+                parsed.addr = Some(v.clone());
+            }
+            "--connect" => {
+                let v = it.next().ok_or("--connect needs a HOST:PORT value")?;
+                parsed.connect = Some(v.clone());
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--workers '{v}' is not an integer"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                parsed.workers = Some(n);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let m: usize = v
+                    .parse()
+                    .map_err(|_| format!("--shards '{v}' is not an integer"))?;
+                if m == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                parsed.shards = Some(m);
+            }
+            "--heartbeat-ms" => {
+                let v = it.next().ok_or("--heartbeat-ms needs a value")?;
+                let t: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--heartbeat-ms '{v}' is not an integer"))?;
+                if t == 0 {
+                    return Err("--heartbeat-ms must be at least 1".into());
+                }
+                parsed.heartbeat_ms = Some(t);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag '{flag}'\n\n{USAGE}"));
             }
@@ -892,6 +1033,44 @@ pub fn lab_main(args: &[String]) -> Result<(), String> {
                 }
                 Ok(())
             }
+        }
+        "serve" => {
+            let parsed = parse_args(rest)?;
+            let experiments: Vec<&'static dyn Experiment> = if parsed.names.is_empty() {
+                crate::experiments::REGISTRY.to_vec()
+            } else {
+                parsed
+                    .names
+                    .iter()
+                    .map(|n| find_experiment(n))
+                    .collect::<Result<_, _>>()?
+            };
+            let workers = parsed.workers.unwrap_or(1);
+            // Default to twice the fleet size: finer shards bound how long
+            // the fleet idles behind the last straggler shard.
+            let shards = parsed.shards.unwrap_or(2 * workers);
+            let mut opts = crate::net::ServeOptions::new(
+                experiments,
+                parsed.opts.profile,
+                out_dir(&parsed.opts),
+                shards,
+            );
+            if let Some(ms) = parsed.heartbeat_ms {
+                opts.heartbeat = std::time::Duration::from_millis(ms);
+            }
+            let addr = parsed.addr.as_deref().unwrap_or("127.0.0.1:7401");
+            crate::net::serve(addr, opts)?;
+            Ok(())
+        }
+        "worker" => {
+            let parsed = parse_args(rest)?;
+            let Some(addr) = parsed.connect else {
+                return Err(format!("`lab worker` needs --connect HOST:PORT\n\n{USAGE}"));
+            };
+            let mut opts = crate::net::WorkerOptions::new(addr);
+            opts.threads = parsed.opts.threads;
+            crate::net::run_worker(&opts)?;
+            Ok(())
         }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -11,10 +11,9 @@
 pub mod experiments;
 pub mod lab;
 pub mod lookbench;
+pub mod net;
 pub mod sweep;
 
-#[allow(deprecated)]
-pub use sweep::quick_requested;
 pub use sweep::{AlgorithmSpec, ScenarioSpec, SchedulerSpec, SweepRunner, WorkloadSpec};
 
 use serde::Serialize;

@@ -1,0 +1,166 @@
+//! Length-prefixed frame codec over blocking byte streams.
+//!
+//! Wire format: a 4-byte big-endian payload length, then exactly that many
+//! bytes of compact serde-JSON encoding one [`Message`]. The length prefix
+//! is bounded by [`MAX_FRAME_BYTES`], so a corrupt or adversarial peer
+//! cannot make the reader allocate unboundedly.
+
+use super::protocol::Message;
+use std::io::{ErrorKind, Read, Write};
+
+/// Upper bound on a frame payload. Row chunks are flushed well below this
+/// (`worker::CHUNK_BYTES`); anything larger is stream corruption.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// A socket read timeout fired (the stream stayed silent). Partial
+    /// frame state is retained by [`FrameReader`]; reading again resumes
+    /// where the timeout hit.
+    Timeout,
+    /// The stream ended mid-frame.
+    Truncated {
+        /// Bytes of the frame that did arrive.
+        got: usize,
+        /// Bytes the frame declared.
+        want: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// The payload was not a valid protocol message.
+    Decode(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Timeout => f.write_str("frame read timed out"),
+            FrameError::Truncated { got, want } => {
+                write!(f, "truncated frame: got {got} of {want} bytes")
+            }
+            FrameError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME_BYTES}-byte cap")
+            }
+            FrameError::Decode(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one message as a complete frame (prefix + payload).
+///
+/// # Panics
+///
+/// Panics if the encoded payload exceeds [`MAX_FRAME_BYTES`] — a sender
+/// bug, not a runtime condition (chunk flushing bounds every payload).
+#[must_use]
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let json = serde_json::to_string(msg).expect("serialize protocol message");
+    let payload = json.as_bytes();
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "frame payload of {} bytes exceeds the cap",
+        payload.len()
+    );
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("cap fits u32")
+            .to_be_bytes(),
+    );
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Writes one frame and flushes.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> std::io::Result<()> {
+    w.write_all(&encode_frame(msg))?;
+    w.flush()
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// A frame reader that tolerates read timeouts at any byte position.
+///
+/// The coordinator sets a read timeout on worker sockets and counts each
+/// [`FrameError::Timeout`] as a missed heartbeat; because partial header and
+/// payload bytes are retained across timeouts, a slow-but-alive worker never
+/// desynchronizes the stream.
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    r: R,
+    header: [u8; 4],
+    header_filled: usize,
+    payload: Vec<u8>,
+    payload_filled: usize,
+    in_payload: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(r: R) -> FrameReader<R> {
+        FrameReader {
+            r,
+            header: [0; 4],
+            header_filled: 0,
+            payload: Vec::new(),
+            payload_filled: 0,
+            in_payload: false,
+        }
+    }
+
+    /// Reads the next frame. `Ok(None)` is a clean EOF (the peer closed
+    /// between frames); EOF inside a frame is [`FrameError::Truncated`].
+    pub fn read(&mut self) -> Result<Option<Message>, FrameError> {
+        if !self.in_payload {
+            while self.header_filled < 4 {
+                match self.r.read(&mut self.header[self.header_filled..]) {
+                    Ok(0) if self.header_filled == 0 => return Ok(None),
+                    Ok(0) => {
+                        return Err(FrameError::Truncated {
+                            got: self.header_filled,
+                            want: 4,
+                        })
+                    }
+                    Ok(n) => self.header_filled += n,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) if is_timeout(&e) => return Err(FrameError::Timeout),
+                    Err(e) => return Err(FrameError::Io(e)),
+                }
+            }
+            let len = u32::from_be_bytes(self.header) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(FrameError::TooLarge(len));
+            }
+            self.payload = vec![0; len];
+            self.payload_filled = 0;
+            self.in_payload = true;
+        }
+        while self.payload_filled < self.payload.len() {
+            match self.r.read(&mut self.payload[self.payload_filled..]) {
+                Ok(0) => {
+                    return Err(FrameError::Truncated {
+                        got: 4 + self.payload_filled,
+                        want: 4 + self.payload.len(),
+                    })
+                }
+                Ok(n) => self.payload_filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if is_timeout(&e) => return Err(FrameError::Timeout),
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        self.in_payload = false;
+        self.header_filled = 0;
+        let payload = std::mem::take(&mut self.payload);
+        let msg = Message::decode(&payload).map_err(FrameError::Decode)?;
+        Ok(Some(msg))
+    }
+}

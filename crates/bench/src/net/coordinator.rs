@@ -1,0 +1,465 @@
+//! `lab serve`: the coordinator side of the distributed lab.
+//!
+//! One coordinator owns the shard queue for a requested experiment set.
+//! Each worker connection gets a thread (blocking sockets, mirroring
+//! `SweepRunner`'s scoped-pool style): handshake, then a hand-out/receive
+//! loop. Worker silence is detected with socket read timeouts — each
+//! timeout is a missed heartbeat, [`ServeOptions::missed_limit`] consecutive
+//! misses (or EOF mid-shard) declare the worker dead and requeue its shard,
+//! which is idempotent because shards are deterministic. Incoming row
+//! chunks stream verbatim into the same `<stem>.shardIofM.jsonl` files the
+//! CLI's `--shard` mode writes, and the run finishes through the shared
+//! `merge_shards`, so the merged JSONL is byte-identical to an unsharded
+//! run.
+
+use super::codec::{write_frame, FrameError, FrameReader};
+use super::liveness::{Liveness, WorkItem, WorkTracker};
+use super::protocol::{Message, PROTOCOL_VERSION};
+use crate::lab::{merge_shards, Experiment, Profile, Shard};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Coordinator configuration.
+pub struct ServeOptions {
+    /// The experiments whose grids are queued (registry order).
+    pub experiments: Vec<&'static dyn Experiment>,
+    /// Quick (CI smoke) or full grids — sent to workers in every `Assign`.
+    pub profile: Profile,
+    /// Where shard files land and the merged JSONL is written.
+    pub out_dir: PathBuf,
+    /// How many shards each experiment grid is split into (clamped per
+    /// experiment to its cell count, so no empty shards are queued).
+    pub shards_per_experiment: usize,
+    /// Liveness cadence: workers must emit a frame at least this often
+    /// while holding a shard; reads time out on this interval.
+    pub heartbeat: Duration,
+    /// Consecutive missed heartbeats before a worker is declared dead.
+    pub missed_limit: u32,
+    /// Assignment budget per shard before the run is failed (a shard that
+    /// kills every worker it lands on must not loop forever).
+    pub max_attempts: u32,
+}
+
+impl ServeOptions {
+    /// Defaults: quick=off is the caller's choice via `profile`; 2-second
+    /// heartbeat, 3 missed beats, 3 attempts per shard.
+    #[must_use]
+    pub fn new(
+        experiments: Vec<&'static dyn Experiment>,
+        profile: Profile,
+        out_dir: PathBuf,
+        shards_per_experiment: usize,
+    ) -> ServeOptions {
+        ServeOptions {
+            experiments,
+            profile,
+            out_dir,
+            shards_per_experiment,
+            heartbeat: Duration::from_millis(2000),
+            missed_limit: 3,
+            max_attempts: 3,
+        }
+    }
+}
+
+/// What a completed serve run did.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Merged output files, one per experiment, in request order.
+    pub merged: Vec<(&'static str, PathBuf)>,
+    /// Total shards executed.
+    pub shards: usize,
+    /// Shards lost to dead workers and reassigned.
+    pub reassignments: usize,
+    /// Workers that completed the handshake.
+    pub workers: usize,
+    /// Wall clock from listen to merge completion.
+    pub elapsed: Duration,
+}
+
+/// Shared coordinator state, borrowed by every connection thread.
+struct Ctx<'a> {
+    experiments: &'a [&'static dyn Experiment],
+    profile: Profile,
+    dir: &'a PathBuf,
+    heartbeat: Duration,
+    missed_limit: u32,
+    tracker: Mutex<WorkTracker>,
+    workers: AtomicUsize,
+}
+
+impl Ctx<'_> {
+    fn finished(&self) -> bool {
+        let tr = self.tracker.lock().expect("tracker poisoned");
+        tr.is_complete() || tr.failure().is_some()
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:7401`, port 0 for ephemeral), prints the
+/// bound address, and runs the coordinator to completion.
+pub fn serve(addr: &str, opts: ServeOptions) -> Result<ServeSummary, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    println!("[serve] listening on {local}");
+    serve_on(listener, opts)
+}
+
+/// Runs the coordinator on an already-bound listener (how tests get an
+/// ephemeral port before spawning workers). Returns once every shard has
+/// completed and the per-experiment merges are written, or with the first
+/// fatal failure.
+pub fn serve_on(listener: TcpListener, opts: ServeOptions) -> Result<ServeSummary, String> {
+    if opts.experiments.is_empty() {
+        return Err("lab serve: no experiments requested".into());
+    }
+    assert!(
+        opts.shards_per_experiment >= 1,
+        "need at least one shard per experiment"
+    );
+    let started = Instant::now();
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("create output dir {}: {e}", opts.out_dir.display()))?;
+    remove_stale_shard_files(&opts)?;
+
+    let mut items = Vec::new();
+    for (exp_index, exp) in opts.experiments.iter().enumerate() {
+        let cells = exp.grid(opts.profile).len();
+        let count = opts.shards_per_experiment.min(cells.max(1));
+        for index in 0..count {
+            items.push(WorkItem {
+                exp_index,
+                shard: Shard { index, count },
+                attempts: 0,
+            });
+        }
+    }
+    let shards = items.len();
+    println!(
+        "[serve] {} shard(s) across {} experiment(s), heartbeat {:?} x{} misses",
+        shards,
+        opts.experiments.len(),
+        opts.heartbeat,
+        opts.missed_limit
+    );
+
+    let ctx = Ctx {
+        experiments: &opts.experiments,
+        profile: opts.profile,
+        dir: &opts.out_dir,
+        heartbeat: opts.heartbeat,
+        missed_limit: opts.missed_limit,
+        tracker: Mutex::new(WorkTracker::new(items, opts.max_attempts)),
+        workers: AtomicUsize::new(0),
+    };
+
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("listener nonblocking: {e}"))?;
+    std::thread::scope(|scope| {
+        while !ctx.finished() {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    println!("[serve] worker connected from {peer}");
+                    let ctx = &ctx;
+                    scope.spawn(move || handle_worker(stream, ctx));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    ctx.tracker
+                        .lock()
+                        .expect("tracker poisoned")
+                        .fail(format!("accept: {e}"));
+                }
+            }
+        }
+        // Scope exit joins every connection thread: each notices the run is
+        // finished at its next claim poll or heartbeat tick, sends Shutdown,
+        // and returns.
+    });
+
+    let tracker = ctx.tracker.into_inner().expect("tracker poisoned");
+    if let Some(failure) = tracker.failure() {
+        return Err(format!("lab serve failed: {failure}"));
+    }
+    let mut merged = Vec::new();
+    for exp in &opts.experiments {
+        let path = merge_shards(exp.output_stem(), &opts.out_dir)?;
+        println!("[serve] merged {} -> {}", exp.name(), path.display());
+        merged.push((exp.name(), path));
+    }
+    let summary = ServeSummary {
+        merged,
+        shards,
+        reassignments: tracker.reassignments(),
+        workers: ctx.workers.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+    };
+    println!(
+        "[serve] done: {} shard(s), {} worker(s), {} reassignment(s), {:.2}s",
+        summary.shards,
+        summary.workers,
+        summary.reassignments,
+        summary.elapsed.as_secs_f64()
+    );
+    Ok(summary)
+}
+
+/// Deletes shard files left by previous runs for the requested stems — a
+/// stale file from a run with a different shard count would otherwise make
+/// the final merge reject the set as mixed.
+fn remove_stale_shard_files(opts: &ServeOptions) -> Result<(), String> {
+    let entries = std::fs::read_dir(&opts.out_dir)
+        .map_err(|e| format!("read {}: {e}", opts.out_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", opts.out_dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = opts.experiments.iter().any(|exp| {
+            name.strip_prefix(&format!("{}.shard", exp.output_stem()))
+                .and_then(|r| r.strip_suffix(".jsonl"))
+                .is_some_and(|r| {
+                    r.split_once("of").is_some_and(|(i, m)| {
+                        i.parse::<usize>().is_ok() && m.parse::<usize>().is_ok()
+                    })
+                })
+        });
+        if stale {
+            std::fs::remove_file(entry.path())
+                .map_err(|e| format!("remove stale {}: {e}", entry.path().display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// One worker connection: handshake, then hand out shards and collect rows
+/// until the run finishes or the worker dies.
+fn handle_worker(stream: TcpStream, ctx: &Ctx<'_>) {
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "<unknown>".into(), |a| a.to_string());
+    if let Err(e) = stream.set_nodelay(true) {
+        println!("[serve] {peer}: set_nodelay: {e}");
+    }
+    if stream.set_read_timeout(Some(ctx.heartbeat)).is_err() {
+        println!("[serve] {peer}: cannot set read timeout; dropping");
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        println!("[serve] {peer}: cannot clone stream; dropping");
+        return;
+    };
+    let mut reader = FrameReader::new(stream);
+
+    // Handshake: the first frame must be a version-matching Hello.
+    let mut liveness = Liveness::new(ctx.missed_limit);
+    loop {
+        match reader.read() {
+            Ok(Some(Message::Hello { version, cores })) => {
+                if version != PROTOCOL_VERSION {
+                    println!(
+                        "[serve] {peer}: protocol v{version} != v{PROTOCOL_VERSION}; rejecting"
+                    );
+                    let _ = write_frame(
+                        &mut writer,
+                        &Message::Reject {
+                            reason: format!(
+                                "protocol version mismatch: worker v{version}, coordinator v{PROTOCOL_VERSION}"
+                            ),
+                        },
+                    );
+                    return;
+                }
+                let welcome = Message::Welcome {
+                    version: PROTOCOL_VERSION,
+                    heartbeat_ms: ctx.heartbeat.as_millis() as u64,
+                };
+                if write_frame(&mut writer, &welcome).is_err() {
+                    return;
+                }
+                ctx.workers.fetch_add(1, Ordering::Relaxed);
+                println!("[serve] {peer}: handshake ok ({cores} cores)");
+                break;
+            }
+            Ok(Some(other)) => {
+                println!("[serve] {peer}: expected Hello, got {other:?}; dropping");
+                return;
+            }
+            Ok(None) => return,
+            Err(FrameError::Timeout) => {
+                if liveness.miss() || ctx.finished() {
+                    return;
+                }
+            }
+            Err(e) => {
+                println!("[serve] {peer}: handshake failed: {e}");
+                return;
+            }
+        }
+    }
+
+    loop {
+        // Claim the next shard, or wait for one to appear (a dead worker's
+        // shard may be requeued at any time).
+        let item = loop {
+            {
+                let mut tracker = ctx.tracker.lock().expect("tracker poisoned");
+                if tracker.failure().is_some() || tracker.is_complete() {
+                    let _ = write_frame(&mut writer, &Message::Shutdown);
+                    return;
+                }
+                if let Some(item) = tracker.claim() {
+                    break item;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        if !collect_shard(&mut reader, &mut writer, ctx, &peer, item) {
+            return;
+        }
+    }
+}
+
+/// Drives one assignment to completion. Returns `false` when the
+/// connection is finished (worker dead, protocol violation, or fatal run
+/// failure) — the caller must stop using it.
+fn collect_shard(
+    reader: &mut FrameReader<TcpStream>,
+    writer: &mut TcpStream,
+    ctx: &Ctx<'_>,
+    peer: &str,
+    item: WorkItem,
+) -> bool {
+    let exp = ctx.experiments[item.exp_index];
+    let shard_str = format!("{}/{}", item.shard.index, item.shard.count);
+    let label = format!("{} {shard_str}", exp.name());
+    let requeue = |item: WorkItem, why: &str| {
+        println!("[serve] {peer}: {why}; requeueing {label}");
+        ctx.tracker.lock().expect("tracker poisoned").requeue(item);
+    };
+
+    // (Re)create the shard file first: a reassigned shard must not keep a
+    // dead worker's partial rows.
+    let path = ctx.dir.join(item.shard.file_name(exp.output_stem()));
+    let mut file = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            ctx.tracker
+                .lock()
+                .expect("tracker poisoned")
+                .fail(format!("create {}: {e}", path.display()));
+            let _ = write_frame(writer, &Message::Shutdown);
+            return false;
+        }
+    };
+    let assign = Message::Assign {
+        experiment: exp.name().to_string(),
+        shard: shard_str.clone(),
+        quick: ctx.profile.is_quick(),
+    };
+    if write_frame(writer, &assign).is_err() {
+        requeue(item, "assign write failed");
+        return false;
+    }
+    println!("[serve] {peer}: assigned {label}");
+
+    let mut liveness = Liveness::new(ctx.missed_limit);
+    let mut lines: u64 = 0;
+    loop {
+        match reader.read() {
+            Ok(Some(Message::KeepAlive)) | Ok(Some(Message::Heartbeat { .. })) => {
+                liveness.beat();
+            }
+            Ok(Some(Message::Rows {
+                experiment,
+                shard,
+                chunk,
+            })) => {
+                liveness.beat();
+                if experiment != exp.name() || shard != shard_str {
+                    requeue(item, "rows for a shard it does not hold");
+                    return false;
+                }
+                if let Err(e) = file.write_all(chunk.as_bytes()) {
+                    ctx.tracker
+                        .lock()
+                        .expect("tracker poisoned")
+                        .fail(format!("write {}: {e}", path.display()));
+                    let _ = write_frame(writer, &Message::Shutdown);
+                    return false;
+                }
+                lines += chunk.bytes().filter(|&b| b == b'\n').count() as u64;
+            }
+            Ok(Some(Message::Done {
+                experiment,
+                shard,
+                rows,
+            })) => {
+                if experiment != exp.name() || shard != shard_str || rows != lines {
+                    requeue(
+                        item,
+                        &format!("done mismatch (claimed {rows} rows, received {lines})"),
+                    );
+                    return false;
+                }
+                if let Err(e) = file.flush() {
+                    ctx.tracker
+                        .lock()
+                        .expect("tracker poisoned")
+                        .fail(format!("flush {}: {e}", path.display()));
+                    return false;
+                }
+                ctx.tracker.lock().expect("tracker poisoned").complete();
+                println!("[serve] {peer}: completed {label} ({rows} rows)");
+                return true;
+            }
+            Ok(Some(Message::Failed {
+                experiment,
+                shard,
+                error,
+            })) => {
+                ctx.tracker.lock().expect("tracker poisoned").fail(format!(
+                    "worker {peer} reported {experiment} {shard} failed: {error}"
+                ));
+                let _ = write_frame(writer, &Message::Shutdown);
+                return false;
+            }
+            Ok(Some(other)) => {
+                requeue(item, &format!("unexpected frame {other:?}"));
+                return false;
+            }
+            Ok(None) => {
+                requeue(item, "connection closed mid-shard");
+                return false;
+            }
+            Err(FrameError::Timeout) => {
+                if ctx
+                    .tracker
+                    .lock()
+                    .expect("tracker poisoned")
+                    .failure()
+                    .is_some()
+                {
+                    // The run already failed elsewhere; abandon the shard.
+                    let _ = write_frame(writer, &Message::Shutdown);
+                    return false;
+                }
+                if liveness.miss() {
+                    requeue(item, "missed heartbeats");
+                    return false;
+                }
+            }
+            Err(e) => {
+                requeue(item, &format!("read failed: {e}"));
+                return false;
+            }
+        }
+    }
+}

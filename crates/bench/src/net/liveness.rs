@@ -1,0 +1,204 @@
+//! Coordinator-side bookkeeping: the shard work queue and the per-worker
+//! missed-heartbeat counter. Pure data structures — every socket-facing
+//! decision the coordinator makes (claim, requeue, declare-dead, abort) is
+//! unit-testable here without a connection.
+
+use crate::lab::Shard;
+use std::collections::VecDeque;
+
+/// One queue entry: a shard of one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Index into the serve run's experiment list.
+    pub exp_index: usize,
+    /// The shard assignment.
+    pub shard: Shard,
+    /// How many times this item has been handed out (incremented by
+    /// [`WorkTracker::claim`]).
+    pub attempts: u32,
+}
+
+/// The shard queue for one serve run.
+///
+/// Shards are deterministic, so reassignment after a worker death is
+/// idempotent — but a shard that *kills* every worker it lands on
+/// (poisoned cell) must not loop forever, so each item carries an attempt
+/// budget; exhausting it fails the whole run.
+#[derive(Debug)]
+pub struct WorkTracker {
+    queue: VecDeque<WorkItem>,
+    remaining: usize,
+    reassignments: usize,
+    failure: Option<String>,
+    max_attempts: u32,
+}
+
+impl WorkTracker {
+    /// A tracker over `items`, each assignable at most `max_attempts`
+    /// times (≥ 1).
+    #[must_use]
+    pub fn new(items: Vec<WorkItem>, max_attempts: u32) -> WorkTracker {
+        assert!(max_attempts >= 1, "need at least one attempt per shard");
+        let remaining = items.len();
+        WorkTracker {
+            queue: items.into(),
+            remaining,
+            reassignments: 0,
+            failure: None,
+            max_attempts,
+        }
+    }
+
+    /// Hands out the next shard, if any is queued (in-flight shards are
+    /// not in the queue). Fails closed once the run is marked failed.
+    pub fn claim(&mut self) -> Option<WorkItem> {
+        if self.failure.is_some() {
+            return None;
+        }
+        let mut item = self.queue.pop_front()?;
+        item.attempts += 1;
+        Some(item)
+    }
+
+    /// Marks a claimed shard complete.
+    pub fn complete(&mut self) {
+        self.remaining = self
+            .remaining
+            .checked_sub(1)
+            .expect("completed more shards than were queued");
+    }
+
+    /// Returns a claimed shard to the queue after its worker died. The
+    /// shard goes to the *front* — it has been waiting longest and later
+    /// shards' files cannot merge without it. Exhausting the attempt
+    /// budget fails the run instead.
+    pub fn requeue(&mut self, item: WorkItem) {
+        if item.attempts >= self.max_attempts {
+            self.fail(format!(
+                "shard {}/{} of experiment #{} was assigned {} times without completing",
+                item.shard.index, item.shard.count, item.exp_index, item.attempts
+            ));
+            return;
+        }
+        self.reassignments += 1;
+        self.queue.push_front(item);
+    }
+
+    /// Marks the run failed (deterministic shard failure or attempt
+    /// exhaustion). First failure wins.
+    pub fn fail(&mut self, reason: String) {
+        self.failure.get_or_insert(reason);
+    }
+
+    /// `true` once every shard has completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// The failure that aborted the run, if any.
+    #[must_use]
+    pub fn failure(&self) -> Option<&str> {
+        self.failure.as_deref()
+    }
+
+    /// How many shard assignments were lost to dead workers and requeued.
+    #[must_use]
+    pub fn reassignments(&self) -> usize {
+        self.reassignments
+    }
+}
+
+/// Missed-heartbeat counter for one worker connection. Any received frame
+/// is a beat; each read timeout is a miss; `limit` consecutive misses
+/// declare the worker dead.
+#[derive(Debug)]
+pub struct Liveness {
+    missed: u32,
+    limit: u32,
+}
+
+impl Liveness {
+    /// A counter declaring death at `limit` consecutive misses (≥ 1).
+    #[must_use]
+    pub fn new(limit: u32) -> Liveness {
+        assert!(limit >= 1, "need at least one allowed miss");
+        Liveness { missed: 0, limit }
+    }
+
+    /// A frame arrived: the worker is alive.
+    pub fn beat(&mut self) {
+        self.missed = 0;
+    }
+
+    /// A read timeout fired; returns `true` when the worker is now
+    /// considered dead.
+    pub fn miss(&mut self) -> bool {
+        self.missed += 1;
+        self.missed >= self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(i: usize) -> WorkItem {
+        WorkItem {
+            exp_index: i,
+            shard: Shard { index: 0, count: 1 },
+            attempts: 0,
+        }
+    }
+
+    #[test]
+    fn claims_in_order_and_completes() {
+        let mut t = WorkTracker::new(vec![item(0), item(1)], 3);
+        assert!(!t.is_complete());
+        let a = t.claim().unwrap();
+        assert_eq!((a.exp_index, a.attempts), (0, 1));
+        assert_eq!(t.claim().unwrap().exp_index, 1);
+        assert!(t.claim().is_none(), "both items are in flight");
+        t.complete();
+        t.complete();
+        assert!(t.is_complete());
+        assert_eq!(t.reassignments(), 0);
+    }
+
+    #[test]
+    fn requeued_items_come_back_first_until_the_attempt_budget_runs_out() {
+        let mut t = WorkTracker::new(vec![item(0), item(1)], 2);
+        let a = t.claim().unwrap();
+        t.requeue(a);
+        assert_eq!(t.reassignments(), 1);
+        let again = t.claim().unwrap();
+        assert_eq!(
+            (again.exp_index, again.attempts),
+            (0, 2),
+            "requeued item is claimed before fresh work"
+        );
+        t.requeue(again);
+        assert!(t.failure().unwrap().contains("2 times"), "budget exhausted");
+        assert!(t.claim().is_none(), "failed runs hand out no more work");
+        assert!(!t.is_complete(), "failed is not complete");
+    }
+
+    #[test]
+    fn first_failure_wins() {
+        let mut t = WorkTracker::new(vec![item(0)], 3);
+        t.fail("first".into());
+        t.fail("second".into());
+        assert_eq!(t.failure(), Some("first"));
+    }
+
+    #[test]
+    fn liveness_counts_consecutive_misses_only() {
+        let mut l = Liveness::new(3);
+        assert!(!l.miss());
+        assert!(!l.miss());
+        l.beat();
+        assert!(!l.miss());
+        assert!(!l.miss());
+        assert!(l.miss(), "third consecutive miss is death");
+    }
+}

@@ -1,0 +1,50 @@
+//! The distributed lab: a coordinator/worker fleet over a framed TCP
+//! protocol, with merged output byte-identical to an unsharded run.
+//!
+//! PR 4's `--shard I/M` + `lab merge` made every experiment grid splittable
+//! with zero coordination; this layer adds the driver that *launches* the
+//! shards across processes/machines and collects the files:
+//!
+//! * [`codec`] — a length-prefixed compact-JSON frame codec over blocking
+//!   `std::net::TcpStream` (no async runtime: the offline third_party
+//!   policy rules out tokio, so this mirrors `SweepRunner`'s
+//!   threads-and-blocking-IO style). A 4-byte big-endian length prefixes
+//!   each serde-JSON payload; [`codec::FrameReader`] survives socket read
+//!   timeouts mid-frame, which is how the coordinator detects silence
+//!   without desynchronizing the stream.
+//! * [`protocol`] — the [`protocol::Message`] enum: version-checked
+//!   `Hello`/`Welcome`/`Reject` handshake, `Assign` (experiment + shard +
+//!   profile), `Heartbeat` (PR 5's per-cell progress records as the
+//!   payload) and `KeepAlive` liveness frames, `Rows` (JSONL chunks),
+//!   `Done`/`Failed` shard outcomes, and a clean-shutdown `Shutdown` frame.
+//! * [`liveness`] — the coordinator's bookkeeping: the shard
+//!   [`liveness::WorkTracker`] (claim / complete / requeue with a
+//!   reassignment cap) and the per-connection missed-heartbeat counter.
+//! * [`coordinator`] — `lab serve`: owns the shard queue for a requested
+//!   experiment set, hands shards to workers, marks a worker dead after K
+//!   missed heartbeats (or EOF) and requeues its shard — idempotent because
+//!   shards are deterministic — streams incoming rows to per-shard files,
+//!   and finishes through the existing `merge_shards`, so the final JSONL
+//!   is **byte-identical to an unsharded run**.
+//! * [`worker`] — `lab worker`: connects, handshakes, then loops
+//!   assign → run (the existing [`Experiment`](crate::lab::Experiment)
+//!   registry on the resumable `Simulation` session, heartbeats bridged
+//!   from the PR 5 progress handle) → stream rows → done.
+//!
+//! The byte-identity contract is exactly the PR 4 sharding contract lifted
+//! over sockets: a shard's rows are a pure function of its spec slice, the
+//! coordinator writes each shard's chunks verbatim to the same
+//! `<stem>.shardIofM.jsonl` files the CLI's `--shard` mode writes, and the
+//! merge step is shared code.
+
+pub mod codec;
+pub mod coordinator;
+pub mod liveness;
+pub mod protocol;
+pub mod worker;
+
+pub use codec::{FrameError, FrameReader, MAX_FRAME_BYTES};
+pub use coordinator::{serve, serve_on, ServeOptions, ServeSummary};
+pub use liveness::{Liveness, WorkItem, WorkTracker};
+pub use protocol::{Message, PROTOCOL_VERSION};
+pub use worker::{run_worker, WorkerOptions, WorkerSummary};

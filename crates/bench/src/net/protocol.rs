@@ -1,0 +1,216 @@
+//! The coordinator/worker wire protocol.
+//!
+//! Every frame payload is one [`Message`], encoded as compact serde-JSON by
+//! the derived `Serialize` (externally tagged: `{"Hello":{...}}`, unit
+//! variants as bare strings) and decoded through the `serde_json` stand-in's
+//! [`Value`] parser — the stand-in's `Deserialize` is a marker trait, so the
+//! decoding half is hand-written against the `Value` tree here, one place.
+
+use crate::lab::ProgressRecord;
+use serde::Serialize;
+use serde_json::Value;
+
+/// Protocol revision. The handshake rejects any mismatch outright — with a
+/// two-frame protocol negotiation would buy nothing, and mixed-revision
+/// fleets must never contribute rows to one merged file.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One protocol frame payload.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Message {
+    /// Worker → coordinator, first frame: identify and version-check.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Worker cores (telemetry only; the worker sizes its own pool).
+        cores: u32,
+    },
+    /// Coordinator → worker: handshake accepted.
+    Welcome {
+        /// The coordinator's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Liveness cadence: the worker must emit a frame at least this
+        /// often while holding a shard (its keep-alive ticker halves it).
+        heartbeat_ms: u64,
+    },
+    /// Coordinator → worker: handshake refused (version mismatch); the
+    /// connection closes after this frame.
+    Reject {
+        /// Human-readable refusal.
+        reason: String,
+    },
+    /// Coordinator → worker: run one shard of one experiment.
+    Assign {
+        /// Registry name of the experiment.
+        experiment: String,
+        /// Shard assignment as `I/M`.
+        shard: String,
+        /// Quick (CI smoke) or full grids.
+        quick: bool,
+    },
+    /// Worker → coordinator: liveness tick from the keep-alive ticker (no
+    /// progress to report, e.g. between assignments or inside a bespoke
+    /// cell driver that never beats).
+    KeepAlive,
+    /// Worker → coordinator: per-cell progress, straight from the PR 5
+    /// progress handle — the record already names its experiment and shard.
+    Heartbeat {
+        /// The sidecar record the local CLI would have written.
+        record: ProgressRecord,
+    },
+    /// Worker → coordinator: a chunk of the shard's JSONL output (whole
+    /// lines, trailing newlines included).
+    Rows {
+        /// Registry name of the experiment (sanity-checked by the
+        /// coordinator against the live assignment).
+        experiment: String,
+        /// Shard assignment as `I/M`.
+        shard: String,
+        /// Verbatim JSONL bytes.
+        chunk: String,
+    },
+    /// Worker → coordinator: the shard completed.
+    Done {
+        /// Registry name of the experiment.
+        experiment: String,
+        /// Shard assignment as `I/M`.
+        shard: String,
+        /// Total rows streamed, cross-checked against the lines received.
+        rows: u64,
+    },
+    /// Worker → coordinator: the shard failed deterministically (invariant
+    /// check failure, unknown experiment, cell panic). Fatal for the run —
+    /// reassigning a deterministic failure would loop forever.
+    Failed {
+        /// Registry name of the experiment.
+        experiment: String,
+        /// Shard assignment as `I/M`.
+        shard: String,
+        /// What went wrong.
+        error: String,
+    },
+    /// Coordinator → worker: no more work; close cleanly.
+    Shutdown,
+}
+
+impl Message {
+    /// Decodes one frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Message, String> {
+        let text =
+            std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+        let value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        Message::from_value(&value)
+    }
+
+    fn from_value(v: &Value) -> Result<Message, String> {
+        if let Some(tag) = v.as_str() {
+            return match tag {
+                "KeepAlive" => Ok(Message::KeepAlive),
+                "Shutdown" => Ok(Message::Shutdown),
+                other => Err(format!("unknown unit message `{other}`")),
+            };
+        }
+        let obj = v
+            .as_object()
+            .ok_or("message is neither a tag string nor a tagged object")?;
+        let mut entries = obj.iter();
+        let (Some((tag, body)), None) = (entries.next(), entries.next()) else {
+            return Err("tagged message must have exactly one key".into());
+        };
+        match tag.as_str() {
+            "Hello" => Ok(Message::Hello {
+                version: u32_field(body, "version")?,
+                cores: u32_field(body, "cores")?,
+            }),
+            "Welcome" => Ok(Message::Welcome {
+                version: u32_field(body, "version")?,
+                heartbeat_ms: u64_field(body, "heartbeat_ms")?,
+            }),
+            "Reject" => Ok(Message::Reject {
+                reason: str_field(body, "reason")?,
+            }),
+            "Assign" => Ok(Message::Assign {
+                experiment: str_field(body, "experiment")?,
+                shard: str_field(body, "shard")?,
+                quick: bool_field(body, "quick")?,
+            }),
+            "Heartbeat" => Ok(Message::Heartbeat {
+                record: progress_record(field(body, "record")?)?,
+            }),
+            "Rows" => Ok(Message::Rows {
+                experiment: str_field(body, "experiment")?,
+                shard: str_field(body, "shard")?,
+                chunk: str_field(body, "chunk")?,
+            }),
+            "Done" => Ok(Message::Done {
+                experiment: str_field(body, "experiment")?,
+                shard: str_field(body, "shard")?,
+                rows: u64_field(body, "rows")?,
+            }),
+            "Failed" => Ok(Message::Failed {
+                experiment: str_field(body, "experiment")?,
+                shard: str_field(body, "shard")?,
+                error: str_field(body, "error")?,
+            }),
+            other => Err(format!("unknown message `{other}`")),
+        }
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+}
+
+fn u32_field(v: &Value, key: &str) -> Result<u32, String> {
+    u64_field(v, key)?
+        .try_into()
+        .map_err(|_| format!("field `{key}` exceeds u32"))
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, String> {
+    u64_field(v, key)?
+        .try_into()
+        .map_err(|_| format!("field `{key}` exceeds usize"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field `{key}` is not a boolean"))
+}
+
+fn progress_record(v: &Value) -> Result<ProgressRecord, String> {
+    Ok(ProgressRecord {
+        experiment: str_field(v, "experiment")?,
+        shard: str_field(v, "shard")?,
+        cell: usize_field(v, "cell")?,
+        tag: str_field(v, "tag")?,
+        phase: str_field(v, "phase")?,
+        events: usize_field(v, "events")?,
+        rounds: usize_field(v, "rounds")?,
+        time: f64_field(v, "time")?,
+        diameter: f64_field(v, "diameter")?,
+        cohesion_ok: bool_field(v, "cohesion_ok")?,
+        converged: bool_field(v, "converged")?,
+        rows: usize_field(v, "rows")?,
+    })
+}

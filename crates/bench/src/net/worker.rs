@@ -1,0 +1,281 @@
+//! `lab worker`: the worker side of the distributed lab.
+//!
+//! A worker connects, version-handshakes, then loops assign → run →
+//! stream → done. Running a shard is exactly the local CLI's path
+//! ([`run_shard_cells`] over the `Experiment` registry, cells driven as
+//! resumable `Simulation` sessions), with two bridges onto the socket:
+//! per-cell progress records become `Heartbeat` frames (the
+//! [`ProgressOutput`] impl here), and a keep-alive ticker thread covers
+//! stretches where no cell emits (bespoke drivers, queue waits). Rows are
+//! streamed back in bounded chunks, so coordinator memory stays flat no
+//! matter the shard size.
+
+use super::codec::{write_frame, FrameReader};
+use super::protocol::{Message, PROTOCOL_VERSION};
+use crate::lab::{
+    find_experiment, run_shard_cells, LabCell, Profile, ProgressOutput, ProgressRecord,
+    ProgressSink, Shard,
+};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Flush threshold for `Rows` chunks. Chunks split only at row boundaries,
+/// so the coordinator's files are the concatenation of whole JSONL lines.
+const CHUNK_BYTES: usize = 128 << 10;
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator address (`host:port`).
+    pub addr: String,
+    /// Thread override for the per-shard sweep pool; `None` sizes to the
+    /// machine.
+    pub threads: Option<usize>,
+    /// Total budget for connect retries — covers the race where workers
+    /// launch before the coordinator binds.
+    pub connect_retry: Duration,
+}
+
+impl WorkerOptions {
+    /// Defaults: machine-sized pool, 10-second connect budget.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> WorkerOptions {
+        WorkerOptions {
+            addr: addr.into(),
+            threads: None,
+            connect_retry: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a worker did before shutdown.
+#[derive(Debug)]
+pub struct WorkerSummary {
+    /// Shards completed (Done sent).
+    pub shards_run: usize,
+    /// Total rows streamed.
+    pub rows_streamed: u64,
+}
+
+/// The progress-handle → heartbeat bridge: every record the PR 5 progress
+/// pipeline emits for a cell goes to the coordinator as a `Heartbeat`
+/// frame instead of a sidecar line. Send failures are swallowed — a dying
+/// coordinator surfaces on the main read loop, not mid-cell.
+struct SocketProgress {
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+impl ProgressOutput for SocketProgress {
+    fn record(&self, record: &ProgressRecord) {
+        let msg = Message::Heartbeat {
+            record: record.clone(),
+        };
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = write_frame(&mut *w, &msg);
+        }
+    }
+}
+
+fn connect_with_retry(addr: &str, budget: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + budget;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    }
+}
+
+/// Runs one worker until the coordinator sends `Shutdown`.
+pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerSummary, String> {
+    let stream = connect_with_retry(&opts.addr, opts.connect_retry)?;
+    let _ = stream.set_nodelay(true);
+    let writer = Arc::new(Mutex::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    ));
+    let mut reader = FrameReader::new(stream);
+    let send = |msg: &Message| -> Result<(), String> {
+        let mut w = writer.lock().expect("writer poisoned");
+        write_frame(&mut *w, msg).map_err(|e| format!("send frame: {e}"))
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get()) as u32;
+    send(&Message::Hello {
+        version: PROTOCOL_VERSION,
+        cores,
+    })?;
+    let heartbeat_ms = match reader.read() {
+        Ok(Some(Message::Welcome {
+            version,
+            heartbeat_ms,
+        })) => {
+            if version != PROTOCOL_VERSION {
+                return Err(format!(
+                    "coordinator speaks protocol v{version}, worker v{PROTOCOL_VERSION}"
+                ));
+            }
+            heartbeat_ms
+        }
+        Ok(Some(Message::Reject { reason })) => {
+            return Err(format!("coordinator rejected handshake: {reason}"))
+        }
+        Ok(Some(other)) => return Err(format!("expected Welcome, got {other:?}")),
+        Ok(None) => return Err("coordinator closed during handshake".into()),
+        Err(e) => return Err(format!("handshake read: {e}")),
+    };
+    println!(
+        "[worker] connected to {} (heartbeat {heartbeat_ms}ms)",
+        opts.addr
+    );
+
+    // Keep-alive ticker: covers assignment waits and cells whose drivers
+    // never beat. Halved cadence keeps one scheduling hiccup from costing
+    // a whole missed-heartbeat count.
+    let stop = Arc::new(AtomicBool::new(false));
+    let ticker = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        let tick = Duration::from_millis((heartbeat_ms / 2).max(10));
+        std::thread::spawn(move || loop {
+            std::thread::sleep(tick);
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let mut w = writer.lock().expect("writer poisoned");
+            if write_frame(&mut *w, &Message::KeepAlive).is_err() {
+                break;
+            }
+        })
+    };
+
+    let mut summary = WorkerSummary {
+        shards_run: 0,
+        rows_streamed: 0,
+    };
+    let result = loop {
+        match reader.read() {
+            Ok(Some(Message::Assign {
+                experiment,
+                shard,
+                quick,
+            })) => {
+                let profile = if quick { Profile::Quick } else { Profile::Full };
+                match run_assignment(&experiment, &shard, profile, opts.threads, &writer) {
+                    Ok(cells) => {
+                        let rows = stream_rows(&experiment, &shard, &cells, &send)?;
+                        summary.shards_run += 1;
+                        summary.rows_streamed += rows;
+                        println!("[worker] completed {experiment} {shard} ({rows} rows)");
+                    }
+                    Err(error) => {
+                        println!("[worker] {experiment} {shard} failed: {error}");
+                        send(&Message::Failed {
+                            experiment,
+                            shard,
+                            error,
+                        })?;
+                        // The coordinator treats this as fatal and will
+                        // shut the fleet down; wait for the frame.
+                    }
+                }
+            }
+            Ok(Some(Message::Shutdown)) => break Ok(summary),
+            Ok(Some(other)) => break Err(format!("unexpected frame {other:?}")),
+            Ok(None) => break Err("coordinator closed without shutdown".into()),
+            Err(e) => break Err(format!("read: {e}")),
+        }
+    };
+    stop.store(true, Ordering::Relaxed);
+    let _ = ticker.join();
+    if let Ok(s) = &result {
+        println!(
+            "[worker] shutdown after {} shard(s), {} row(s)",
+            s.shards_run, s.rows_streamed
+        );
+    }
+    result
+}
+
+/// Runs one assigned shard through the shared cell-execution core,
+/// bridging per-cell progress onto the socket. Deterministic failures
+/// (unknown experiment, invariant-check failure, cell panic) come back as
+/// `Err` for the caller to report as a `Failed` frame.
+fn run_assignment(
+    experiment: &str,
+    shard: &str,
+    profile: Profile,
+    threads: Option<usize>,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> Result<Vec<LabCell>, String> {
+    let exp = find_experiment(experiment)?;
+    let shard = Shard::parse(shard).map_err(|e| format!("bad shard assignment: {e}"))?;
+    let sink = ProgressSink::with_output(
+        exp.name(),
+        Some(shard),
+        Box::new(SocketProgress {
+            writer: Arc::clone(writer),
+        }),
+    );
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let cells = run_shard_cells(exp, profile, Some(shard), threads, Some(&sink));
+        exp.check(&cells).map(|()| cells)
+    }));
+    match outcome {
+        Ok(Ok(cells)) => Ok(cells),
+        Ok(Err(check)) => Err(format!("invariant check failed: {check}")),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            Err(format!("cell panicked: {msg}"))
+        }
+    }
+}
+
+/// Streams a shard's rows in bounded chunks, then reports completion.
+fn stream_rows(
+    experiment: &str,
+    shard: &str,
+    cells: &[LabCell],
+    send: &impl Fn(&Message) -> Result<(), String>,
+) -> Result<u64, String> {
+    let mut chunk = String::new();
+    let mut rows: u64 = 0;
+    for cell in cells {
+        for row in &cell.rows {
+            chunk.push_str(row.as_str());
+            chunk.push('\n');
+            rows += 1;
+            if chunk.len() >= CHUNK_BYTES {
+                send(&Message::Rows {
+                    experiment: experiment.to_string(),
+                    shard: shard.to_string(),
+                    chunk: std::mem::take(&mut chunk),
+                })?;
+            }
+        }
+    }
+    if !chunk.is_empty() {
+        send(&Message::Rows {
+            experiment: experiment.to_string(),
+            shard: shard.to_string(),
+            chunk,
+        })?;
+    }
+    send(&Message::Done {
+        experiment: experiment.to_string(),
+        shard: shard.to_string(),
+        rows,
+    })?;
+    Ok(rows)
+}

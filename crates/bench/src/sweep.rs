@@ -680,19 +680,6 @@ impl Default for SweepRunner {
     }
 }
 
-/// `true` when the experiment binary was invoked with `--quick` (the CI
-/// smoke mode: shrink the grid and budgets, keep the full code path).
-#[deprecated(
-    since = "0.1.0",
-    note = "experiments resolve their profile through the lab runtime \
-            (`crate::lab::Profile`); the deprecated COHESION_SWEEP_QUICK \
-            env fallback warns on stderr"
-)]
-#[must_use]
-pub fn quick_requested() -> bool {
-    std::env::args().any(|a| a == "--quick") || crate::lab::profile_env_fallback().is_some()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -383,6 +383,47 @@ fn out_of_range_shard_arguments_fail_clearly() {
     assert!(err.contains("at least 1"), "{err}");
 }
 
+/// `merge_shards` streams: a multi-megabyte synthetic shard set merges into
+/// exactly the concatenation of its shard files, in index order — including
+/// double-digit indices, where lexicographic file-name order would
+/// interleave `10` before `2`.
+#[test]
+fn merge_streams_large_shard_sets_in_index_order() {
+    use std::io::Write;
+    let dir = scratch_dir("merge-large");
+    let shards = 12usize;
+    let mut expected: Vec<u8> = Vec::new();
+    for index in 0..shards {
+        let shard = Shard {
+            index,
+            count: shards,
+        };
+        let path = dir.join(shard.file_name("synthetic_big"));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("shard file"));
+        // ~0.5 MB per shard: large enough that a merge that slurped whole
+        // files would be visibly memory-hungry, small enough for CI.
+        for row in 0..8_000u64 {
+            let line = format!(
+                "{{\"shard\":{index},\"row\":{row},\"mix\":{}}}\n",
+                (index as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(row)
+            );
+            f.write_all(line.as_bytes()).expect("write row");
+            expected.extend_from_slice(line.as_bytes());
+        }
+        f.flush().expect("flush shard");
+    }
+    let merged = merge_shards("synthetic_big", &dir).expect("merge");
+    let bytes = std::fs::read(&merged).expect("merged bytes");
+    assert_eq!(bytes.len(), expected.len(), "merged size must match");
+    assert_eq!(
+        bytes, expected,
+        "merge must concatenate in shard-index order"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `merge_shards` refuses incomplete or mixed shard sets instead of
 /// silently producing a short file.
 #[test]

@@ -529,22 +529,10 @@ where
         out.sort_unstable();
     }
 
-    /// Current positions plus all pending (planned or in-flight) destinations
-    /// — the vertex set of the paper's `CH_t`.
-    #[deprecated(
-        since = "0.6.0",
-        note = "allocates a fresh Vec per call; use `positions_with_targets_into` with a reused buffer"
-    )]
-    pub fn positions_with_targets(&self) -> Vec<P> {
-        let mut pts = Vec::new();
-        self.positions_with_targets_into(&mut pts);
-        pts
-    }
-
     /// Fills `out` (cleared first) with current positions plus all pending
-    /// destinations — the buffer-reusing counterpart of
-    /// [`Engine::positions_with_targets`] for monitors on a sampling
-    /// cadence.
+    /// (planned or in-flight) destinations — the vertex set of the paper's
+    /// `CH_t`. Buffer-reusing by design so monitors on a sampling cadence
+    /// never allocate per sample.
     pub fn positions_with_targets_into(&self, out: &mut Vec<P>) {
         self.positions_at_into(self.time, out);
         for i in 0..self.states.len() {
@@ -1194,8 +1182,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn buffered_position_accessors_match_allocating_ones() {
+    fn buffered_position_accessors_match_first_principles() {
         let mut engine = Engine::new(&two_robots(), 1.0, NilAlgorithm, FSyncScheduler::new(), 1);
         for _ in 0..7 {
             engine.step().unwrap();
@@ -1204,8 +1191,16 @@ mod tests {
         let mut buf = Vec::new();
         engine.positions_at_into(t, &mut buf);
         assert_eq!(buf, engine.configuration_at(t).positions().to_vec());
+        // positions_with_targets_into = positions at `t` followed by every
+        // pending target in robot order, rebuilt here from the raw state.
+        let mut expected = engine.configuration_at(t).positions().to_vec();
+        for i in 0..engine.states.len() {
+            if let Some(target) = engine.states.pending_target(i) {
+                expected.push(target);
+            }
+        }
         engine.positions_with_targets_into(&mut buf);
-        assert_eq!(buf, engine.positions_with_targets());
+        assert_eq!(buf, expected);
     }
 
     #[test]

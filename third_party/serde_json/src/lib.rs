@@ -1,24 +1,442 @@
 //! Offline stand-in for crates.io `serde_json`: compact-JSON encoding over
-//! the `serde` stand-in's `serialize_json`. Only the encoding half exists —
-//! nothing in the workspace parses JSON back yet.
+//! the `serde` stand-in's `serialize_json`, plus a dynamically-typed
+//! [`Value`] with a strict parser ([`from_str`]) for the decoding half.
+//!
+//! Divergence from real `serde_json`: the real crate's `from_str` is
+//! generic over `T: Deserialize`; the stand-in's returns a [`Value`] tree
+//! and callers decode by matching on it (the `serde` stand-in's
+//! `Deserialize` is a marker trait). Swapping back to crates.io means
+//! replacing `from_str(s)?` with `from_str::<Value>(s)?` — mechanical.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
 use std::fmt;
 
-/// Serialization error. The stand-in serializer is infallible, so this is
-/// only here to keep `to_string(...)?` / `.expect(...)` call sites
-/// source-compatible with real `serde_json`.
+/// Serialization or parse error. Serialization through the stand-in is
+/// infallible; parse failures carry a message naming the byte offset.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn parse(offset: usize, msg: impl Into<String>) -> Error {
+        Error(format!("JSON parse error at byte {offset}: {}", msg.into()))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json stand-in: serialization error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+/// A JSON number, mirroring real `serde_json`'s exact-integer behavior:
+/// unsigned and negative integer literals are kept as `u64`/`i64` (so
+/// values past 2^53 round-trip bit-exactly), and only literals with a
+/// fraction or exponent fall back to `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An unsigned integer literal.
+    Uint(u64),
+    /// A negative integer literal.
+    Int(i64),
+    /// A literal with a fraction or exponent (or an integer too large for
+    /// 64 bits).
+    Float(f64),
+}
+
+impl Number {
+    /// The value widened to `f64` (lossy above 2^53, as in real
+    /// `serde_json`).
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::Uint(n) => *n as f64,
+            Number::Int(n) => *n as f64,
+            Number::Float(n) => *n,
+        }
+    }
+
+    /// The value as `u64`, when it was an unsigned integer literal.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::Uint(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed JSON document. Object keys are sorted (BTreeMap) — key order is
+/// not significant to any decoder in the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The boolean, when this is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, when this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when it was an unsigned integer literal.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The string, when this is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array, when this is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object map, when this is one.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (`None` for non-objects and absent keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Strict per RFC 8259: no comments, no trailing commas,
+/// no bare NaN/Infinity.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Nesting bound: parsing is recursive, so adversarial input (the net
+/// layer feeds frames straight off a socket) must not overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect_literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(Error::parse(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(Error::parse(self.pos, format!("unexpected byte 0x{b:02x}"))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // consume '['
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // consume '{'
+        self.depth += 1;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(Error::parse(self.pos, "expected string object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(Error::parse(self.pos, "expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // consume opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::parse(self.pos, "unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::parse(self.pos, "unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex_escape()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex_escape()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(Error::parse(
+                                            self.pos,
+                                            "invalid low surrogate",
+                                        ));
+                                    }
+                                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(cp)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(Error::parse(self.pos, "invalid \\u escape")),
+                            }
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                self.pos,
+                                format!("invalid escape `\\{}`", other as char),
+                            ))
+                        }
+                    }
+                }
+                0x00..=0x1F => {
+                    return Err(Error::parse(self.pos, "unescaped control character"));
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through verbatim: the
+                    // input is a &str, so byte boundaries are already valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex_escape(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let Some(hex) = self.bytes.get(self.pos..end) else {
+            return Err(Error::parse(self.pos, "truncated \\u escape"));
+        };
+        let s =
+            std::str::from_utf8(hex).map_err(|_| Error::parse(self.pos, "non-ASCII \\u escape"))?;
+        let v =
+            u32::from_str_radix(s, 16).map_err(|_| Error::parse(self.pos, "non-hex \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(Error::parse(self.pos, "expected digit")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(Error::parse(self.pos, "expected fraction digits"));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(Error::parse(self.pos, "expected exponent digits"));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        // Integer literals stay exact (falling back to f64 only past 64
+        // bits); anything with a fraction or exponent is a float.
+        if integral {
+            if negative {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::Number(Number::Int(n)));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::Uint(n)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|n| Value::Number(Number::Float(n)))
+            .map_err(|_| Error::parse(start, "number out of range"))
+    }
+}
 
 /// Encodes `value` as compact JSON.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -114,6 +532,108 @@ mod tests {
     fn derive_const_generics() {
         let buf = FixedBuf::<u8, 3> { vals: [1, 2, 3] };
         assert_eq!(super::to_string(&buf).unwrap(), r#"{"vals":[1,2,3]}"#);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        use super::{from_str, Number, Value};
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::Number(Number::Uint(42)));
+        assert_eq!(from_str("-7").unwrap(), Value::Number(Number::Int(-7)));
+        assert_eq!(
+            from_str("-0.5e2").unwrap(),
+            Value::Number(Number::Float(-50.0))
+        );
+        assert_eq!(
+            from_str(r#""a\"b\n\u00e9\ud83d\ude00""#).unwrap(),
+            Value::String("a\"b\né😀".into())
+        );
+    }
+
+    #[test]
+    fn parse_keeps_large_integers_exact() {
+        use super::from_str;
+        // Past 2^53, f64 storage would round these; integer literals must
+        // survive bit-exactly, as in real serde_json.
+        let v = from_str(&format!("[{},{}]", u64::MAX, u64::MAX - 1)).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(u64::MAX));
+        assert_eq!(arr[1].as_u64(), Some(u64::MAX - 1));
+        // Wider than u64: falls back to f64 rather than failing.
+        let v = from_str("36893488147419103232").unwrap(); // 2^65
+        assert_eq!(v.as_u64(), None);
+        assert_eq!(v.as_f64(), Some(3.689_348_814_741_910_3e19));
+    }
+
+    #[test]
+    fn parse_composites_and_accessors() {
+        use super::from_str;
+        let v = from_str(r#"{"k":[1,2.5,"x",null],"ok":true,"n":{"m":7}}"#).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let arr = v.get("k").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert_eq!(arr[1].as_u64(), None, "2.5 is not integral");
+        assert_eq!(v.get("n").unwrap().get("m").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("absent"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        use super::from_str;
+        for bad in [
+            "",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "[1,",
+            "[1,]",
+            "{",
+            r#"{"a"}"#,
+            r#"{"a":1,}"#,
+            "\"unterminated",
+            "\"bad\\q\"",
+            "1 2",
+            "nan",
+            "[1]]",
+            "\"\\ud800\"", // lone high surrogate
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).is_err(), "depth bound not enforced");
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_output() {
+        use super::{from_str, to_string, Value};
+        let row = Row {
+            id: 7,
+            ok: true,
+            tags: vec!["a", "b"],
+            inner: Nested {
+                label: "x\n\"π\"".into(),
+                weight: 0.1 + 0.2,
+            },
+            opt: None,
+        };
+        let v = from_str(&to_string(&row).unwrap()).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            v.get("inner").unwrap().get("label").unwrap().as_str(),
+            Some("x\n\"π\"")
+        );
+        // `{:?}` serialization is shortest-round-trip, so the parsed float
+        // is bit-exact.
+        assert_eq!(
+            v.get("inner").unwrap().get("weight").unwrap().as_f64(),
+            Some(0.1 + 0.2)
+        );
+        assert_eq!(v.get("opt"), Some(&Value::Null));
     }
 
     #[test]
