@@ -125,6 +125,10 @@ impl Experiment for ChainInvariant {
             .collect()
     }
 
+    fn engine_driven(&self) -> bool {
+        false // bespoke analytic driver below; no resumable session to cut
+    }
+
     fn run(&self, spec: &ScenarioSpec, _progress: &CellProgress<'_>) -> Outcome {
         let k = cell_k(spec);
         let mut worst: f64 = 0.0;

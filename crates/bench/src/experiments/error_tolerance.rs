@@ -189,6 +189,10 @@ impl Experiment for ErrorTolerance {
         cells
     }
 
+    fn engine_driven(&self) -> bool {
+        false // bespoke multi-trial driver below; no resumable session to cut
+    }
+
     fn run(&self, spec: &ScenarioSpec, _progress: &CellProgress<'_>) -> Outcome {
         let mut ok = 0usize;
         let mut broken = 0usize;

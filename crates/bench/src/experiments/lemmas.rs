@@ -202,6 +202,10 @@ impl Experiment for Lemmas {
         .collect()
     }
 
+    fn engine_driven(&self) -> bool {
+        false // bespoke violation-count driver; no resumable session to cut
+    }
+
     fn run(&self, spec: &ScenarioSpec, _progress: &CellProgress<'_>) -> Outcome {
         Outcome::Stats(vec![violations(spec) as f64])
     }

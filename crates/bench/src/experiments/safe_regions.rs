@@ -137,6 +137,10 @@ impl Experiment for SafeRegions {
         cells
     }
 
+    fn engine_driven(&self) -> bool {
+        false // bespoke geometric driver below; no resumable session to cut
+    }
+
     fn run(&self, spec: &ScenarioSpec, _progress: &CellProgress<'_>) -> Outcome {
         match spec.tag {
             "region" => {

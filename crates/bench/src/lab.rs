@@ -279,13 +279,13 @@ impl<'a> CellProgress<'a> {
         }
     }
 
-    fn start(&self) {
+    pub(crate) fn start(&self) {
         if let Some(sink) = self.sink {
             sink.emit(self.cell, self.tag, "start", &idle_progress(), 0);
         }
     }
 
-    fn done(&self, outcome: &Outcome, rows: usize) {
+    pub(crate) fn done(&self, outcome: &Outcome, rows: usize) {
         let Some(sink) = self.sink else { return };
         let p = match outcome {
             Outcome::Report(r) => Progress {
@@ -489,6 +489,16 @@ pub trait Experiment: Sync {
         Outcome::compute_with(spec, progress)
     }
 
+    /// `true` when cells run through the default engine dispatch above —
+    /// the distributed worker then drives them as resumable sessions and
+    /// checkpoints *mid-cell* (`crate::resume`). Experiments that override
+    /// [`Experiment::run`] with a bespoke driver (Monte-Carlo trials,
+    /// schedule searches, pure geometry) must also override this to
+    /// `false`; their shards checkpoint at cell boundaries instead.
+    fn engine_driven(&self) -> bool {
+        true
+    }
+
     /// Reduces one cell's outcome to its JSONL rows (possibly none).
     fn reduce(&self, spec: &ScenarioSpec, outcome: &Outcome) -> Vec<JsonRow>;
 
@@ -562,6 +572,13 @@ impl Shard {
     #[must_use]
     pub fn file_name(self, stem: &str) -> String {
         format!("{stem}.shard{}of{}.jsonl", self.index, self.count)
+    }
+
+    /// The shard-qualified checkpoint file name for an output stem — where
+    /// the coordinator persists the last good [`crate::resume::ShardCheckpoint`].
+    #[must_use]
+    pub fn checkpoint_file_name(self, stem: &str) -> String {
+        format!("{stem}.shard{}of{}.ckpt", self.index, self.count)
     }
 }
 
@@ -757,8 +774,17 @@ pub fn merge_shards(stem: &str, dir: &Path) -> Result<PathBuf, String> {
     shards.sort_by_key(|&(i, _, _)| i);
     let indices: Vec<usize> = shards.iter().map(|&(i, _, _)| i).collect();
     if indices != (0..count).collect::<Vec<_>>() {
+        // Name exactly which `I of M` files are absent — with a fleet of
+        // workers writing shards, "which machine's output is missing" is
+        // the first question.
+        let missing: Vec<String> = (0..count)
+            .filter(|i| !indices.contains(i))
+            .map(|i| format!("{i} of {count}"))
+            .collect();
         return Err(format!(
-            "incomplete shard set for '{stem}': have indices {indices:?}, need 0..{count}"
+            "incomplete shard set for '{stem}': missing shard(s) [{}] (have indices {indices:?} \
+             of 0..{count})",
+            missing.join(", ")
         ));
     }
     let out = dir.join(format!("{stem}.jsonl"));
@@ -818,7 +844,11 @@ serve options:
                        is reassigned
 
 worker options:
-  --connect HOST:PORT  coordinator address (required)";
+  --connect HOST:PORT      coordinator address (required)
+  --checkpoint-events N    mid-cell checkpoint cadence in engine events
+                           (default 5000000); each checkpoint is shipped to
+                           the coordinator so a killed worker's shard resumes
+                           instead of recomputing";
 
 /// Resolves a registry experiment by name (the `exp_` prefix of the old
 /// shim binaries is accepted and stripped).
@@ -847,6 +877,7 @@ struct Parsed {
     workers: Option<usize>,
     shards: Option<usize>,
     heartbeat_ms: Option<u64>,
+    checkpoint_events: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Parsed, String> {
@@ -860,6 +891,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         workers: None,
         shards: None,
         heartbeat_ms: None,
+        checkpoint_events: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -919,6 +951,16 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
                     return Err("--shards must be at least 1".into());
                 }
                 parsed.shards = Some(m);
+            }
+            "--checkpoint-events" => {
+                let v = it.next().ok_or("--checkpoint-events needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--checkpoint-events '{v}' is not an integer"))?;
+                if n == 0 {
+                    return Err("--checkpoint-events must be at least 1".into());
+                }
+                parsed.checkpoint_events = Some(n);
             }
             "--heartbeat-ms" => {
                 let v = it.next().ok_or("--heartbeat-ms needs a value")?;
@@ -1069,6 +1111,9 @@ pub fn lab_main(args: &[String]) -> Result<(), String> {
             };
             let mut opts = crate::net::WorkerOptions::new(addr);
             opts.threads = parsed.opts.threads;
+            if let Some(n) = parsed.checkpoint_events {
+                opts.checkpoint_events = n;
+            }
             crate::net::run_worker(&opts)?;
             Ok(())
         }

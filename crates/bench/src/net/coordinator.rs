@@ -11,11 +11,23 @@
 //! CLI's `--shard` mode writes, and the run finishes through the shared
 //! `merge_shards`, so the merged JSONL is byte-identical to an unsharded
 //! run.
+//!
+//! Workers also ship sealed [`ShardCheckpoint`] envelopes while driving a
+//! shard. The coordinator persists each to `<stem>.shardIofM.ckpt`
+//! atomically (temp file + rename — a crash mid-write never leaves a torn
+//! checkpoint where a good one stood) and, when a shard comes back to the
+//! queue after its worker died, offers the last good checkpoint with the
+//! reassignment so the replacement resumes mid-shard instead of
+//! recomputing. Checkpoints are validated (version + content hash +
+//! assignment identity) before every offer; anything stale or corrupt is
+//! deleted and the shard reruns cleanly. Checkpoint persistence itself is
+//! best-effort: a disk error costs resume granularity, never the run.
 
 use super::codec::{write_frame, FrameError, FrameReader};
 use super::liveness::{Liveness, WorkItem, WorkTracker};
 use super::protocol::{Message, PROTOCOL_VERSION};
 use crate::lab::{merge_shards, Experiment, Profile, Shard};
+use crate::resume::ShardCheckpoint;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -75,6 +87,9 @@ pub struct ServeSummary {
     pub shards: usize,
     /// Shards lost to dead workers and reassigned.
     pub reassignments: usize,
+    /// Reassignments that resumed from a persisted checkpoint instead of
+    /// rerunning the shard from scratch.
+    pub resumes: usize,
     /// Workers that completed the handshake.
     pub workers: usize,
     /// Wall clock from listen to merge completion.
@@ -90,6 +105,7 @@ struct Ctx<'a> {
     missed_limit: u32,
     tracker: Mutex<WorkTracker>,
     workers: AtomicUsize,
+    resumes: AtomicUsize,
 }
 
 impl Ctx<'_> {
@@ -156,6 +172,7 @@ pub fn serve_on(listener: TcpListener, opts: ServeOptions) -> Result<ServeSummar
         missed_limit: opts.missed_limit,
         tracker: Mutex::new(WorkTracker::new(items, opts.max_attempts)),
         workers: AtomicUsize::new(0),
+        resumes: AtomicUsize::new(0),
     };
 
     listener
@@ -199,22 +216,25 @@ pub fn serve_on(listener: TcpListener, opts: ServeOptions) -> Result<ServeSummar
         merged,
         shards,
         reassignments: tracker.reassignments(),
+        resumes: ctx.resumes.load(Ordering::Relaxed),
         workers: ctx.workers.load(Ordering::Relaxed),
         elapsed: started.elapsed(),
     };
     println!(
-        "[serve] done: {} shard(s), {} worker(s), {} reassignment(s), {:.2}s",
+        "[serve] done: {} shard(s), {} worker(s), {} reassignment(s), {} resume(s), {:.2}s",
         summary.shards,
         summary.workers,
         summary.reassignments,
+        summary.resumes,
         summary.elapsed.as_secs_f64()
     );
     Ok(summary)
 }
 
 /// Deletes shard files left by previous runs for the requested stems — a
-/// stale file from a run with a different shard count would otherwise make
-/// the final merge reject the set as mixed.
+/// stale `.jsonl` from a run with a different shard count would otherwise
+/// make the final merge reject the set as mixed, and a stale `.ckpt` (or a
+/// torn `.ckpt.tmp`) from an older grid must never be offered as a resume.
 fn remove_stale_shard_files(opts: &ServeOptions) -> Result<(), String> {
     let entries = std::fs::read_dir(&opts.out_dir)
         .map_err(|e| format!("read {}: {e}", opts.out_dir.display()))?;
@@ -223,13 +243,16 @@ fn remove_stale_shard_files(opts: &ServeOptions) -> Result<(), String> {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
         let stale = opts.experiments.iter().any(|exp| {
-            name.strip_prefix(&format!("{}.shard", exp.output_stem()))
-                .and_then(|r| r.strip_suffix(".jsonl"))
-                .is_some_and(|r| {
+            let Some(rest) = name.strip_prefix(&format!("{}.shard", exp.output_stem())) else {
+                return false;
+            };
+            [".jsonl", ".ckpt", ".ckpt.tmp"].iter().any(|suffix| {
+                rest.strip_suffix(suffix).is_some_and(|r| {
                     r.split_once("of").is_some_and(|(i, m)| {
                         i.parse::<usize>().is_ok() && m.parse::<usize>().is_ok()
                     })
                 })
+            })
         });
         if stale {
             std::fs::remove_file(entry.path())
@@ -359,16 +382,53 @@ fn collect_shard(
             return false;
         }
     };
+    // Offer the last good checkpoint, when a validating one is on disk —
+    // a dead predecessor's shard then resumes instead of recomputing.
+    // Anything unreadable, corrupt, version-skewed, or for a different
+    // assignment is deleted so it can never be offered again.
+    let ckpt_path = ctx
+        .dir
+        .join(item.shard.checkpoint_file_name(exp.output_stem()));
+    let offer = match std::fs::read_to_string(&ckpt_path) {
+        Err(_) => None, // no checkpoint on disk: fresh run
+        Ok(text) => {
+            let valid = ShardCheckpoint::from_json(&text)
+                .and_then(|c| c.matches(exp.name(), &shard_str, ctx.profile.is_quick()));
+            match valid {
+                Ok(()) => Some(text),
+                Err(e) => {
+                    println!("[serve] {peer}: discarding checkpoint for {label}: {e}");
+                    let _ = std::fs::remove_file(&ckpt_path);
+                    None
+                }
+            }
+        }
+    };
     let assign = Message::Assign {
         experiment: exp.name().to_string(),
         shard: shard_str.clone(),
         quick: ctx.profile.is_quick(),
+        resume: offer.is_some(),
     };
     if write_frame(writer, &assign).is_err() {
         requeue(item, "assign write failed");
         return false;
     }
-    println!("[serve] {peer}: assigned {label}");
+    if let Some(state) = offer {
+        let frame = Message::Checkpoint {
+            experiment: exp.name().to_string(),
+            shard: shard_str.clone(),
+            state,
+        };
+        if write_frame(writer, &frame).is_err() {
+            requeue(item, "resume checkpoint write failed");
+            return false;
+        }
+        ctx.resumes.fetch_add(1, Ordering::Relaxed);
+        println!("[serve] {peer}: assigned {label} (resuming from checkpoint)");
+    } else {
+        println!("[serve] {peer}: assigned {label}");
+    }
 
     let mut liveness = Liveness::new(ctx.missed_limit);
     let mut lines: u64 = 0;
@@ -397,6 +457,24 @@ fn collect_shard(
                 }
                 lines += chunk.bytes().filter(|&b| b == b'\n').count() as u64;
             }
+            Ok(Some(Message::Checkpoint {
+                experiment,
+                shard,
+                state,
+            })) => {
+                liveness.beat();
+                if experiment != exp.name() || shard != shard_str {
+                    requeue(item, "checkpoint for a shard it does not hold");
+                    return false;
+                }
+                // Persist atomically, best-effort: validate before trusting
+                // the bytes, write a sibling temp file, rename over the old
+                // checkpoint. A failure here costs resume granularity only.
+                if let Err(e) = persist_checkpoint(&ckpt_path, &state, exp.name(), &shard_str, ctx)
+                {
+                    println!("[serve] {peer}: dropping checkpoint for {label}: {e}");
+                }
+            }
             Ok(Some(Message::Done {
                 experiment,
                 shard,
@@ -417,6 +495,9 @@ fn collect_shard(
                     return false;
                 }
                 ctx.tracker.lock().expect("tracker poisoned").complete();
+                // The shard is durable in its .jsonl now; its checkpoint
+                // is dead weight (and stale for any future run).
+                let _ = std::fs::remove_file(&ckpt_path);
                 println!("[serve] {peer}: completed {label} ({rows} rows)");
                 return true;
             }
@@ -462,4 +543,23 @@ fn collect_shard(
             }
         }
     }
+}
+
+/// Validates and atomically persists one worker checkpoint: envelope
+/// (version + FNV-1a hash) and assignment identity are checked before any
+/// byte lands on disk, then the write goes to a sibling `.tmp` and renames
+/// over the previous checkpoint — readers only ever see a whole sealed
+/// envelope, never a torn one.
+fn persist_checkpoint(
+    path: &std::path::Path,
+    state: &str,
+    experiment: &str,
+    shard_str: &str,
+    ctx: &Ctx<'_>,
+) -> Result<(), String> {
+    ShardCheckpoint::from_json(state)
+        .and_then(|c| c.matches(experiment, shard_str, ctx.profile.is_quick()))?;
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, state).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", tmp.display()))
 }

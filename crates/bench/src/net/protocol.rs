@@ -13,7 +13,11 @@ use serde_json::Value;
 /// Protocol revision. The handshake rejects any mismatch outright — with a
 /// two-frame protocol negotiation would buy nothing, and mixed-revision
 /// fleets must never contribute rows to one merged file.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: `Assign` carries a `resume` flag and the bidirectional `Checkpoint`
+/// frame exists — workers persist shard state through the coordinator, and
+/// the coordinator offers the last good checkpoint on reassignment.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// One protocol frame payload.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -47,6 +51,10 @@ pub enum Message {
         shard: String,
         /// Quick (CI smoke) or full grids.
         quick: bool,
+        /// When `true`, a [`Message::Checkpoint`] frame for this assignment
+        /// follows immediately — the worker resumes from it instead of
+        /// running the shard from scratch.
+        resume: bool,
     },
     /// Worker → coordinator: liveness tick from the keep-alive ticker (no
     /// progress to report, e.g. between assignments or inside a bespoke
@@ -77,6 +85,21 @@ pub enum Message {
         shard: String,
         /// Total rows streamed, cross-checked against the lines received.
         rows: u64,
+    },
+    /// A sealed shard checkpoint (`crate::resume::ShardCheckpoint`
+    /// envelope JSON), in both directions: worker → coordinator to persist
+    /// the shard's progress (the coordinator writes it atomically to
+    /// `<stem>.shardIofM.ckpt`), and coordinator → worker right after an
+    /// `Assign { resume: true }` to hand back the last good checkpoint.
+    /// The payload is validated (version + FNV-1a content hash) on both
+    /// ends; anything stale or corrupt falls back to a clean rerun.
+    Checkpoint {
+        /// Registry name of the experiment.
+        experiment: String,
+        /// Shard assignment as `I/M`.
+        shard: String,
+        /// The sealed checkpoint envelope, verbatim.
+        state: String,
     },
     /// Worker → coordinator: the shard failed deterministically (invariant
     /// check failure, unknown experiment, cell panic). Fatal for the run —
@@ -133,6 +156,12 @@ impl Message {
                 experiment: str_field(body, "experiment")?,
                 shard: str_field(body, "shard")?,
                 quick: bool_field(body, "quick")?,
+                resume: bool_field(body, "resume")?,
+            }),
+            "Checkpoint" => Ok(Message::Checkpoint {
+                experiment: str_field(body, "experiment")?,
+                shard: str_field(body, "shard")?,
+                state: str_field(body, "state")?,
             }),
             "Heartbeat" => Ok(Message::Heartbeat {
                 record: progress_record(field(body, "record")?)?,

@@ -1,21 +1,29 @@
 //! `lab worker`: the worker side of the distributed lab.
 //!
-//! A worker connects, version-handshakes, then loops assign → run →
-//! stream → done. Running a shard is exactly the local CLI's path
-//! ([`run_shard_cells`] over the `Experiment` registry, cells driven as
-//! resumable `Simulation` sessions), with two bridges onto the socket:
-//! per-cell progress records become `Heartbeat` frames (the
+//! A worker connects (with jittered exponential backoff, so a fleet
+//! launched together does not hammer a still-binding coordinator in
+//! lockstep), version-handshakes, then loops assign → run → stream → done.
+//! Shards run through the *resumable* sequential cell driver
+//! (`crate::resume::run_shard_resumable`): cells are driven as resumable
+//! `Simulation` sessions in spec order, a sealed [`ShardCheckpoint`] goes
+//! to the coordinator every [`WorkerOptions::checkpoint_events`] engine
+//! events (and at every cell boundary), and an `Assign { resume: true }`
+//! continues a dead predecessor's shard from its last checkpoint instead of
+//! recomputing. Per-cell progress records become `Heartbeat` frames (the
 //! [`ProgressOutput`] impl here), and a keep-alive ticker thread covers
-//! stretches where no cell emits (bespoke drivers, queue waits). Rows are
-//! streamed back in bounded chunks, so coordinator memory stays flat no
-//! matter the shard size.
+//! stretches where no cell emits. Rows are streamed back in bounded chunks,
+//! so coordinator memory stays flat no matter the shard size.
+//!
+//! The shard — not the cell — is the fleet's unit of parallelism: the
+//! sequential driver trades intra-shard fan-out for preemptibility (a
+//! checkpoint is a consistent cut of *one* session). Size fleets with
+//! `lab serve --shards`, not worker thread counts.
 
-use super::codec::{write_frame, FrameReader};
+use super::codec::{write_frame, FrameReader, MAX_FRAME_BYTES};
 use super::protocol::{Message, PROTOCOL_VERSION};
-use crate::lab::{
-    find_experiment, run_shard_cells, LabCell, Profile, ProgressOutput, ProgressRecord,
-    ProgressSink, Shard,
-};
+use crate::lab::{find_experiment, Profile, ProgressOutput, ProgressRecord, ProgressSink, Shard};
+use crate::resume::{run_shard_resumable, CheckpointControl, ShardCheckpoint, ShardOutcome};
+use cohesion_engine::fnv1a;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -25,27 +33,44 @@ use std::time::{Duration, Instant};
 /// so the coordinator's files are the concatenation of whole JSONL lines.
 const CHUNK_BYTES: usize = 128 << 10;
 
+/// Default mid-cell checkpoint cadence, in engine events. Checkpointing a
+/// quick-profile cell is near-free but pointless; this default targets the
+/// billion-event runs where losing a preempted shard actually hurts.
+pub const DEFAULT_CHECKPOINT_EVENTS: usize = 5_000_000;
+
+/// First-retry ceiling for the connect backoff, in milliseconds.
+const BACKOFF_BASE_MS: u64 = 50;
+
+/// Upper bound any single connect-retry delay is capped at.
+const BACKOFF_CAP_MS: u64 = 2_000;
+
 /// Worker configuration.
 #[derive(Debug, Clone)]
 pub struct WorkerOptions {
     /// Coordinator address (`host:port`).
     pub addr: String,
-    /// Thread override for the per-shard sweep pool; `None` sizes to the
-    /// machine.
+    /// Thread override, kept for CLI compatibility. The resumable shard
+    /// driver is sequential (see the module docs), so this no longer sizes
+    /// a per-shard pool — shards are the fleet's unit of parallelism.
     pub threads: Option<usize>,
     /// Total budget for connect retries — covers the race where workers
     /// launch before the coordinator binds.
     pub connect_retry: Duration,
+    /// Mid-cell checkpoint cadence in engine events
+    /// ([`DEFAULT_CHECKPOINT_EVENTS`] by default; tests shrink it to force
+    /// many cuts). Cell boundaries always checkpoint regardless.
+    pub checkpoint_events: usize,
 }
 
 impl WorkerOptions {
-    /// Defaults: machine-sized pool, 10-second connect budget.
+    /// Defaults: 10-second connect budget, 5M-event checkpoint cadence.
     #[must_use]
     pub fn new(addr: impl Into<String>) -> WorkerOptions {
         WorkerOptions {
             addr: addr.into(),
             threads: None,
             connect_retry: Duration::from_secs(10),
+            checkpoint_events: DEFAULT_CHECKPOINT_EVENTS,
         }
     }
 }
@@ -57,9 +82,11 @@ pub struct WorkerSummary {
     pub shards_run: usize,
     /// Total rows streamed.
     pub rows_streamed: u64,
+    /// Shards continued from a coordinator-offered checkpoint.
+    pub shards_resumed: usize,
 }
 
-/// The progress-handle → heartbeat bridge: every record the PR 5 progress
+/// The progress-handle → heartbeat bridge: every record the progress
 /// pipeline emits for a cell goes to the coordinator as a `Heartbeat`
 /// frame instead of a sidecar line. Send failures are swallowed — a dying
 /// coordinator surfaces on the main read loop, not mid-cell.
@@ -78,14 +105,36 @@ impl ProgressOutput for SocketProgress {
     }
 }
 
+/// The delay before connect retry `attempt` (0-based): an exponential
+/// ceiling doubling from [`BACKOFF_BASE_MS`] up to [`BACKOFF_CAP_MS`], with
+/// deterministic jitter drawing the actual delay from the ceiling's upper
+/// half `[ceiling/2, ceiling]`. Jitter is a pure function of
+/// `(attempt, salt)` — per-process salts decorrelate a fleet, and tests
+/// can pin the whole sequence.
+fn backoff_delay(attempt: u32, salt: u64) -> Duration {
+    let ceiling = BACKOFF_BASE_MS
+        .saturating_mul(1u64 << attempt.min(16))
+        .min(BACKOFF_CAP_MS);
+    // SplitMix64 finalizer: cheap stateless mixing of (attempt, salt).
+    let mut z = salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    Duration::from_millis(ceiling / 2 + z % (ceiling / 2 + 1))
+}
+
 fn connect_with_retry(addr: &str, budget: Duration) -> Result<TcpStream, String> {
     let deadline = Instant::now() + budget;
+    let salt = u64::from(std::process::id()) ^ fnv1a(addr.as_bytes());
+    let mut attempt = 0u32;
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
             Err(e) if Instant::now() < deadline => {
                 let _ = e;
-                std::thread::sleep(Duration::from_millis(100));
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                std::thread::sleep(backoff_delay(attempt, salt).min(remaining));
+                attempt += 1;
             }
             Err(e) => return Err(format!("connect {addr}: {e}")),
         }
@@ -159,6 +208,7 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerSummary, String> {
     let mut summary = WorkerSummary {
         shards_run: 0,
         rows_streamed: 0,
+        shards_resumed: 0,
     };
     let result = loop {
         match reader.read() {
@@ -166,14 +216,55 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerSummary, String> {
                 experiment,
                 shard,
                 quick,
+                resume,
             })) => {
                 let profile = if quick { Profile::Quick } else { Profile::Full };
-                match run_assignment(&experiment, &shard, profile, opts.threads, &writer) {
-                    Ok(cells) => {
-                        let rows = stream_rows(&experiment, &shard, &cells, &send)?;
+                // A resume assignment is immediately followed by the
+                // checkpoint to continue from; a checkpoint that fails
+                // validation here degrades to a clean scratch run.
+                let offered = if resume {
+                    match reader.read() {
+                        Ok(Some(Message::Checkpoint {
+                            experiment: ce,
+                            shard: cs,
+                            state,
+                        })) if ce == experiment && cs == shard => {
+                            match ShardCheckpoint::from_json(&state) {
+                                Ok(ckpt) => Some(ckpt),
+                                Err(e) => {
+                                    println!(
+                                        "[worker] offered checkpoint rejected ({e}); \
+                                         running {experiment} {shard} from scratch"
+                                    );
+                                    None
+                                }
+                            }
+                        }
+                        Ok(Some(other)) => {
+                            break Err(format!("expected the resume Checkpoint, got {other:?}"))
+                        }
+                        Ok(None) => break Err("coordinator closed mid-resume".into()),
+                        Err(e) => break Err(format!("read: {e}")),
+                    }
+                } else {
+                    None
+                };
+                let resumed = offered.is_some();
+                match run_assignment(
+                    &experiment,
+                    &shard,
+                    profile,
+                    offered,
+                    opts.checkpoint_events,
+                    &writer,
+                ) {
+                    Ok(outcome) => {
+                        let rows = stream_rows(&experiment, &shard, &outcome.rows, &send)?;
                         summary.shards_run += 1;
                         summary.rows_streamed += rows;
-                        println!("[worker] completed {experiment} {shard} ({rows} rows)");
+                        summary.shards_resumed += usize::from(resumed);
+                        let how = if resumed { "resumed" } else { "completed" };
+                        println!("[worker] {how} {experiment} {shard} ({rows} rows)");
                     }
                     Err(error) => {
                         println!("[worker] {experiment} {shard} failed: {error}");
@@ -197,24 +288,52 @@ pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerSummary, String> {
     let _ = ticker.join();
     if let Ok(s) = &result {
         println!(
-            "[worker] shutdown after {} shard(s), {} row(s)",
-            s.shards_run, s.rows_streamed
+            "[worker] shutdown after {} shard(s), {} row(s), {} resume(s)",
+            s.shards_run, s.rows_streamed, s.shards_resumed
         );
     }
     result
 }
 
-/// Runs one assigned shard through the shared cell-execution core,
-/// bridging per-cell progress onto the socket. Deterministic failures
-/// (unknown experiment, invariant-check failure, cell panic) come back as
-/// `Err` for the caller to report as a `Failed` frame.
+/// Ships one checkpoint to the coordinator, best-effort: a checkpoint too
+/// large for a frame is skipped (an older one stays good), and send
+/// failures are swallowed — a dead coordinator surfaces on the main loop.
+fn send_checkpoint(writer: &Arc<Mutex<TcpStream>>, ckpt: &ShardCheckpoint) {
+    let msg = Message::Checkpoint {
+        experiment: ckpt.experiment.clone(),
+        shard: ckpt.shard.clone(),
+        state: ckpt.to_json(),
+    };
+    let encoded = serde_json::to_string(&msg).expect("serialize checkpoint frame");
+    if encoded.len() > MAX_FRAME_BYTES {
+        println!(
+            "[worker] checkpoint for {} {} is {} bytes (cap {MAX_FRAME_BYTES}); skipping",
+            ckpt.experiment,
+            ckpt.shard,
+            encoded.len()
+        );
+        return;
+    }
+    if let Ok(mut w) = writer.lock() {
+        let _ = write_frame(&mut *w, &msg);
+    }
+}
+
+/// Runs one assigned shard through the resumable cell driver, bridging
+/// per-cell progress and periodic checkpoints onto the socket. A resume
+/// that fails deterministically (fingerprint mismatch, corrupt mid-cell
+/// state) falls back to one clean scratch run before the failure is
+/// reported; scratch-run failures (unknown experiment, invariant-check
+/// failure, cell panic) come back as `Err` for the caller to report as a
+/// `Failed` frame.
 fn run_assignment(
     experiment: &str,
     shard: &str,
     profile: Profile,
-    threads: Option<usize>,
+    resume: Option<ShardCheckpoint>,
+    checkpoint_events: usize,
     writer: &Arc<Mutex<TcpStream>>,
-) -> Result<Vec<LabCell>, String> {
+) -> Result<ShardOutcome, String> {
     let exp = find_experiment(experiment)?;
     let shard = Shard::parse(shard).map_err(|e| format!("bad shard assignment: {e}"))?;
     let sink = ProgressSink::with_output(
@@ -224,45 +343,75 @@ fn run_assignment(
             writer: Arc::clone(writer),
         }),
     );
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let cells = run_shard_cells(exp, profile, Some(shard), threads, Some(&sink));
-        exp.check(&cells).map(|()| cells)
-    }));
-    match outcome {
-        Ok(Ok(cells)) => Ok(cells),
-        Ok(Err(check)) => Err(format!("invariant check failed: {check}")),
-        Err(panic) => {
-            let msg = panic
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| panic.downcast_ref::<&str>().copied())
-                .unwrap_or("<non-string panic payload>");
-            Err(format!("cell panicked: {msg}"))
+    let run = |resume: Option<ShardCheckpoint>| -> Result<ShardOutcome, String> {
+        let mut on_checkpoint = |ckpt: &ShardCheckpoint| {
+            send_checkpoint(writer, ckpt);
+            CheckpointControl::Continue
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_shard_resumable(
+                exp,
+                profile,
+                shard,
+                resume,
+                checkpoint_events,
+                Some(&sink),
+                &mut on_checkpoint,
+            )
+        }));
+        match outcome {
+            Ok(Ok(Some(outcome))) => Ok(outcome),
+            Ok(Ok(None)) => unreachable!("the worker's checkpoint callback never stops the run"),
+            Ok(Err(e)) => Err(e),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                Err(format!("cell panicked: {msg}"))
+            }
         }
-    }
+    };
+    let outcome = match resume {
+        None => run(None)?,
+        Some(ckpt) => match run(Some(ckpt)) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                println!(
+                    "[worker] resume of {} {}/{} failed ({e}); rerunning from scratch",
+                    exp.name(),
+                    shard.index,
+                    shard.count
+                );
+                run(None)?
+            }
+        },
+    };
+    exp.check(&outcome.cells)
+        .map_err(|e| format!("invariant check failed: {e}"))?;
+    Ok(outcome)
 }
 
 /// Streams a shard's rows in bounded chunks, then reports completion.
 fn stream_rows(
     experiment: &str,
     shard: &str,
-    cells: &[LabCell],
+    rows: &[String],
     send: &impl Fn(&Message) -> Result<(), String>,
 ) -> Result<u64, String> {
     let mut chunk = String::new();
-    let mut rows: u64 = 0;
-    for cell in cells {
-        for row in &cell.rows {
-            chunk.push_str(row.as_str());
-            chunk.push('\n');
-            rows += 1;
-            if chunk.len() >= CHUNK_BYTES {
-                send(&Message::Rows {
-                    experiment: experiment.to_string(),
-                    shard: shard.to_string(),
-                    chunk: std::mem::take(&mut chunk),
-                })?;
-            }
+    let mut streamed: u64 = 0;
+    for row in rows {
+        chunk.push_str(row);
+        chunk.push('\n');
+        streamed += 1;
+        if chunk.len() >= CHUNK_BYTES {
+            send(&Message::Rows {
+                experiment: experiment.to_string(),
+                shard: shard.to_string(),
+                chunk: std::mem::take(&mut chunk),
+            })?;
         }
     }
     if !chunk.is_empty() {
@@ -275,7 +424,41 @@ fn stream_rows(
     send(&Message::Done {
         experiment: experiment.to_string(),
         shard: shard.to_string(),
-        rows,
+        rows: streamed,
     })?;
-    Ok(rows)
+    Ok(streamed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite contract for connect retries: exponential ceilings,
+    /// a hard cap, jitter inside each ceiling's upper half, decorrelation
+    /// across salts, and full determinism in `(attempt, salt)`.
+    #[test]
+    fn backoff_delays_are_exponential_jittered_and_capped() {
+        let salt = 0xD1CE_D1CE;
+        let delays: Vec<u64> = (0..12u32)
+            .map(|a| backoff_delay(a, salt).as_millis() as u64)
+            .collect();
+        for (a, &d) in delays.iter().enumerate() {
+            let ceiling = (BACKOFF_BASE_MS << a.min(16)).min(BACKOFF_CAP_MS);
+            assert!(
+                d >= ceiling / 2 && d <= ceiling,
+                "attempt {a}: {d}ms outside [{}ms, {ceiling}ms]",
+                ceiling / 2
+            );
+        }
+        // The cap holds forever, even at absurd attempt counts.
+        assert!(backoff_delay(63, salt).as_millis() as u64 <= BACKOFF_CAP_MS);
+        assert!(backoff_delay(u32::MAX, salt).as_millis() as u64 <= BACKOFF_CAP_MS);
+        // Jitter spreads a fleet: one attempt, many salts, many delays.
+        let spread: std::collections::BTreeSet<u64> = (0..64u64)
+            .map(|s| backoff_delay(6, s).as_millis() as u64)
+            .collect();
+        assert!(spread.len() > 16, "jitter too uniform: {spread:?}");
+        // And the whole schedule is reproducible.
+        assert_eq!(backoff_delay(3, 42), backoff_delay(3, 42));
+    }
 }

@@ -433,6 +433,13 @@ fn merge_rejects_incomplete_and_mixed_shard_sets() {
     run_sharded(&exp, &dir, Some(Shard { index: 0, count: 3 }));
     let err = merge_shards("synthetic_grid", &dir).unwrap_err();
     assert!(err.contains("incomplete shard set"), "{err}");
+    // The error names exactly which shards are absent — with only 0/3 on
+    // disk, that's 1 of 3 and 2 of 3, and nothing else.
+    assert!(err.contains("missing shard(s) [1 of 3, 2 of 3]"), "{err}");
+    assert!(
+        !err.contains("0 of 3"),
+        "present shards are not missing: {err}"
+    );
 
     run_sharded(&exp, &dir, Some(Shard { index: 1, count: 2 }));
     let err = merge_shards("synthetic_grid", &dir).unwrap_err();

@@ -11,12 +11,13 @@
 //! reassigned, and the merged output is byte-identical to an unsharded run
 //! — the whole point of deterministic shards.
 
-use cohesion_bench::lab::{run_experiment, Experiment, LabOptions, Profile, ProgressRecord};
+use cohesion_bench::lab::{run_experiment, Experiment, LabOptions, Profile, ProgressRecord, Shard};
 use cohesion_bench::net::{
     codec::{encode_frame, write_frame},
     run_worker, serve_on, FrameError, FrameReader, Message, ServeOptions, WorkerOptions,
     MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+use cohesion_bench::resume::{run_shard_resumable, CheckpointControl, ShardCheckpoint};
 use proptest::prelude::*;
 use std::io::Cursor;
 use std::net::{TcpListener, TcpStream};
@@ -75,6 +76,12 @@ fn every_variant() -> Vec<Message> {
             experiment: "k_scaling".into(),
             shard: "1/4".into(),
             quick: true,
+            resume: true,
+        },
+        Message::Checkpoint {
+            experiment: "k_scaling".into(),
+            shard: "1/4".into(),
+            state: "{\"version\":1,\"hash\":42,\"state\":\"{\\\"rows\\\":[]}\"}".into(),
         },
         Message::KeepAlive,
         Message::Heartbeat {
@@ -424,6 +431,150 @@ fn killed_worker_shard_is_reassigned_and_output_is_byte_identical() {
     assert_eq!(
         merged, golden,
         "merged output after a worker death must match the unsharded run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Precomputes, for every shard of an experiment, the first checkpoint a
+/// worker with the given cadence would ship — what a real worker has on the
+/// wire right before a preemption kills it.
+fn first_checkpoints(
+    exp: &'static dyn Experiment,
+    count: usize,
+    checkpoint_events: usize,
+) -> Vec<ShardCheckpoint> {
+    (0..count)
+        .map(|index| {
+            let mut captured = None;
+            let stopped = run_shard_resumable(
+                exp,
+                Profile::Quick,
+                Shard { index, count },
+                None,
+                checkpoint_events,
+                None,
+                &mut |ckpt| {
+                    captured = Some(ckpt.clone());
+                    CheckpointControl::Stop
+                },
+            )
+            .expect("drive to first checkpoint");
+            assert!(stopped.is_none(), "Stop must abandon the run");
+            captured.expect("a checkpoint before shard completion")
+        })
+        .collect()
+}
+
+/// Checkpoint-resume fault injection: a worker handshakes, takes a shard,
+/// ships one mid-run checkpoint, then is killed (silent, then gone). The
+/// coordinator must persist the checkpoint, declare the worker dead, and
+/// reassign the shard *with the checkpoint attached* — the replacement
+/// resumes instead of recomputing, and the merged output is still
+/// byte-identical to the unsharded golden. Afterwards no `.ckpt` files
+/// remain: completed shards delete their checkpoints.
+#[test]
+fn checkpointed_worker_death_resumes_without_recompute() {
+    let exp = registry_experiment("k_scaling");
+    let golden = golden_bytes("k_scaling");
+    // The checkpoints a worker would cut early in each shard: a tiny
+    // cadence guarantees one exists before the first cell completes.
+    let checkpoints = first_checkpoints(exp, 2, 64);
+
+    let dir = scratch_dir("checkpoint-resume");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+
+    let mut opts = ServeOptions::new(vec![exp], Profile::Quick, dir.clone(), 2);
+    opts.heartbeat = Duration::from_millis(150);
+    opts.missed_limit = 3;
+
+    std::thread::scope(|scope| {
+        let server = scope.spawn(move || serve_on(listener, opts));
+
+        // The doomed worker: valid handshake, accepts its assignment, ships
+        // one real checkpoint for it, then falls silent without closing —
+        // the kill arrives between two checkpoints, as preemptions do.
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        write_frame(
+            &mut writer,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+                cores: 1,
+            },
+        )
+        .expect("hello");
+        let mut reader = FrameReader::new(stream);
+        match reader.read() {
+            Ok(Some(Message::Welcome { version, .. })) => assert_eq!(version, PROTOCOL_VERSION),
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+        let (experiment, shard) = match reader.read() {
+            Ok(Some(Message::Assign {
+                experiment,
+                shard,
+                resume,
+                ..
+            })) => {
+                assert!(!resume, "nothing to resume on a fresh run");
+                (experiment, shard)
+            }
+            other => panic!("expected Assign, got {other:?}"),
+        };
+        assert_eq!(experiment, "k_scaling");
+        let assigned = Shard::parse(&shard).expect("assigned shard");
+        let ckpt = &checkpoints[assigned.index];
+        assert_eq!(ckpt.shard, shard, "precomputed checkpoint matches");
+        write_frame(
+            &mut writer,
+            &Message::Checkpoint {
+                experiment,
+                shard,
+                state: ckpt.to_json(),
+            },
+        )
+        .expect("ship checkpoint");
+        // Fall silent. Hold the socket open until the coordinator gives up.
+
+        let worker = scope.spawn(|| run_worker(&WorkerOptions::new(addr.clone())));
+        let summary = server.join().expect("server thread").expect("serve ok");
+        assert!(
+            summary.reassignments >= 1,
+            "the dead worker's shard must be reassigned (got {})",
+            summary.reassignments
+        );
+        assert!(
+            summary.resumes >= 1,
+            "the reassignment must carry the persisted checkpoint (got {} resumes)",
+            summary.resumes
+        );
+        let healthy = worker.join().expect("worker thread").expect("worker ok");
+        assert_eq!(
+            healthy.shards_run, summary.shards,
+            "the healthy worker must end up running every shard"
+        );
+        assert!(
+            healthy.shards_resumed >= 1,
+            "the healthy worker must have resumed the dead worker's shard"
+        );
+        drop(reader);
+        drop(writer);
+    });
+
+    let merged = std::fs::read(dir.join("t4_k_scaling.jsonl")).expect("merged");
+    assert_eq!(
+        merged, golden,
+        "merged output after a checkpoint resume must match the unsharded run"
+    );
+    let leftover: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read scratch")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".ckpt") || n.ends_with(".ckpt.tmp"))
+        .collect();
+    assert!(
+        leftover.is_empty(),
+        "completed shards must delete their checkpoints: {leftover:?}"
     );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,654 @@
+//! Versioned, content-hashed checkpoints of a live [`Simulation`] session.
+//!
+//! A checkpoint captures the **complete mutable state** of a run at an event
+//! boundary — per-robot Look–Compute–Move states, the pending-event queue in
+//! pop order, the staged activation, the RNG stream position, the scheduler's
+//! mutable core, the monitor verdict state, and the session's round/diameter
+//! accounting — such that restoring onto a freshly built same-spec session
+//! and continuing reproduces the uninterrupted run's report **byte for
+//! byte** (proptest-enforced across all five scheduler classes).
+//!
+//! Deliberately *not* captured, because it is rebuilt or rebuildable:
+//!
+//! * the observation grid, motile side-list, displacement pad, and per-tick
+//!   interpolation cache — derived from the robot states (the rebuild is
+//!   observation-exact: grid queries are supersets trimmed by exact
+//!   predicates, so anchoring differences cannot change any Look);
+//! * the engine's [`ScheduleTrace`](cohesion_scheduler::ScheduleTrace) — it
+//!   never feeds the report and grows without bound on exactly the
+//!   billion-event runs checkpoints exist for; a restored session's trace
+//!   starts empty;
+//! * registered observers — streaming sinks do not survive a process death;
+//!   observers registered after a restore see only post-restore items.
+//!
+//! # Envelope
+//!
+//! The on-disk form is a small JSON envelope
+//! `{"version", "fingerprint", "hash", "state"}` where `state` is the
+//! session state as an **embedded JSON string** and `hash` is FNV-1a over
+//! exactly those bytes (the frozen-hash idiom of the session-equivalence
+//! suite). Decoding verifies the version first, then the hash, before any
+//! state field is interpreted — a torn or corrupted file fails loudly and
+//! the caller falls back to a clean rerun. `fingerprint` is a light scenario
+//! identity (robot count, scheduler, algorithm) rejecting restores into a
+//! different run. All state values are finite, and the workspace serde
+//! stand-ins print floats shortest-round-trip and parse them exactly, so
+//! the JSON round trip is bit-exact.
+//!
+//! [`Simulation`]: crate::session::Simulation
+
+use crate::engine::EngineEventKind;
+use crate::queue::Pending;
+use crate::report::CohesionViolation;
+use crate::state::RobotState;
+use cohesion_geometry::point::Point;
+use cohesion_model::{RobotId, RobotPair};
+use cohesion_scheduler::{ActivationInterval, SchedulerState};
+use serde::Serialize;
+use serde_json::Value;
+
+/// The checkpoint format version this build writes and reads.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a — the workspace's standard content hash (the same function
+/// the frozen-report-hash tests use).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A sealed, integrity-checked simulation checkpoint.
+///
+/// Produced by [`Simulation::save`](crate::session::Simulation::save),
+/// consumed by [`Simulation::restore`](crate::session::Simulation::restore).
+/// The envelope is self-validating: [`Checkpoint::from_json`] refuses
+/// version mismatches and hash mismatches before any state is interpreted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Checkpoint {
+    version: u32,
+    fingerprint: u64,
+    hash: u64,
+    state: String,
+}
+
+impl Checkpoint {
+    /// Seals a state payload: stamps the current version and the FNV-1a
+    /// content hash.
+    pub(crate) fn seal(fingerprint: u64, state: String) -> Self {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint,
+            hash: fnv1a(state.as_bytes()),
+            state,
+        }
+    }
+
+    /// The format version stamped at save time.
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The scenario fingerprint stamped at save time.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The FNV-1a hash of the state payload.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Serializes the envelope to compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint envelopes always encode")
+    }
+
+    /// Parses and validates an envelope: JSON shape, then version, then
+    /// content hash. Any failure — including a torn write that truncated the
+    /// file — is an error, never a silently wrong checkpoint.
+    pub fn from_json(text: &str) -> Result<Checkpoint, String> {
+        let v = serde_json::from_str(text)
+            .map_err(|e| format!("checkpoint is not valid JSON (torn write?): {e}"))?;
+        let version = u32_field(&v, "version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint format v{version}; this build reads v{CHECKPOINT_VERSION}"
+            ));
+        }
+        let fingerprint = u64_field(&v, "fingerprint")?;
+        let hash = u64_field(&v, "hash")?;
+        let state = str_field(&v, "state")?.to_string();
+        let computed = fnv1a(state.as_bytes());
+        if computed != hash {
+            return Err(format!(
+                "checkpoint hash mismatch (stored {hash:#018x}, computed {computed:#018x}) — \
+                 the file is corrupt"
+            ));
+        }
+        Ok(Checkpoint {
+            version,
+            fingerprint,
+            hash,
+            state,
+        })
+    }
+
+    /// Decodes the embedded state payload (envelope integrity was already
+    /// verified).
+    pub(crate) fn decode_state(&self) -> Result<SessionState, String> {
+        let v = serde_json::from_str(&self.state)
+            .map_err(|e| format!("checkpoint state is not valid JSON: {e}"))?;
+        SessionState::decode(&v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// State payload shapes
+// ---------------------------------------------------------------------------
+
+/// One robot's Look–Compute–Move state with positions flattened to
+/// coordinate arrays, so the encoding is identical for every ambient space.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub(crate) enum RobotStateRepr {
+    Idle {
+        position: Vec<f64>,
+    },
+    Computing {
+        position: Vec<f64>,
+        target: Vec<f64>,
+        move_start: f64,
+        move_end: f64,
+    },
+    Moving {
+        from: Vec<f64>,
+        to: Vec<f64>,
+        t0: f64,
+        t1: f64,
+    },
+}
+
+impl RobotStateRepr {
+    pub(crate) fn of<P: Point>(state: RobotState<P>) -> Self {
+        match state {
+            RobotState::Idle { position } => RobotStateRepr::Idle {
+                position: position.coords(),
+            },
+            RobotState::Computing {
+                position,
+                target,
+                move_start,
+                move_end,
+            } => RobotStateRepr::Computing {
+                position: position.coords(),
+                target: target.coords(),
+                move_start,
+                move_end,
+            },
+            RobotState::Moving { from, to, t0, t1 } => RobotStateRepr::Moving {
+                from: from.coords(),
+                to: to.coords(),
+                t0,
+                t1,
+            },
+        }
+    }
+
+    pub(crate) fn to_state<P: Point>(&self) -> Result<RobotState<P>, String> {
+        let point = |coords: &Vec<f64>| -> Result<P, String> {
+            if coords.len() != P::DIM {
+                return Err(format!(
+                    "checkpoint robot position has {} coordinates, ambient space has {}",
+                    coords.len(),
+                    P::DIM
+                ));
+            }
+            Ok(P::from_coords(coords))
+        };
+        Ok(match self {
+            RobotStateRepr::Idle { position } => RobotState::Idle {
+                position: point(position)?,
+            },
+            RobotStateRepr::Computing {
+                position,
+                target,
+                move_start,
+                move_end,
+            } => RobotState::Computing {
+                position: point(position)?,
+                target: point(target)?,
+                move_start: *move_start,
+                move_end: *move_end,
+            },
+            RobotStateRepr::Moving { from, to, t0, t1 } => RobotState::Moving {
+                from: point(from)?,
+                to: point(to)?,
+                t0: *t0,
+                t1: *t1,
+            },
+        })
+    }
+}
+
+/// One pending phase event, in the queue's pop order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub(crate) struct PendingRepr {
+    pub(crate) time: f64,
+    pub(crate) seq: u64,
+    pub(crate) robot: u32,
+    pub(crate) kind: String,
+}
+
+impl PendingRepr {
+    pub(crate) fn of(p: &Pending) -> Self {
+        PendingRepr {
+            time: p.time,
+            seq: p.seq,
+            robot: p.robot.0,
+            kind: match p.kind {
+                EngineEventKind::Look => "Look",
+                EngineEventKind::MoveStart => "MoveStart",
+                EngineEventKind::MoveEnd => "MoveEnd",
+            }
+            .to_string(),
+        }
+    }
+
+    pub(crate) fn to_pending(&self) -> Result<Pending, String> {
+        let kind = match self.kind.as_str() {
+            "MoveStart" => EngineEventKind::MoveStart,
+            "MoveEnd" => EngineEventKind::MoveEnd,
+            other => {
+                return Err(format!(
+                    "checkpoint queue holds a '{other}' event (only Move phases are queued)"
+                ))
+            }
+        };
+        Ok(Pending {
+            time: self.time,
+            seq: self.seq,
+            robot: RobotId(self.robot),
+            kind,
+        })
+    }
+}
+
+/// The engine's mutable core.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub(crate) struct EngineState {
+    pub(crate) time: f64,
+    pub(crate) seq: u64,
+    pub(crate) rng: [u64; 4],
+    pub(crate) robots: Vec<RobotStateRepr>,
+    /// Pending events in pop order (ascending `(time, seq)`).
+    pub(crate) queue: Vec<PendingRepr>,
+    pub(crate) staged: Option<ActivationInterval>,
+    pub(crate) completed_cycles: Vec<u64>,
+    pub(crate) scheduler: SchedulerState,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub(crate) struct StrongState {
+    pub(crate) ok: bool,
+    pub(crate) acquired: Vec<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub(crate) struct HullState {
+    pub(crate) nested: bool,
+    /// `prev` hull vertices as `[x, y]` pairs; meaningful iff `has_prev`
+    /// (an explicit flag, because `Some(empty)` and `None` must not blur).
+    pub(crate) has_prev: bool,
+    pub(crate) prev: Vec<Vec<f64>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub(crate) struct ViolationRepr {
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    pub(crate) time: f64,
+    pub(crate) distance: f64,
+}
+
+impl ViolationRepr {
+    pub(crate) fn of(v: &CohesionViolation) -> Self {
+        ViolationRepr {
+            a: v.pair.a.0,
+            b: v.pair.b.0,
+            time: v.time,
+            distance: v.distance,
+        }
+    }
+
+    pub(crate) fn to_violation(&self) -> Result<CohesionViolation, String> {
+        if self.a == self.b {
+            return Err("checkpoint cohesion violation pairs a robot with itself".to_string());
+        }
+        Ok(CohesionViolation {
+            pair: RobotPair::new(RobotId(self.a), RobotId(self.b)),
+            time: self.time,
+            distance: self.distance,
+        })
+    }
+}
+
+/// The complete mutable session state — the checkpoint payload.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub(crate) struct SessionState {
+    pub(crate) engine: EngineState,
+    pub(crate) events: u64,
+    pub(crate) rounds: u64,
+    pub(crate) round_base: Vec<u64>,
+    pub(crate) round_diameters: Vec<(u64, f64)>,
+    pub(crate) converged: bool,
+    pub(crate) status: String,
+    /// Recorded cohesion violations; the monitor's reported-pair set is
+    /// exactly their pair set, so it is rebuilt rather than stored.
+    pub(crate) violations: Vec<ViolationRepr>,
+    pub(crate) strong: Option<StrongState>,
+    pub(crate) hull: Option<HullState>,
+    pub(crate) diameter_series: Vec<(f64, f64)>,
+    pub(crate) diameter_converged: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Hand-written decoding against the serde_json stand-in's Value tree
+// (the net-protocol idiom: helpers named after what they extract).
+// ---------------------------------------------------------------------------
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("checkpoint state missing field '{key}'"))
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("checkpoint field '{key}' is not a string"))
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("checkpoint field '{key}' is not a boolean"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("checkpoint field '{key}' is not a number"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("checkpoint field '{key}' is not an unsigned integer"))
+}
+
+fn u32_field(v: &Value, key: &str) -> Result<u32, String> {
+    u64_field(v, key).and_then(|n| {
+        u32::try_from(n).map_err(|_| format!("checkpoint field '{key}' overflows u32"))
+    })
+}
+
+fn array_field<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("checkpoint field '{key}' is not an array"))
+}
+
+fn f64_item(v: &Value, what: &str) -> Result<f64, String> {
+    v.as_f64()
+        .ok_or_else(|| format!("checkpoint {what} holds a non-number"))
+}
+
+fn u64_item(v: &Value, what: &str) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("checkpoint {what} holds a non-integer"))
+}
+
+fn u64s_field(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+    array_field(v, key)?
+        .iter()
+        .map(|x| u64_item(x, key))
+        .collect()
+}
+
+fn coords(v: &Value, what: &str) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("checkpoint {what} is not a coordinate array"))?
+        .iter()
+        .map(|x| f64_item(x, what))
+        .collect()
+}
+
+/// `(number, number)` pairs — the serde stand-in encodes tuples as arrays.
+fn pair(v: &Value, what: &str) -> Result<(f64, f64), String> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| format!("checkpoint {what} is not a pair"))?;
+    if arr.len() != 2 {
+        return Err(format!("checkpoint {what} is not a 2-element pair"));
+    }
+    Ok((f64_item(&arr[0], what)?, f64_item(&arr[1], what)?))
+}
+
+fn interval(v: &Value) -> Result<ActivationInterval, String> {
+    Ok(ActivationInterval::new(
+        RobotId(u32_field(v, "robot")?),
+        f64_field(v, "look")?,
+        f64_field(v, "move_start")?,
+        f64_field(v, "end")?,
+    ))
+}
+
+impl RobotStateRepr {
+    fn decode(v: &Value) -> Result<RobotStateRepr, String> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| "checkpoint robot state is not an object".to_string())?;
+        let (tag, body) = obj
+            .iter()
+            .next()
+            .ok_or_else(|| "checkpoint robot state is empty".to_string())?;
+        match tag.as_str() {
+            "Idle" => Ok(RobotStateRepr::Idle {
+                position: coords(field(body, "position")?, "position")?,
+            }),
+            "Computing" => Ok(RobotStateRepr::Computing {
+                position: coords(field(body, "position")?, "position")?,
+                target: coords(field(body, "target")?, "target")?,
+                move_start: f64_field(body, "move_start")?,
+                move_end: f64_field(body, "move_end")?,
+            }),
+            "Moving" => Ok(RobotStateRepr::Moving {
+                from: coords(field(body, "from")?, "from")?,
+                to: coords(field(body, "to")?, "to")?,
+                t0: f64_field(body, "t0")?,
+                t1: f64_field(body, "t1")?,
+            }),
+            other => Err(format!("unknown checkpoint robot phase '{other}'")),
+        }
+    }
+}
+
+impl EngineState {
+    fn decode(v: &Value) -> Result<EngineState, String> {
+        let rng_words = u64s_field(v, "rng")?;
+        let rng: [u64; 4] = rng_words
+            .try_into()
+            .map_err(|_| "checkpoint rng state must have 4 words".to_string())?;
+        let robots = array_field(v, "robots")?
+            .iter()
+            .map(RobotStateRepr::decode)
+            .collect::<Result<Vec<_>, _>>()?;
+        let queue = array_field(v, "queue")?
+            .iter()
+            .map(|q| {
+                Ok(PendingRepr {
+                    time: f64_field(q, "time")?,
+                    seq: u64_field(q, "seq")?,
+                    robot: u32_field(q, "robot")?,
+                    kind: str_field(q, "kind")?.to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let staged = match field(v, "staged")? {
+            Value::Null => None,
+            other => Some(interval(other)?),
+        };
+        Ok(EngineState {
+            time: f64_field(v, "time")?,
+            seq: u64_field(v, "seq")?,
+            rng,
+            robots,
+            queue,
+            staged,
+            completed_cycles: u64s_field(v, "completed_cycles")?,
+            scheduler: SchedulerState::decode(field(v, "scheduler")?)?,
+        })
+    }
+}
+
+impl SessionState {
+    pub(crate) fn decode(v: &Value) -> Result<SessionState, String> {
+        let round_diameters = array_field(v, "round_diameters")?
+            .iter()
+            .map(|p| {
+                let (r, d) = pair(p, "round_diameters")?;
+                if r < 0.0 || r.fract() != 0.0 {
+                    return Err("checkpoint round index is not a whole number".to_string());
+                }
+                Ok((r as u64, d))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let violations = array_field(v, "violations")?
+            .iter()
+            .map(|x| {
+                Ok(ViolationRepr {
+                    a: u32_field(x, "a")?,
+                    b: u32_field(x, "b")?,
+                    time: f64_field(x, "time")?,
+                    distance: f64_field(x, "distance")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let strong = match field(v, "strong")? {
+            Value::Null => None,
+            other => Some(StrongState {
+                ok: bool_field(other, "ok")?,
+                acquired: u64s_field(other, "acquired")?,
+            }),
+        };
+        let hull = match field(v, "hull")? {
+            Value::Null => None,
+            other => Some(HullState {
+                nested: bool_field(other, "nested")?,
+                has_prev: bool_field(other, "has_prev")?,
+                prev: array_field(other, "prev")?
+                    .iter()
+                    .map(|p| coords(p, "hull vertex"))
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+        };
+        Ok(SessionState {
+            engine: EngineState::decode(field(v, "engine")?)?,
+            events: u64_field(v, "events")?,
+            rounds: u64_field(v, "rounds")?,
+            round_base: u64s_field(v, "round_base")?,
+            round_diameters,
+            converged: bool_field(v, "converged")?,
+            status: str_field(v, "status")?.to_string(),
+            violations,
+            strong,
+            hull,
+            diameter_series: array_field(v, "diameter_series")?
+                .iter()
+                .map(|p| pair(p, "diameter_series"))
+                .collect::<Result<Vec<_>, _>>()?,
+            diameter_converged: bool_field(v, "diameter_converged")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_the_frozen_hash_idiom() {
+        // The empty-input offset basis and a known vector pin the constants.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn envelope_round_trips_and_validates() {
+        let ckpt = Checkpoint::seal(0xF00D, r#"{"engine":"demo"}"#.to_string());
+        let json = ckpt.to_json();
+        let back = Checkpoint::from_json(&json).expect("valid envelope");
+        assert_eq!(back, ckpt);
+        assert_eq!(back.version(), CHECKPOINT_VERSION);
+        assert_eq!(back.fingerprint(), 0xF00D);
+    }
+
+    #[test]
+    fn envelope_rejects_corruption_and_version_skew() {
+        let json = Checkpoint::seal(1, r#"{"x":1}"#.to_string()).to_json();
+        // Flip a byte inside the embedded state: hash check must fire.
+        let tampered = json.replace(r#"\"x\":1"#, r#"\"x\":2"#);
+        assert_ne!(tampered, json, "tamper target must exist");
+        let err = Checkpoint::from_json(&tampered).unwrap_err();
+        assert!(err.contains("hash mismatch"), "{err}");
+        // A different version must be refused before the hash check.
+        let skewed = json.replace(r#""version":1"#, r#""version":9"#);
+        let err = Checkpoint::from_json(&skewed).unwrap_err();
+        assert!(err.contains("format v9"), "{err}");
+        // Truncation at any byte must fail loudly (JSON or hash check).
+        for cut in 1..json.len() {
+            assert!(
+                Checkpoint::from_json(&json[..cut]).is_err(),
+                "truncation at byte {cut} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn robot_state_reprs_round_trip() {
+        use cohesion_geometry::Vec2;
+        let states = [
+            RobotState::Idle {
+                position: Vec2::new(0.1 + 0.2, -0.0),
+            },
+            RobotState::Computing {
+                position: Vec2::new(1.0, 2.0),
+                target: Vec2::new(3.0, 4.0),
+                move_start: 1.25,
+                move_end: 2.5,
+            },
+            RobotState::Moving {
+                from: Vec2::new(-1.0, 1e-300),
+                to: Vec2::new(2.0, f64::MIN_POSITIVE),
+                t0: 0.0,
+                t1: 1.0,
+            },
+        ];
+        for s in states {
+            let repr = RobotStateRepr::of(s);
+            let json = serde_json::to_string(&repr).expect("encode");
+            let value = serde_json::from_str(&json).expect("parse");
+            let decoded = RobotStateRepr::decode(&value).expect("decode");
+            assert_eq!(decoded, repr);
+            let back: RobotState<Vec2> = decoded.to_state().expect("to_state");
+            assert_eq!(back, s, "bit-exact state round trip");
+        }
+    }
+}

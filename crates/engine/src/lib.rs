@@ -25,6 +25,7 @@
 //!   streamed through registered [`Observer`]s — with `run()` remaining the
 //!   one-shot `build().run_to_completion()` convenience.
 
+pub mod checkpoint;
 pub mod engine;
 pub mod monitors;
 pub mod queue;
@@ -34,6 +35,7 @@ pub mod runner;
 pub mod session;
 pub mod state;
 
+pub use checkpoint::{fnv1a, Checkpoint, CHECKPOINT_VERSION};
 pub use engine::{Engine, EngineEvent, EngineEventKind, LookPath};
 pub use monitors::{
     CohesionMonitor, DiameterMonitor, HullMonitor, Monitor, MonitorContext, StrongVisibilityMonitor,

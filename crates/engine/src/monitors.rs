@@ -129,6 +129,18 @@ impl CohesionMonitor {
     pub fn into_violations(self) -> Vec<CohesionViolation> {
         self.violations
     }
+
+    /// Restores the recorded-violation state from a checkpoint. The
+    /// reported-pair set is rebuilt from the list — they are in bijection
+    /// (a pair enters `violated` exactly when its violation is pushed), so
+    /// checkpoints carry only the list.
+    pub(crate) fn restore(&mut self, violations: Vec<CohesionViolation>) {
+        self.violated = violations
+            .iter()
+            .map(|v| (v.pair.a.index(), v.pair.b.index()))
+            .collect();
+        self.violations = violations;
+    }
 }
 
 impl<P: Ambient> Monitor<P> for CohesionMonitor {
@@ -211,6 +223,25 @@ impl StrongVisibilityMonitor {
         self.ok
     }
 
+    /// The acquired-pair bitset words, for checkpointing.
+    pub(crate) fn acquired_bits(&self) -> &[u64] {
+        &self.acquired
+    }
+
+    /// Restores the acquired set and verdict from a checkpoint.
+    pub(crate) fn restore(&mut self, acquired: Vec<u64>, ok: bool) -> Result<(), String> {
+        if acquired.len() != self.acquired.len() {
+            return Err(format!(
+                "checkpoint strong-visibility bitset has {} words, monitor needs {}",
+                acquired.len(),
+                self.acquired.len()
+            ));
+        }
+        self.acquired = acquired;
+        self.ok = ok;
+        Ok(())
+    }
+
     fn bit(&self, a: usize, b: usize) -> usize {
         a.min(b) * self.n + a.max(b)
     }
@@ -279,6 +310,19 @@ impl HullMonitor {
     pub fn nested(&self) -> bool {
         self.nested
     }
+
+    /// The previous sampled hull's vertices, for checkpointing.
+    pub(crate) fn prev_vertices(&self) -> Option<&[Vec2]> {
+        self.prev.as_ref().map(ConvexHull::vertices)
+    }
+
+    /// Restores the sampled-hull state from a checkpoint. `convex_hull` is
+    /// idempotent on a hull's own canonical vertex list, so rebuilding from
+    /// vertices reproduces the previous hull exactly.
+    pub(crate) fn restore(&mut self, prev: Option<Vec<Vec2>>, nested: bool) {
+        self.prev = prev.map(|vertices| convex_hull(&vertices));
+        self.nested = nested;
+    }
 }
 
 impl<P: Ambient> Monitor<P> for HullMonitor {
@@ -333,6 +377,12 @@ impl DiameterMonitor {
     /// Consumes the monitor, returning the sample series.
     pub fn into_series(self) -> Vec<(f64, f64)> {
         self.series
+    }
+
+    /// Restores the sample series and verdict from a checkpoint.
+    pub(crate) fn restore(&mut self, series: Vec<(f64, f64)>, converged: bool) {
+        self.series = series;
+        self.converged = converged;
     }
 }
 

@@ -1,0 +1,368 @@
+//! Serializable scheduler state for the engine's checkpoint/restore.
+//!
+//! Every online generator in [`crate::generators`] is a deterministic
+//! function of its construction parameters plus a small mutable core (RNG
+//! stream position, round/clock counters, buffered interval queues,
+//! fairness summaries). [`SchedulerState`] captures exactly that mutable
+//! core, so a scheduler restored onto a freshly built same-spec instance
+//! emits the identical continuation of the interval stream — the property
+//! the engine's byte-for-byte resume contract is built on.
+//!
+//! Encoding rides the workspace serde stand-in (compact JSON out) with a
+//! hand-written [`SchedulerState::decode`] against the `serde_json`
+//! stand-in's [`Value`] tree, the same idiom as the bench net protocol.
+//! All times are finite by [`ActivationInterval`]'s invariant, and the
+//! stand-in prints floats shortest-round-trip, so the JSON round trip is
+//! bit-exact.
+
+use crate::interval::ActivationInterval;
+use cohesion_model::RobotId;
+use serde::Serialize;
+use serde_json::Value;
+
+/// The duration-profile knobs of the random generators, flattened:
+/// `[compute_min, compute_max, move_min, move_max, jitter]`.
+pub type ProfileState = [f64; 5];
+
+/// The mutable core of one scheduler, by generator class. Restoring a
+/// state onto a scheduler of a different class (or a different `k`) is an
+/// error, not a silent misresume.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum SchedulerState {
+    /// [`crate::FSyncScheduler`]: round counter + buffered round queue.
+    FSync {
+        /// Next round to be generated.
+        round: u64,
+        /// Unconsumed activations of the current round, in emission order.
+        queue: Vec<ActivationInterval>,
+    },
+    /// [`crate::SSyncScheduler`]: RNG + round + fairness skip counters.
+    SSync {
+        /// xoshiro256++ stream position.
+        rng: [u64; 4],
+        /// Next round to be generated.
+        round: u64,
+        /// Consecutive rounds each robot has been skipped.
+        skip_counts: Vec<u32>,
+        /// Unconsumed activations of the current round.
+        queue: Vec<ActivationInterval>,
+        /// Per-robot inclusion probability.
+        inclusion_probability: f64,
+    },
+    /// [`crate::KAsyncScheduler`]: RNG, clock, fairness keys, live history.
+    KAsync {
+        /// The overlap bound (validated against the target scheduler).
+        k: u32,
+        /// xoshiro256++ stream position.
+        rng: [u64; 4],
+        /// Flattened duration profile.
+        profile: ProfileState,
+        /// Current schedule clock.
+        clock: f64,
+        /// Per-robot earliest re-activation times (`None` before the lazy
+        /// first pull).
+        next_free: Option<Vec<f64>>,
+        /// Intervals still live for the k-budget repair loop.
+        history: Vec<ActivationInterval>,
+    },
+    /// [`crate::NestAScheduler`]: RNG, clock, outer rotation, block queue.
+    NestA {
+        /// The nesting bound (validated against the target scheduler).
+        k: u32,
+        /// xoshiro256++ stream position.
+        rng: [u64; 4],
+        /// Current schedule clock.
+        clock: f64,
+        /// Rotation counter choosing the next outer robot.
+        next_outer: u64,
+        /// Unconsumed activations of the current block.
+        queue: Vec<ActivationInterval>,
+    },
+    /// [`crate::AsyncScheduler`]: RNG, clock, fairness keys.
+    Async {
+        /// xoshiro256++ stream position.
+        rng: [u64; 4],
+        /// Flattened duration profile.
+        profile: ProfileState,
+        /// Current schedule clock.
+        clock: f64,
+        /// Per-robot earliest re-activation times (`None` before the lazy
+        /// first pull).
+        next_free: Option<Vec<f64>>,
+        /// Probability of a stretched Move phase.
+        stretch_probability: f64,
+    },
+    /// [`crate::CentralizedScheduler`]: rotation counter + clock.
+    Centralized {
+        /// Next robot in the round-robin rotation.
+        next: u64,
+        /// Current schedule clock.
+        clock: f64,
+    },
+    /// [`crate::ScriptedScheduler`]: the unconsumed script suffix.
+    Scripted {
+        /// The script's name (validated against the target scheduler).
+        name: String,
+        /// Remaining intervals, in replay order.
+        queue: Vec<ActivationInterval>,
+    },
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("scheduler state missing field '{key}'"))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("scheduler state field '{key}' is not a number"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("scheduler state field '{key}' is not an unsigned integer"))
+}
+
+fn rng_field(v: &Value, key: &str) -> Result<[u64; 4], String> {
+    let arr = field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("scheduler state field '{key}' is not an array"))?;
+    if arr.len() != 4 {
+        return Err(format!("scheduler state field '{key}' must have 4 words"));
+    }
+    let mut out = [0u64; 4];
+    for (i, w) in arr.iter().enumerate() {
+        out[i] = w
+            .as_u64()
+            .ok_or_else(|| format!("scheduler state field '{key}[{i}]' is not a u64"))?;
+    }
+    Ok(out)
+}
+
+fn profile_field(v: &Value, key: &str) -> Result<ProfileState, String> {
+    let arr = field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("scheduler state field '{key}' is not an array"))?;
+    if arr.len() != 5 {
+        return Err(format!("scheduler state field '{key}' must have 5 knobs"));
+    }
+    let mut out = [0.0f64; 5];
+    for (i, w) in arr.iter().enumerate() {
+        out[i] = w
+            .as_f64()
+            .ok_or_else(|| format!("scheduler state field '{key}[{i}]' is not a number"))?;
+    }
+    Ok(out)
+}
+
+fn interval(v: &Value) -> Result<ActivationInterval, String> {
+    let robot = u64_field(v, "robot")?;
+    let robot =
+        u32::try_from(robot).map_err(|_| "interval robot index overflows u32".to_string())?;
+    Ok(ActivationInterval::new(
+        RobotId(robot),
+        f64_field(v, "look")?,
+        f64_field(v, "move_start")?,
+        f64_field(v, "end")?,
+    ))
+}
+
+fn intervals_field(v: &Value, key: &str) -> Result<Vec<ActivationInterval>, String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("scheduler state field '{key}' is not an array"))?
+        .iter()
+        .map(interval)
+        .collect()
+}
+
+fn f64s(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("scheduler state field '{key}' is not an array"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("scheduler state field '{key}' holds a non-number"))
+        })
+        .collect()
+}
+
+fn u32s_field(v: &Value, key: &str) -> Result<Vec<u32>, String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("scheduler state field '{key}' is not an array"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("scheduler state field '{key}' holds a non-u32"))
+        })
+        .collect()
+}
+
+fn opt_f64s_field(v: &Value, key: &str) -> Result<Option<Vec<f64>>, String> {
+    match field(v, key)? {
+        Value::Null => Ok(None),
+        other => Ok(Some(f64s(other, key)?)),
+    }
+}
+
+impl SchedulerState {
+    /// Decodes a state from the `serde_json` stand-in's [`Value`] tree (the
+    /// inverse of the serde-derive encoding).
+    pub fn decode(v: &Value) -> Result<SchedulerState, String> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| "scheduler state is not an object".to_string())?;
+        let (tag, body) = obj
+            .iter()
+            .next()
+            .ok_or_else(|| "scheduler state object is empty".to_string())?;
+        match tag.as_str() {
+            "FSync" => Ok(SchedulerState::FSync {
+                round: u64_field(body, "round")?,
+                queue: intervals_field(body, "queue")?,
+            }),
+            "SSync" => Ok(SchedulerState::SSync {
+                rng: rng_field(body, "rng")?,
+                round: u64_field(body, "round")?,
+                skip_counts: u32s_field(body, "skip_counts")?,
+                queue: intervals_field(body, "queue")?,
+                inclusion_probability: f64_field(body, "inclusion_probability")?,
+            }),
+            "KAsync" => Ok(SchedulerState::KAsync {
+                k: u32::try_from(u64_field(body, "k")?)
+                    .map_err(|_| "scheduler state k overflows u32".to_string())?,
+                rng: rng_field(body, "rng")?,
+                profile: profile_field(body, "profile")?,
+                clock: f64_field(body, "clock")?,
+                next_free: opt_f64s_field(body, "next_free")?,
+                history: intervals_field(body, "history")?,
+            }),
+            "NestA" => Ok(SchedulerState::NestA {
+                k: u32::try_from(u64_field(body, "k")?)
+                    .map_err(|_| "scheduler state k overflows u32".to_string())?,
+                rng: rng_field(body, "rng")?,
+                clock: f64_field(body, "clock")?,
+                next_outer: u64_field(body, "next_outer")?,
+                queue: intervals_field(body, "queue")?,
+            }),
+            "Async" => Ok(SchedulerState::Async {
+                rng: rng_field(body, "rng")?,
+                profile: profile_field(body, "profile")?,
+                clock: f64_field(body, "clock")?,
+                next_free: opt_f64s_field(body, "next_free")?,
+                stretch_probability: f64_field(body, "stretch_probability")?,
+            }),
+            "Centralized" => Ok(SchedulerState::Centralized {
+                next: u64_field(body, "next")?,
+                clock: f64_field(body, "clock")?,
+            }),
+            "Scripted" => Ok(SchedulerState::Scripted {
+                name: field(body, "name")?
+                    .as_str()
+                    .ok_or_else(|| "scheduler state field 'name' is not a string".to_string())?
+                    .to_string(),
+                queue: intervals_field(body, "queue")?,
+            }),
+            other => Err(format!("unknown scheduler state class '{other}'")),
+        }
+    }
+
+    /// The generator class the state belongs to, for error messages.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            SchedulerState::FSync { .. } => "FSync",
+            SchedulerState::SSync { .. } => "SSync",
+            SchedulerState::KAsync { .. } => "KAsync",
+            SchedulerState::NestA { .. } => "NestA",
+            SchedulerState::Async { .. } => "Async",
+            SchedulerState::Centralized { .. } => "Centralized",
+            SchedulerState::Scripted { .. } => "Scripted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(robot: u32, look: f64, ms: f64, end: f64) -> ActivationInterval {
+        ActivationInterval::new(RobotId(robot), look, ms, end)
+    }
+
+    #[test]
+    fn every_class_round_trips_through_json() {
+        let states = vec![
+            SchedulerState::FSync {
+                round: 7,
+                queue: vec![iv(0, 6.0, 6.25, 6.75)],
+            },
+            SchedulerState::SSync {
+                rng: [1, u64::MAX, 3, 4],
+                round: 2,
+                skip_counts: vec![0, 3, 1],
+                queue: vec![],
+                inclusion_probability: 0.5,
+            },
+            SchedulerState::KAsync {
+                k: 2,
+                rng: [9, 8, 7, 6],
+                profile: [0.05, 0.35, 0.1, 1.2, 0.08],
+                clock: 1.5 + 1e-9,
+                next_free: Some(vec![0.1 + 0.2, 1.75]),
+                history: vec![iv(1, 0.0, 0.5, 2.0)],
+            },
+            SchedulerState::NestA {
+                k: 3,
+                rng: [0, 1, 2, 3],
+                clock: 4.25,
+                next_outer: 11,
+                queue: vec![iv(2, 4.0, 4.1, 4.4)],
+            },
+            SchedulerState::Async {
+                rng: [5, 5, 5, 5],
+                profile: [0.05, 0.35, 0.1, 1.2, 0.08],
+                clock: 0.0,
+                next_free: None,
+                stretch_probability: 0.1,
+            },
+            SchedulerState::Centralized {
+                next: 9,
+                clock: 9.0,
+            },
+            SchedulerState::Scripted {
+                name: "figure4".into(),
+                queue: vec![iv(0, 0.0, 0.5, 1.0), iv(1, 1.0, 1.5, 2.0)],
+            },
+        ];
+        for state in states {
+            let json = serde_json::to_string(&state).expect("encode");
+            let value = serde_json::from_str(&json).expect("parse");
+            let decoded = SchedulerState::decode(&value).expect("decode");
+            assert_eq!(decoded, state, "round trip for {}", state.class());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_states() {
+        for bad in [
+            "null",
+            "{}",
+            r#"{"Nope":{}}"#,
+            r#"{"FSync":{"round":1}}"#,
+            r#"{"FSync":{"round":-1,"queue":[]}}"#,
+            r#"{"SSync":{"rng":[1,2,3],"round":0,"skip_counts":[],"queue":[],"inclusion_probability":0.5}}"#,
+            r#"{"Async":{"rng":[1,2,3,4],"profile":[0.1,0.2,0.3],"clock":0.0,"next_free":null,"stretch_probability":0.1}}"#,
+        ] {
+            let value = serde_json::from_str(bad).expect("valid JSON");
+            assert!(
+                SchedulerState::decode(&value).is_err(),
+                "accepted malformed state {bad}"
+            );
+        }
+    }
+}
