@@ -72,7 +72,10 @@ pub struct ImpossibilityOutcome {
 /// snapshots `O(local density)` instead of `O(n)`. Exact, not heuristic.
 struct VisibilityGrid {
     cell: f64,
-    map: std::collections::HashMap<(i64, i64), Vec<usize>>,
+    // BTreeMap, not HashMap: only keyed lookups happen today, but this crate
+    // is on the deterministic surface (lint rule D1) and an ordered map
+    // keeps future iteration deterministic by construction.
+    map: std::collections::BTreeMap<(i64, i64), Vec<usize>>,
 }
 
 impl VisibilityGrid {

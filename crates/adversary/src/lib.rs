@@ -12,6 +12,9 @@
 //! * [`freeze`] — §7.2.1: the regular-polygon argument that an algorithm
 //!   refusing to move under near-collinear perceptions cannot converge.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod ando_counterexample;
 pub mod freeze;
 pub mod impossibility;

@@ -13,6 +13,9 @@
 //! * [`GcmAlgorithm`] — Cord-Landwehr et al. (2011): move toward the centre
 //!   of the minbox; requires axis agreement, converges in `Θ(n)` rounds.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod ando;
 pub mod cog;
 pub mod gcm;

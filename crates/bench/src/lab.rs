@@ -823,6 +823,10 @@ usage:
                                              once all shards are merged
   lab worker --connect HOST:PORT [options]   run shards for a coordinator until
                                              it sends shutdown
+  lab lint [--json]                          run cohesion-lint over the whole
+                                             workspace (non-zero exit on any
+                                             violation not allowlisted in
+                                             lint.toml)
 
 options:
   --quick          shrunken CI smoke grids (default: full reproduction)
@@ -1116,6 +1120,36 @@ pub fn lab_main(args: &[String]) -> Result<(), String> {
             }
             crate::net::run_worker(&opts)?;
             Ok(())
+        }
+        "lint" => {
+            let mut json = false;
+            for arg in rest {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    other => return Err(format!("unknown `lab lint` option '{other}'\n\n{USAGE}")),
+                }
+            }
+            let root = std::env::current_dir()
+                .ok()
+                .and_then(|d| cohesion_lint::find_workspace_root(&d))
+                .or_else(|| {
+                    cohesion_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+                })
+                .ok_or("no workspace root (Cargo.toml + crates/) above the current directory")?;
+            let report = cohesion_lint::lint_workspace(&root)?;
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "cohesion-lint found {} violation(s)",
+                    report.violations.len()
+                ))
+            }
         }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -8,6 +8,9 @@
 //! for diffable regeneration — as JSON rows under `target/experiments/`.
 //! The old per-experiment `exp_*` binaries survive as deprecated shims.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod experiments;
 pub mod lab;
 pub mod lookbench;

@@ -44,6 +44,9 @@
 //! assert!(report.cohesion_maintained);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub use cohesion_adversary as adversary;
 pub use cohesion_algorithms as algorithms;
 pub use cohesion_core as core;

@@ -17,6 +17,9 @@
 //!   bounds of Lemmas 6–8, and helpers for the hull-radius/critical-point
 //!   bookkeeping of Figure 16.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod algorithm;
 pub mod analysis;
 pub mod neighbors;

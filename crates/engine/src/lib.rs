@@ -25,6 +25,9 @@
 //!   streamed through registered [`Observer`]s — with `run()` remaining the
 //!   one-shot `build().run_to_completion()` convenience.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod checkpoint;
 pub mod engine;
 pub mod monitors;

@@ -43,6 +43,9 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod angle;
 pub mod ball;
 pub mod bbox;

@@ -1,0 +1,404 @@
+//! A small, loss-tolerant Rust lexer.
+//!
+//! The rule engine needs exactly one guarantee the naive `grep` approach
+//! cannot give: that a match is *code*, not a comment, a string literal, or
+//! part of a longer identifier. This lexer provides that guarantee without
+//! pulling in `syn`/`proc-macro2` (the offline `third_party/` policy) by
+//! tokenizing the classic trap cases precisely:
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw strings with any hash depth (`r##"…"##`, `br#"…"#`, `cr"…"`),
+//! * lifetimes vs. char literals (`'a` vs. `'a'` vs. `b'x'`),
+//! * raw identifiers (`r#type`).
+//!
+//! It is *tolerant*, not validating: unterminated literals and stray bytes
+//! produce best-effort tokens and the lexer always terminates — it must
+//! never panic on any input (property-tested in `tests/lexer_props.rs`).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `unsafe`, `HashMap`, `r#type`).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// A char literal `'x'` or byte literal `b'x'`.
+    Char,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    Str,
+    /// An integer or float literal, suffix included.
+    Number,
+    /// One punctuation character, except that `::` and `=>` are merged by
+    /// [`significant`] for the rule matchers.
+    Punct,
+    /// `// …` (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting handled (doc comments included).
+    BlockComment,
+}
+
+/// One lexeme with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The inner content of a string literal: quotes, prefix letters, and
+    /// raw-string hashes stripped. Returns the raw text for other kinds.
+    pub fn str_content(&self) -> &str {
+        if self.kind != TokenKind::Str {
+            return &self.text;
+        }
+        let no_prefix = self.text.trim_start_matches(['r', 'b', 'c']);
+        let after_hashes = no_prefix.trim_start_matches('#');
+        let hashes = no_prefix.len() - after_hashes.len();
+        let mut s = after_hashes.strip_prefix('"').unwrap_or(after_hashes);
+        for _ in 0..hashes {
+            s = s.strip_suffix('#').unwrap_or(s);
+        }
+        s.strip_suffix('"').unwrap_or(s)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = *self.chars.get(self.i)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.bump().is_none() {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`. Never panics; always terminates (every loop iteration
+/// consumes at least one character).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let (line, col, start) = (lx.line, lx.col, lx.i);
+        let kind = match c {
+            c if c.is_whitespace() => {
+                lx.bump();
+                continue;
+            }
+            '/' if lx.peek(1) == Some('/') => {
+                while let Some(c) = lx.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    lx.bump();
+                }
+                TokenKind::LineComment
+            }
+            '/' if lx.peek(1) == Some('*') => {
+                lx.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            lx.bump_n(2);
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(_), _) => {
+                            lx.bump();
+                        }
+                        (None, _) => break, // unterminated: tolerate
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            '\'' => lex_quote(&mut lx),
+            '"' => {
+                lx.bump();
+                lex_escaped_string_body(&mut lx);
+                TokenKind::Str
+            }
+            c if c.is_ascii_digit() => lex_number(&mut lx),
+            c if is_ident_start(c) => lex_ident_or_literal_prefix(&mut lx),
+            _ => {
+                lx.bump();
+                TokenKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            text: lx.chars[start..lx.i].iter().collect(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// `'` opens either a lifetime (`'a`), a label (`'outer`), or a char literal
+/// (`'a'`, `'\n'`, `'\u{1F600}'`, `'('`). Disambiguation: scan the
+/// identifier after the quote; a closing quote right behind one character
+/// makes it a char literal, anything else a lifetime.
+fn lex_quote(lx: &mut Lexer) -> TokenKind {
+    lx.bump(); // opening '
+    match lx.peek(0) {
+        Some('\\') => {
+            lx.bump();
+            if lx.peek(0) == Some('u') && lx.peek(1) == Some('{') {
+                while let Some(c) = lx.peek(0) {
+                    lx.bump();
+                    if c == '}' {
+                        break;
+                    }
+                }
+            } else {
+                lx.bump();
+            }
+            if lx.peek(0) == Some('\'') {
+                lx.bump();
+            }
+            TokenKind::Char
+        }
+        Some(c) if is_ident_continue(c) => {
+            if lx.peek(1) == Some('\'') {
+                lx.bump_n(2); // 'a'
+                return TokenKind::Char;
+            }
+            while let Some(c) = lx.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                lx.bump();
+            }
+            TokenKind::Lifetime
+        }
+        Some('\'') => {
+            // `''`: invalid Rust; consume one quote and move on.
+            lx.bump();
+            TokenKind::Char
+        }
+        Some(_) => {
+            lx.bump(); // '(' and friends
+            if lx.peek(0) == Some('\'') {
+                lx.bump();
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Punct,
+    }
+}
+
+/// Body of a non-raw string (opening quote already consumed): escapes
+/// processed, unterminated tolerated.
+fn lex_escaped_string_body(lx: &mut Lexer) {
+    while let Some(c) = lx.peek(0) {
+        lx.bump();
+        match c {
+            '\\' => {
+                lx.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Raw-string body: consume until `"` followed by `hashes` `#`s.
+fn lex_raw_string_body(lx: &mut Lexer, hashes: usize) {
+    while let Some(c) = lx.peek(0) {
+        lx.bump();
+        if c == '"' {
+            let mut seen = 0;
+            while seen < hashes && lx.peek(0) == Some('#') {
+                lx.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                break;
+            }
+        }
+    }
+}
+
+/// An identifier-start character begins either a plain identifier, a raw
+/// identifier (`r#type`), a byte char (`b'x'`), or a prefixed string
+/// literal (`r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `c"…"`, `cr"…"`).
+fn lex_ident_or_literal_prefix(lx: &mut Lexer) -> TokenKind {
+    let c0 = lx.peek(0).unwrap_or(' ');
+    let c1 = lx.peek(1);
+
+    // Byte char: b'x'
+    if c0 == 'b' && c1 == Some('\'') {
+        lx.bump(); // b
+        lex_quote(lx);
+        return TokenKind::Char;
+    }
+
+    // String-literal prefixes: r | b | c | br | cr (then #* then ").
+    let prefix_len = match (c0, c1) {
+        ('b', Some('r')) | ('c', Some('r')) => 2,
+        ('r' | 'b' | 'c', _) => 1,
+        _ => 0,
+    };
+    if prefix_len > 0 {
+        let raw = c0 == 'r' || c1 == Some('r');
+        let mut k = prefix_len;
+        let mut hashes = 0usize;
+        if raw {
+            while lx.peek(k) == Some('#') {
+                k += 1;
+                hashes += 1;
+            }
+        }
+        if lx.peek(k) == Some('"') && (raw || hashes == 0) {
+            lx.bump_n(k + 1); // prefix, hashes, opening quote
+            if raw {
+                lex_raw_string_body(lx, hashes);
+            } else {
+                lex_escaped_string_body(lx);
+            }
+            return TokenKind::Str;
+        }
+        // Raw identifier: r#type
+        if c0 == 'r' && c1 == Some('#') && lx.peek(2).is_some_and(is_ident_start) {
+            lx.bump_n(2);
+            while let Some(c) = lx.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                lx.bump();
+            }
+            return TokenKind::Ident;
+        }
+    }
+
+    // Plain identifier.
+    while let Some(c) = lx.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        lx.bump();
+    }
+    TokenKind::Ident
+}
+
+/// Numbers: decimal/hex/octal/binary integers, floats with exponents, and
+/// type suffixes. `1..2` stays integer + two dots; `1.max(2)` stays integer
+/// + method call; `x.0` tuple access works because the dot is lexed first.
+fn lex_number(lx: &mut Lexer) -> TokenKind {
+    let radix_prefixed = lx.peek(0) == Some('0')
+        && matches!(
+            lx.peek(1),
+            Some('x') | Some('o') | Some('b') | Some('X') | Some('O') | Some('B')
+        );
+    if radix_prefixed {
+        lx.bump_n(2);
+        while let Some(c) = lx.peek(0) {
+            if !(c.is_ascii_alphanumeric() || c == '_') {
+                break;
+            }
+            lx.bump();
+        }
+        return TokenKind::Number;
+    }
+    let eat_digits = |lx: &mut Lexer| {
+        while let Some(c) = lx.peek(0) {
+            if !(c.is_ascii_digit() || c == '_') {
+                break;
+            }
+            lx.bump();
+        }
+    };
+    eat_digits(lx);
+    if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        lx.bump();
+        eat_digits(lx);
+    }
+    if matches!(lx.peek(0), Some('e') | Some('E'))
+        && (lx.peek(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(lx.peek(1), Some('+') | Some('-'))
+                && lx.peek(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        lx.bump();
+        if matches!(lx.peek(0), Some('+') | Some('-')) {
+            lx.bump();
+        }
+        eat_digits(lx);
+    }
+    // Suffix (u8, f64, usize, …).
+    while let Some(c) = lx.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        lx.bump();
+    }
+    TokenKind::Number
+}
+
+/// The comment-free token stream the rule matchers run on, with the two
+/// multi-character sequences they care about (`::`, `=>`) merged into
+/// single tokens. Merging only fires on adjacent punctuation (same line,
+/// consecutive columns), so `: :` stays two tokens.
+pub fn significant(tokens: &[Token]) -> Vec<Token> {
+    let mut out: Vec<Token> = Vec::with_capacity(tokens.len());
+    for t in tokens {
+        if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        if t.kind == TokenKind::Punct {
+            if let Some(prev) = out.last_mut() {
+                let adjacent = prev.kind == TokenKind::Punct
+                    && prev.line == t.line
+                    && prev.col + prev.text.chars().count() as u32 == t.col;
+                if adjacent
+                    && ((prev.text == ":" && t.text == ":") || (prev.text == "=" && t.text == ">"))
+                {
+                    prev.text.push_str(&t.text);
+                    continue;
+                }
+            }
+        }
+        out.push(t.clone());
+    }
+    out
+}

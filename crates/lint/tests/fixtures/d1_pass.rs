@@ -1,0 +1,23 @@
+// D1 fixture — MUST PASS: ordered iteration, and keyed access to an
+// unordered map without iterating it.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn histogram(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn count_of(xs: &[u32], key: u32) -> u32 {
+    // Named `index`, not `counts`: the D1 binding pass is file-global, so
+    // reusing the BTreeMap name above would shadow it as unordered.
+    let mut index: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *index.entry(x).or_insert(0) += 1;
+    }
+    // Keyed lookups are deterministic; only iteration order is not.
+    index.get(&key).copied().unwrap_or(0)
+}

@@ -1,0 +1,19 @@
+// D1 fixture — MUST TRIP: iteration over unordered maps/sets.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn histogram(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (k, v) in &counts {
+        out.push((*k, *v));
+    }
+    out
+}
+
+pub fn tags(seen: HashSet<String>) -> Vec<String> {
+    seen.into_iter().collect()
+}

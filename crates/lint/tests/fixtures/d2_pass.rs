@@ -1,0 +1,22 @@
+//! D2 fixture — MUST PASS: every mention of a clock here is a comment, a
+//! string, or an unrelated identifier — exactly what a grep-based check
+//! would false-positive on. Doc comments saying `Instant::now()` are fine.
+
+/// Explains why `SystemTime::now()` is banned without calling it.
+pub fn describe() -> &'static str {
+    // A string literal is data, not a clock read: Instant::now()
+    "never call Instant::now() from deterministic code"
+}
+
+pub fn raw_mention() -> &'static str {
+    r#"SystemTime::now() inside a raw string is data too"#
+}
+
+pub struct InstantLike {
+    /// Simulated time — not the wall clock.
+    pub instant: f64,
+}
+
+pub fn simulated_now(t: &InstantLike) -> f64 {
+    t.instant
+}

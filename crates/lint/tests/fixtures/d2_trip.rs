@@ -1,0 +1,14 @@
+// D2 fixture — MUST TRIP: wall-clock reads in library code.
+
+pub fn measure<F: FnOnce()>(work: F) -> u128 {
+    let start = std::time::Instant::now();
+    work();
+    start.elapsed().as_nanos()
+}
+
+pub fn stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,8 @@
+// D3 fixture — MUST PASS: seeds flow in through the caller.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

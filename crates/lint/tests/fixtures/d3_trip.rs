@@ -1,0 +1,12 @@
+// D3 fixture — MUST TRIP: RNG construction from ambient entropy.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn fresh_rng() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn coin_flip() -> bool {
+    rand::random()
+}

@@ -1,0 +1,13 @@
+// D4 fixture — MUST PASS: single-threaded shared state via Rc/RefCell is
+// the approved pattern (the session observer API uses it).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub fn shared_counter() -> Rc<RefCell<u64>> {
+    Rc::new(RefCell::new(0))
+}
+
+pub fn bump(c: &Rc<RefCell<u64>>) {
+    *c.borrow_mut() += 1;
+}

@@ -1,0 +1,19 @@
+// D4 fixture — MUST TRIP: threading and shared-state primitives outside
+// the approved concurrency modules.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+pub fn fan_out(jobs: Vec<u64>) -> u64 {
+    let total = Mutex::new(0u64);
+    let (tx, rx) = mpsc::channel();
+    for job in jobs {
+        let tx = tx.clone();
+        std::thread::spawn(move || tx.send(job).unwrap());
+    }
+    drop(tx);
+    while let Ok(v) = rx.recv() {
+        *total.lock().unwrap() += v;
+    }
+    total.into_inner().unwrap()
+}

@@ -1,0 +1,8 @@
+// D5 fixture — MUST PASS: the invariant is written down.
+
+pub fn first_checked(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so reading
+    // through the base pointer stays in bounds.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,5 @@
+// D5 fixture — MUST TRIP: an unsafe block with no SAFETY comment.
+
+pub fn first_unchecked(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

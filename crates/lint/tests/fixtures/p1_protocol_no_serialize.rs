@@ -1,0 +1,23 @@
+// P1 fixture — protocol side with no Serialize derive: nothing has an
+// encode arm, so every variant trips the encode leg of P1.
+
+use serde_json::Value;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    Ping { nonce: u64 },
+    Pong { nonce: u64 },
+    Bye,
+}
+
+impl Message {
+    pub fn from_value(v: &Value) -> Result<Message, String> {
+        let tag = v.as_str().ok_or("expected a tag")?;
+        match tag {
+            "Ping" => Ok(Message::Ping { nonce: 0 }),
+            "Pong" => Ok(Message::Pong { nonce: 0 }),
+            "Bye" => Ok(Message::Bye),
+            other => Err(format!("unknown message `{other}`")),
+        }
+    }
+}

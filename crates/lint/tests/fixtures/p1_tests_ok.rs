@@ -1,0 +1,21 @@
+// P1 fixture — test side, complete: every variant is constructed inside a
+// `round_trip_*` test.
+
+fn assert_round_trip(msg: Message) {
+    let _ = msg;
+}
+
+#[test]
+fn round_trip_ping() {
+    assert_round_trip(Message::Ping { nonce: 7 });
+}
+
+#[test]
+fn round_trip_pong() {
+    assert_round_trip(Message::Pong { nonce: 9 });
+}
+
+#[test]
+fn round_trip_bye() {
+    assert_round_trip(Message::Bye);
+}

@@ -1,0 +1,216 @@
+//! Lexer tests: table tests for the classic trap cases (raw strings,
+//! nested block comments, lifetimes vs. char literals) and property tests
+//! that tokenizing arbitrary input never panics and keeps positions sane.
+
+use cohesion_lint::lexer::{significant, tokenize, Token, TokenKind};
+use proptest::prelude::*;
+
+fn kinds(tokens: &[Token]) -> Vec<TokenKind> {
+    tokens.iter().map(|t| t.kind).collect()
+}
+
+fn texts(tokens: &[Token]) -> Vec<&str> {
+    tokens.iter().map(|t| t.text.as_str()).collect()
+}
+
+// --- raw strings ----------------------------------------------------------
+
+#[test]
+fn raw_string_with_inner_quotes() {
+    let t = tokenize(r##"r#"a "quoted" b"#"##);
+    assert_eq!(kinds(&t), [TokenKind::Str]);
+    assert_eq!(t[0].str_content(), r#"a "quoted" b"#);
+}
+
+#[test]
+fn raw_string_deeper_hashes_swallow_shallower_closers() {
+    let t = tokenize(r###"r##"x"# still"##"###);
+    assert_eq!(kinds(&t), [TokenKind::Str]);
+    assert_eq!(t[0].str_content(), r##"x"# still"##);
+}
+
+#[test]
+fn raw_byte_string_keeps_backslashes_verbatim() {
+    let t = tokenize(r##"br#"\"#"##);
+    assert_eq!(kinds(&t), [TokenKind::Str]);
+    assert_eq!(t[0].str_content(), "\\");
+}
+
+#[test]
+fn escaped_quote_does_not_close_a_plain_string() {
+    let t = tokenize(r#""a\"b" x"#);
+    assert_eq!(kinds(&t), [TokenKind::Str, TokenKind::Ident]);
+    assert_eq!(t[1].text, "x");
+}
+
+#[test]
+fn zero_hash_raw_string_ignores_escapes() {
+    // In r"…" a backslash is a plain character, so \" would close it.
+    let t = tokenize(r#"r"a\" x"#);
+    assert_eq!(kinds(&t), [TokenKind::Str, TokenKind::Ident]);
+    assert_eq!(t[0].str_content(), "a\\");
+}
+
+// --- comments -------------------------------------------------------------
+
+#[test]
+fn nested_block_comments() {
+    let t = tokenize("/* outer /* inner */ still comment */ fn");
+    assert_eq!(kinds(&t), [TokenKind::BlockComment, TokenKind::Ident]);
+    assert_eq!(t[1].text, "fn");
+}
+
+#[test]
+fn line_comment_stops_at_newline() {
+    let t = tokenize("// Instant::now()\nx");
+    assert_eq!(kinds(&t), [TokenKind::LineComment, TokenKind::Ident]);
+    assert_eq!(t[1].line, 2);
+}
+
+#[test]
+fn comment_markers_inside_strings_are_data() {
+    let t = tokenize(r#""/* not a comment" y"#);
+    assert_eq!(kinds(&t), [TokenKind::Str, TokenKind::Ident]);
+}
+
+// --- lifetimes vs. char literals ------------------------------------------
+
+#[test]
+fn lifetime_vs_char_disambiguation() {
+    let cases: &[(&str, TokenKind)] = &[
+        ("'a'", TokenKind::Char),
+        ("'_'", TokenKind::Char),
+        ("b'x'", TokenKind::Char),
+        ("'\\n'", TokenKind::Char),
+        ("'\\u{1F600}'", TokenKind::Char),
+        ("'('", TokenKind::Char),
+        ("'static", TokenKind::Lifetime),
+        ("'outer", TokenKind::Lifetime),
+        ("'_", TokenKind::Lifetime),
+    ];
+    for (src, want) in cases {
+        let t = tokenize(src);
+        assert_eq!(kinds(&t), [*want], "tokenizing {src:?}");
+        assert_eq!(t[0].text, *src, "tokenizing {src:?}");
+    }
+}
+
+#[test]
+fn generic_lifetime_in_context() {
+    let t = tokenize("fn f<'a>(x: &'a str) {}");
+    let lifetimes: Vec<&Token> = t.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+    assert_eq!(lifetimes.len(), 2);
+    assert!(lifetimes.iter().all(|t| t.text == "'a"));
+}
+
+// --- identifiers and numbers ----------------------------------------------
+
+#[test]
+fn raw_identifier() {
+    let t = tokenize("r#type");
+    assert_eq!(kinds(&t), [TokenKind::Ident]);
+    assert_eq!(t[0].text, "r#type");
+}
+
+#[test]
+fn number_shapes() {
+    for src in ["0xFF_u32", "1_000", "1.5e-3f64", "0b1010", "2usize"] {
+        let t = tokenize(src);
+        assert_eq!(kinds(&t), [TokenKind::Number], "tokenizing {src:?}");
+        assert_eq!(t[0].text, src);
+    }
+}
+
+#[test]
+fn range_and_tuple_access_stay_separate_tokens() {
+    let t = tokenize("1..2");
+    assert_eq!(
+        kinds(&t),
+        [
+            TokenKind::Number,
+            TokenKind::Punct,
+            TokenKind::Punct,
+            TokenKind::Number
+        ]
+    );
+    let t = tokenize("x.0");
+    assert_eq!(
+        kinds(&t),
+        [TokenKind::Ident, TokenKind::Punct, TokenKind::Number]
+    );
+}
+
+// --- tolerance ------------------------------------------------------------
+
+#[test]
+fn unterminated_literals_are_tolerated() {
+    for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'", "r#"] {
+        let t = tokenize(src);
+        assert!(!t.is_empty(), "tokenizing {src:?}");
+    }
+}
+
+// --- significant() merging ------------------------------------------------
+
+#[test]
+fn significant_merges_adjacent_path_and_arrow_punct() {
+    let sig = significant(&tokenize("a::b => c"));
+    assert_eq!(texts(&sig), ["a", "::", "b", "=>", "c"]);
+}
+
+#[test]
+fn significant_does_not_merge_spaced_punct() {
+    let sig = significant(&tokenize("a : : b = > c"));
+    assert_eq!(texts(&sig), ["a", ":", ":", "b", "=", ">", "c"]);
+}
+
+#[test]
+fn significant_drops_comments() {
+    let sig = significant(&tokenize("x /* c */ // d\ny"));
+    assert_eq!(texts(&sig), ["x", "y"]);
+}
+
+// --- properties -----------------------------------------------------------
+
+/// Fragments chosen to collide: every lexer-mode opener/closer, prefix
+/// letter, and multi-byte character, so random concatenations land in the
+/// nastiest corners (a raw-string opener followed by a comment closer, …).
+const FRAGMENTS: &[&str] = &[
+    "r#\"", "\"#", "r\"", "br##\"", "\"##", "b'", "'", "\\", "\"", "/*", "*/", "//", "\n", " ",
+    "'a", "'a'", "ident", "r#type", "0x1F", "1.5e-3", "1..2", "::", "=>", ":", "=", ">", "#", "{",
+    "}", "é", "λ", "🦀", "_",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn tokenize_never_panics_on_fragment_soup(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..64),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let tokens = tokenize(&src);
+        // Every token is non-empty and positions never move backwards.
+        let mut prev = (1u32, 0u32);
+        for t in &tokens {
+            prop_assert!(!t.text.is_empty());
+            prop_assert!((t.line, t.col) > prev, "position went backwards in {src:?}");
+            prev = (t.line, t.col);
+        }
+        // Nothing is lost: token texts sum to the input minus whitespace.
+        let token_chars: usize = tokens.iter().map(|t| t.text.chars().count()).sum();
+        let nonspace = src.chars().filter(|c| !c.is_whitespace()).count();
+        prop_assert!(token_chars >= nonspace, "dropped characters in {src:?}");
+        // significant() must not panic either.
+        let _ = significant(&tokens);
+    }
+
+    #[test]
+    fn tokenize_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u32..256, 0..256),
+    ) {
+        let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = significant(&tokenize(&src));
+    }
+}

@@ -21,6 +21,9 @@
 //! * driver-facing plain data ([`progress`]): the [`Budget`] a simulation
 //!   slice may consume and the [`Progress`] view a running session reports.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod algorithm;
 pub mod configuration;
 pub mod errors;

@@ -14,6 +14,9 @@
 //!   robot within a single active interval of another” condition;
 //! * [`render`] — ASCII timelines reproducing the shape of Figures 1–2.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod argmin;
 pub mod checkpoint;
 pub mod generators;

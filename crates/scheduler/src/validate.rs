@@ -188,8 +188,11 @@ pub fn minimal_async_k(trace: &ScheduleTrace) -> u32 {
     let ivs = trace.intervals();
     let mut worst = 0u32;
     for outer in ivs {
-        use std::collections::HashMap;
-        let mut counts: HashMap<RobotId, u32> = HashMap::new();
+        use std::collections::BTreeMap;
+        // BTreeMap, not HashMap: this crate is on the deterministic surface
+        // (lint rule D1), and ordered maps keep unordered-iteration hazards
+        // out even though only `entry` is used today.
+        let mut counts: BTreeMap<RobotId, u32> = BTreeMap::new();
         for inner in ivs {
             if inner.robot != outer.robot && outer.contains_time(inner.look) {
                 let c = counts.entry(inner.robot).or_insert(0);

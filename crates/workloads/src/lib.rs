@@ -7,6 +7,9 @@
 //! clouds, worst-case-ish lines, rings near the visibility threshold, dense
 //! grids, sparse cluster dumbbells, and 3D balls for the §6.3.2 extension.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use cohesion_geometry::{Vec2, Vec3};
 use cohesion_model::{Configuration, VisibilityGraph};
 use rand::rngs::SmallRng;
