@@ -26,6 +26,14 @@
 //! interleaved in pairs and the median pair ratio is compared, so the bound
 //! is hardware-independent and loaded-runner-robust.
 //!
+//! A fifth check guards the telemetry plane the same way: the identical
+//! session-driven run with a [`StoreObserver`] publishing into a live
+//! [`StateStore`] (one subscriber attached) must stay within
+//! [`MAX_STORE_OVERHEAD`]× of the unobserved run. The observer is cadenced
+//! bookkeeping — a counter bump and a branch per event, a handful of store
+//! publishes per run — and this fails if per-event work (locking, digesting,
+//! allocation) ever creeps onto the observed path.
+//!
 //! Usage: `cargo run --release -p cohesion-bench --bin perf_smoke [-- --quick]`
 //! (`--quick` trims samples for CI).
 
@@ -36,6 +44,7 @@ use cohesion_bench::lookbench::{
 use cohesion_engine::{Budget, LookPath, SimulationBuilder};
 use cohesion_model::NilAlgorithm;
 use cohesion_scheduler::FSyncScheduler;
+use cohesion_telemetry::{StateStore, StoreObserver, DEFAULT_QUEUE_CAPACITY};
 
 /// A current median may be at most this many times the committed one.
 const REGRESSION_FACTOR: f64 = 3.0;
@@ -51,6 +60,10 @@ const MAX_SESSION_OVERHEAD: f64 = 1.1;
 /// The Async arm of the throughput fixture may be at most this many times
 /// slower than the FSync arm at [`ASYNC_CANARY_N`] (median paired ratio).
 const MAX_ASYNC_FSYNC_RATIO: f64 = 2.0;
+
+/// A session-driven run observed by a `StoreObserver` may be at most this
+/// many times slower than the same run unobserved.
+const MAX_STORE_OVERHEAD: f64 = 1.1;
 
 /// Swarm size of the Async-scheduling-overhead canary.
 const ASYNC_CANARY_N: usize = 1024;
@@ -133,6 +146,19 @@ fn main() {
         ));
     }
 
+    let store_overhead = store_overhead_ratio(samples);
+    println!(
+        "telemetry canary at n={SESSION_CANARY_N}: observed / unobserved session \
+         = {store_overhead:.3}x (need ≤ {MAX_STORE_OVERHEAD}x)"
+    );
+    if store_overhead > MAX_STORE_OVERHEAD {
+        failures.push(format!(
+            "StoreObserver-attached run is {store_overhead:.3}x the unobserved \
+             session (bound {MAX_STORE_OVERHEAD}x) — per-event work crept onto \
+             the telemetry publish path?"
+        ));
+    }
+
     if failures.is_empty() {
         println!("perf smoke OK");
     } else {
@@ -184,6 +210,53 @@ fn session_overhead_ratio(samples: usize) -> f64 {
                 assert_eq!(session.events(), SESSION_CANARY_EVENTS);
             });
             sliced / one_shot
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures the telemetry-plane overhead: the session canary's workload
+/// driven in slices, once unobserved and once with a [`StoreObserver`]
+/// publishing into a [`StateStore`] that has one live subscriber (so the
+/// fan-out path is exercised, not skipped). Best-of-N ratio
+/// `observed / unobserved`, the same estimator as
+/// [`session_overhead_ratio`] and for the same reason: real observer
+/// overhead is systematic, noise only inflates.
+fn store_overhead_ratio(samples: usize) -> f64 {
+    let config = look_lattice(SESSION_CANARY_N);
+    let builder = || {
+        SimulationBuilder::new(config.clone(), NilAlgorithm)
+            .scheduler(FSyncScheduler::new())
+            .max_events(SESSION_CANARY_EVENTS)
+            .track_strong_visibility(false)
+            .hull_check_every(0)
+            .diameter_sample_every(0)
+    };
+    let drive = |session: &mut cohesion_engine::Simulation| {
+        while !session
+            .run_for(Budget::events(SESSION_CANARY_SLICE))
+            .is_terminal()
+        {}
+        assert_eq!(session.events(), SESSION_CANARY_EVENTS);
+    };
+    let time = |f: &dyn Fn()| {
+        let start = std::time::Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    };
+    (0..samples.max(5))
+        .map(|_| {
+            let bare = time(&|| {
+                let mut session = builder().build();
+                drive(&mut session);
+            });
+            let observed = time(&|| {
+                let store = StateStore::new();
+                let _sub = store.subscribe(DEFAULT_QUEUE_CAPACITY);
+                let mut session = builder().build();
+                session.observe(StoreObserver::new(store.clone()));
+                drive(&mut session);
+            });
+            observed / bare
         })
         .fold(f64::INFINITY, f64::min)
 }

@@ -128,9 +128,9 @@ impl Experiment for Impossibility {
         }
         println!("spiral sizes follow n ≈ 3 + e^{{3π/(8 sin ψ)}}:");
         for &psi in &[0.35, 0.3, 0.25, 0.2] {
+            let built = SpiralConstruction::paper(psi).robot_count();
             println!(
-                "  ψ = {psi}: built n = {} (estimate {:.0})",
-                SpiralConstruction::paper(psi).robot_count(),
+                "  ψ = {psi:?}: built n = {built} (estimate {:.0})",
                 SpiralConstruction::paper_size_estimate(psi)
             );
         }

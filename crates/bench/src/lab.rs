@@ -25,10 +25,12 @@ use cohesion_adversary::{run_impossibility, ImpossibilityOutcome};
 use cohesion_engine::SimulationReport;
 use cohesion_geometry::{Vec2, Vec3};
 use cohesion_model::Progress;
+use cohesion_telemetry::sync::Guarded;
+use cohesion_telemetry::{keys, StateStore};
 use serde::Serialize;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Profile
@@ -137,18 +139,87 @@ pub trait ProgressOutput: Send + Sync {
 }
 
 /// File-backed [`ProgressOutput`]: one compact-JSON line per record. Lines
-/// are written atomically under a mutex, so concurrent cells interleave
-/// whole records, never bytes.
+/// are written atomically through the telemetry plane's closure-scoped
+/// [`Guarded`] lock, so concurrent cells interleave whole records, never
+/// bytes — and the only concurrency primitive lives in the audited
+/// `cohesion_telemetry::sync` module.
 #[derive(Debug)]
 pub struct JsonlProgressOutput {
-    out: Mutex<std::fs::File>,
+    out: Guarded<std::fs::File>,
 }
 
 impl ProgressOutput for JsonlProgressOutput {
     fn record(&self, record: &ProgressRecord) {
         let line = serde_json::to_string(record).expect("serialize progress record");
-        let mut out = self.out.lock().expect("progress sidecar poisoned");
-        writeln!(out, "{line}").expect("write progress record");
+        self.out
+            .with(|out| writeln!(out, "{line}"))
+            .expect("write progress record");
+    }
+}
+
+/// Store-backed [`ProgressOutput`]: publishes each record's fields into a
+/// [`StateStore`] under a per-cell scope, optionally forwarding the record
+/// to another output (tee). This is how a locally-run experiment — and the
+/// coordinator's Heartbeat path — feed the live `lab watch` plane without
+/// touching the row pipeline.
+pub struct StoreProgressOutput {
+    store: Arc<StateStore>,
+    forward: Option<Box<dyn ProgressOutput>>,
+}
+
+impl StoreProgressOutput {
+    /// An output that only publishes into `store`.
+    #[must_use]
+    pub fn new(store: Arc<StateStore>) -> StoreProgressOutput {
+        StoreProgressOutput {
+            store,
+            forward: None,
+        }
+    }
+
+    /// Tees: publish into `store`, then forward to `out`.
+    #[must_use]
+    pub fn tee(store: Arc<StateStore>, out: Box<dyn ProgressOutput>) -> StoreProgressOutput {
+        StoreProgressOutput {
+            store,
+            forward: Some(out),
+        }
+    }
+}
+
+impl ProgressOutput for StoreProgressOutput {
+    fn record(&self, record: &ProgressRecord) {
+        publish_progress(&self.store, record);
+        if let Some(forward) = &self.forward {
+            forward.record(record);
+        }
+    }
+}
+
+/// Publishes one progress record into a store under the scope
+/// `"<experiment>"` (unsharded) or `"<experiment>/<I>of<M>"`. The standard
+/// `progress/*` tokens (see `cohesion_telemetry::keys`) carry the record's
+/// fields; the latest record per scope wins, which is exactly the
+/// dashboard view.
+pub fn publish_progress(store: &StateStore, record: &ProgressRecord) {
+    let scope = if record.shard.is_empty() {
+        record.experiment.clone()
+    } else {
+        format!("{}/{}", record.experiment, record.shard.replace('/', "of"))
+    };
+    store.publish_scoped(&scope, keys::CELL, record.cell as u64);
+    store.publish_scoped(&scope, keys::CELL_PHASE, record.phase.clone());
+    if !record.tag.is_empty() {
+        store.publish_scoped(&scope, keys::CELL_TAG, record.tag.clone());
+    }
+    store.publish_scoped(&scope, keys::CELL_EVENTS, record.events as u64);
+    store.publish_scoped(&scope, keys::CELL_ROUNDS, record.rounds as u64);
+    store.publish_scoped(&scope, keys::CELL_TIME, record.time);
+    store.publish_scoped(&scope, keys::CELL_DIAMETER, record.diameter);
+    store.publish_scoped(&scope, keys::CELL_COHESION_OK, record.cohesion_ok);
+    store.publish_scoped(&scope, keys::CELL_CONVERGED, record.converged);
+    if record.phase == "done" {
+        store.publish_scoped(&scope, keys::CELL_ROWS, record.rows as u64);
     }
 }
 
@@ -183,7 +254,7 @@ impl ProgressSink {
             experiment,
             shard,
             Box::new(JsonlProgressOutput {
-                out: Mutex::new(file),
+                out: Guarded::new(file),
             }),
         ))
     }
@@ -823,6 +894,10 @@ usage:
                                              once all shards are merged
   lab worker --connect HOST:PORT [options]   run shards for a coordinator until
                                              it sends shutdown
+  lab watch --connect HOST:PORT [--json]     attach to a coordinator as a live
+                                             telemetry watcher (any time
+                                             mid-run; read-only, cannot affect
+                                             the run or its row bytes)
   lab lint [--json]                          run cohesion-lint over the whole
                                              workspace (non-zero exit on any
                                              violation not allowlisted in
@@ -852,7 +927,14 @@ worker options:
   --checkpoint-events N    mid-cell checkpoint cadence in engine events
                            (default 5000000); each checkpoint is shipped to
                            the coordinator so a killed worker's shard resumes
-                           instead of recomputing";
+                           instead of recomputing
+
+watch options:
+  --connect HOST:PORT      coordinator address (required)
+  --json                   emit one compact JSON object per state update
+                           ({\"seq\":N,\"key\":\"...\",\"value\":{\"F64\":...}})
+                           plus a {\"dropped\":N} line per lossy batch,
+                           instead of the terminal summary table";
 
 /// Resolves a registry experiment by name (the `exp_` prefix of the old
 /// shim binaries is accepted and stripped).
@@ -882,6 +964,7 @@ struct Parsed {
     shards: Option<usize>,
     heartbeat_ms: Option<u64>,
     checkpoint_events: Option<usize>,
+    json: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Parsed, String> {
@@ -896,6 +979,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         shards: None,
         heartbeat_ms: None,
         checkpoint_events: None,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -928,6 +1012,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
             }
             "--progress" => parsed.opts.progress = true,
             "--all" => parsed.all = true,
+            "--json" => parsed.json = true,
             "--addr" => {
                 let v = it.next().ok_or("--addr needs a HOST:PORT value")?;
                 parsed.addr = Some(v.clone());
@@ -1119,6 +1204,16 @@ pub fn lab_main(args: &[String]) -> Result<(), String> {
                 opts.checkpoint_events = n;
             }
             crate::net::run_worker(&opts)?;
+            Ok(())
+        }
+        "watch" => {
+            let parsed = parse_args(rest)?;
+            let Some(addr) = parsed.connect else {
+                return Err(format!("`lab watch` needs --connect HOST:PORT\n\n{USAGE}"));
+            };
+            let mut opts = crate::net::WatchOptions::new(addr);
+            opts.json = parsed.json;
+            crate::net::run_watch(&opts)?;
             Ok(())
         }
         "lint" => {

@@ -26,13 +26,14 @@
 use super::codec::{write_frame, FrameError, FrameReader};
 use super::liveness::{Liveness, WorkItem, WorkTracker};
 use super::protocol::{Message, PROTOCOL_VERSION};
-use crate::lab::{merge_shards, Experiment, Profile, Shard};
+use crate::lab::{merge_shards, publish_progress, Experiment, Profile, Shard};
 use crate::resume::ShardCheckpoint;
+use cohesion_telemetry::{keys, StateStore, DEFAULT_QUEUE_CAPACITY};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Coordinator configuration.
@@ -92,6 +93,8 @@ pub struct ServeSummary {
     pub resumes: usize,
     /// Workers that completed the handshake.
     pub workers: usize,
+    /// Watchers that attached via `Subscribe` at any point in the run.
+    pub watchers: usize,
     /// Wall clock from listen to merge completion.
     pub elapsed: Duration,
 }
@@ -106,6 +109,12 @@ struct Ctx<'a> {
     tracker: Mutex<WorkTracker>,
     workers: AtomicUsize,
     resumes: AtomicUsize,
+    watchers: AtomicUsize,
+    shards_done: AtomicUsize,
+    rows_total: AtomicU64,
+    /// The aggregated telemetry plane: every worker heartbeat and serve
+    /// counter lands here; watcher connections re-broadcast it.
+    store: Arc<StateStore>,
 }
 
 impl Ctx<'_> {
@@ -173,7 +182,13 @@ pub fn serve_on(listener: TcpListener, opts: ServeOptions) -> Result<ServeSummar
         tracker: Mutex::new(WorkTracker::new(items, opts.max_attempts)),
         workers: AtomicUsize::new(0),
         resumes: AtomicUsize::new(0),
+        watchers: AtomicUsize::new(0),
+        shards_done: AtomicUsize::new(0),
+        rows_total: AtomicU64::new(0),
+        store: StateStore::new(),
     };
+    ctx.store.publish(keys::SHARDS_TOTAL, shards as u64);
+    ctx.store.publish(keys::SHARDS_DONE, 0);
 
     listener
         .set_nonblocking(true)
@@ -218,12 +233,14 @@ pub fn serve_on(listener: TcpListener, opts: ServeOptions) -> Result<ServeSummar
         reassignments: tracker.reassignments(),
         resumes: ctx.resumes.load(Ordering::Relaxed),
         workers: ctx.workers.load(Ordering::Relaxed),
+        watchers: ctx.watchers.load(Ordering::Relaxed),
         elapsed: started.elapsed(),
     };
     println!(
-        "[serve] done: {} shard(s), {} worker(s), {} reassignment(s), {} resume(s), {:.2}s",
+        "[serve] done: {} shard(s), {} worker(s), {} watcher(s), {} reassignment(s), {} resume(s), {:.2}s",
         summary.shards,
         summary.workers,
+        summary.watchers,
         summary.reassignments,
         summary.resumes,
         summary.elapsed.as_secs_f64()
@@ -307,9 +324,16 @@ fn handle_worker(stream: TcpStream, ctx: &Ctx<'_>) {
                 if write_frame(&mut writer, &welcome).is_err() {
                     return;
                 }
-                ctx.workers.fetch_add(1, Ordering::Relaxed);
+                let workers = ctx.workers.fetch_add(1, Ordering::Relaxed) + 1;
+                ctx.store.publish(keys::WORKERS, workers as u64);
                 println!("[serve] {peer}: handshake ok ({cores} cores)");
                 break;
+            }
+            Ok(Some(Message::Subscribe { version })) => {
+                // A telemetry watcher, not a worker: hand the connection to
+                // the read-only broadcast loop and never touch the tracker.
+                handle_watcher(reader, writer, ctx, &peer, version);
+                return;
             }
             Ok(Some(other)) => {
                 println!("[serve] {peer}: expected Hello, got {other:?}; dropping");
@@ -365,7 +389,12 @@ fn collect_shard(
     let label = format!("{} {shard_str}", exp.name());
     let requeue = |item: WorkItem, why: &str| {
         println!("[serve] {peer}: {why}; requeueing {label}");
-        ctx.tracker.lock().expect("tracker poisoned").requeue(item);
+        let reassignments = {
+            let mut tracker = ctx.tracker.lock().expect("tracker poisoned");
+            tracker.requeue(item);
+            tracker.reassignments()
+        };
+        ctx.store.publish(keys::REASSIGNMENTS, reassignments as u64);
     };
 
     // (Re)create the shard file first: a reassigned shard must not keep a
@@ -434,8 +463,15 @@ fn collect_shard(
     let mut lines: u64 = 0;
     loop {
         match reader.read() {
-            Ok(Some(Message::KeepAlive)) | Ok(Some(Message::Heartbeat { .. })) => {
+            Ok(Some(Message::KeepAlive)) => {
                 liveness.beat();
+            }
+            Ok(Some(Message::Heartbeat { record })) => {
+                liveness.beat();
+                // The worker's progress stream doubles as the telemetry
+                // feed: every heartbeat lands in the aggregated store for
+                // any attached watcher.
+                publish_progress(&ctx.store, &record);
             }
             Ok(Some(Message::Rows {
                 experiment,
@@ -495,6 +531,10 @@ fn collect_shard(
                     return false;
                 }
                 ctx.tracker.lock().expect("tracker poisoned").complete();
+                let done = ctx.shards_done.fetch_add(1, Ordering::Relaxed) + 1;
+                let total_rows = ctx.rows_total.fetch_add(rows, Ordering::Relaxed) + rows;
+                ctx.store.publish(keys::SHARDS_DONE, done as u64);
+                ctx.store.publish(keys::ROWS_TOTAL, total_rows);
                 // The shard is durable in its .jsonl now; its checkpoint
                 // is dead weight (and stale for any future run).
                 let _ = std::fs::remove_file(&ckpt_path);
@@ -562,4 +602,88 @@ fn persist_checkpoint(
     let tmp = path.with_extension("ckpt.tmp");
     std::fs::write(&tmp, state).map_err(|e| format!("write {}: {e}", tmp.display()))?;
     std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", tmp.display()))
+}
+
+/// One watcher connection: version-check the `Subscribe`, `Welcome` it,
+/// then stream batched `StateUpdate` frames from the aggregated store
+/// until the run finishes or the watcher goes away.
+///
+/// Isolation is the whole point of the shape here. The subscription's
+/// queue is bounded (overflow drops the oldest updates and counts them),
+/// the socket write carries a timeout (a stalled watcher's batch errors
+/// out instead of wedging this thread past scope-join), and nothing in
+/// this loop touches the work tracker — so a watcher attaching, stalling,
+/// or detaching at any moment cannot move a single byte in the row files.
+fn handle_watcher(
+    mut reader: FrameReader<TcpStream>,
+    mut writer: TcpStream,
+    ctx: &Ctx<'_>,
+    peer: &str,
+    version: u32,
+) {
+    if version != PROTOCOL_VERSION {
+        println!("[serve] {peer}: watcher protocol v{version} != v{PROTOCOL_VERSION}; rejecting");
+        let _ = write_frame(
+            &mut writer,
+            &Message::Reject {
+                reason: format!(
+                    "protocol version mismatch: watcher v{version}, coordinator v{PROTOCOL_VERSION}"
+                ),
+            },
+        );
+        return;
+    }
+    let welcome = Message::Welcome {
+        version: PROTOCOL_VERSION,
+        heartbeat_ms: ctx.heartbeat.as_millis() as u64,
+    };
+    if write_frame(&mut writer, &welcome).is_err() {
+        return;
+    }
+    let watchers = ctx.watchers.fetch_add(1, Ordering::Relaxed) + 1;
+    println!("[serve] {peer}: watcher attached ({watchers} so far)");
+
+    // Batch cadence: pace on the socket read timeout — the watcher sends
+    // nothing after Subscribe, so every read returns Timeout on schedule.
+    // The clone shares the underlying socket, so both timeouts stick.
+    let pace = ctx.heartbeat.min(Duration::from_millis(250));
+    if writer.set_read_timeout(Some(pace)).is_err()
+        || writer.set_write_timeout(Some(ctx.heartbeat)).is_err()
+    {
+        println!("[serve] {peer}: cannot set watcher timeouts; dropping");
+        return;
+    }
+
+    let sub = ctx.store.subscribe(DEFAULT_QUEUE_CAPACITY);
+    loop {
+        // Read the finish flag *before* draining: anything published
+        // after this drain is at most one batch behind the final one.
+        let finished = ctx.finished();
+        let drain = sub.poll();
+        let batch = Message::StateUpdate {
+            updates: drain.updates,
+            dropped: drain.dropped,
+        };
+        if write_frame(&mut writer, &batch).is_err() {
+            println!("[serve] {peer}: watcher write failed; detaching");
+            return;
+        }
+        if finished {
+            let _ = write_frame(&mut writer, &Message::Shutdown);
+            println!("[serve] {peer}: watcher done");
+            return;
+        }
+        match reader.read() {
+            Err(FrameError::Timeout) => {} // the pacing tick
+            Ok(None) => {
+                println!("[serve] {peer}: watcher detached");
+                return;
+            }
+            Ok(Some(_)) => {} // watchers have nothing to say; ignore
+            Err(e) => {
+                println!("[serve] {peer}: watcher read failed: {e}");
+                return;
+            }
+        }
+    }
 }

@@ -30,6 +30,15 @@
 //!   assign → run (the existing [`Experiment`](crate::lab::Experiment)
 //!   registry on the resumable `Simulation` session, heartbeats bridged
 //!   from the PR 5 progress handle) → stream rows → done.
+//! * [`watch`] — `lab watch`: a read-only telemetry client. Its first
+//!   frame is `Subscribe` (protocol v3) instead of `Hello`; the
+//!   coordinator re-broadcasts its aggregated
+//!   [`StateStore`](cohesion_telemetry::StateStore) as batched
+//!   `StateUpdate` frames, which `watch` renders as a live terminal
+//!   summary or (`--json`) newline-JSON frames. Watchers ride a bounded
+//!   subscription queue with drop accounting, so a slow or stalled
+//!   watcher loses updates but can never slow the run — row files stay
+//!   byte-identical with any number of watchers attached.
 //!
 //! The byte-identity contract is exactly the PR 4 sharding contract lifted
 //! over sockets: a shard's rows are a pure function of its spec slice, the
@@ -41,10 +50,12 @@ pub mod codec;
 pub mod coordinator;
 pub mod liveness;
 pub mod protocol;
+pub mod watch;
 pub mod worker;
 
 pub use codec::{FrameError, FrameReader, MAX_FRAME_BYTES};
 pub use coordinator::{serve, serve_on, ServeOptions, ServeSummary};
 pub use liveness::{Liveness, WorkItem, WorkTracker};
 pub use protocol::{Message, PROTOCOL_VERSION};
+pub use watch::{run_watch, WatchOptions, WatchSummary};
 pub use worker::{run_worker, WorkerOptions, WorkerSummary};

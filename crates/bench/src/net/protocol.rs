@@ -7,6 +7,7 @@
 //! decoding half is hand-written against the `Value` tree here, one place.
 
 use crate::lab::ProgressRecord;
+use cohesion_telemetry::{StateUpdate, TelemetryValue};
 use serde::Serialize;
 use serde_json::Value;
 
@@ -17,7 +18,12 @@ use serde_json::Value;
 /// v2: `Assign` carries a `resume` flag and the bidirectional `Checkpoint`
 /// frame exists — workers persist shard state through the coordinator, and
 /// the coordinator offers the last good checkpoint on reassignment.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: the telemetry plane. A client whose *first* frame is
+/// [`Message::Subscribe`] (instead of `Hello`) attaches as a read-only
+/// watcher; the coordinator answers `Welcome` and then streams
+/// [`Message::StateUpdate`] batches from its aggregated state store.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// One protocol frame payload.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -112,6 +118,23 @@ pub enum Message {
         /// What went wrong.
         error: String,
     },
+    /// Watcher → coordinator, first frame (in place of `Hello`): attach as
+    /// a read-only telemetry subscriber. Version-checked like `Hello`;
+    /// accepted watchers get a `Welcome` and then `StateUpdate` batches.
+    Subscribe {
+        /// The watcher's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Coordinator → watcher: a batch of state-store updates, in publish
+    /// order, plus the subscriber's queue-overflow accounting for the
+    /// batch window. An empty batch is a valid liveness tick.
+    StateUpdate {
+        /// Updates drained since the previous batch, oldest first.
+        updates: Vec<StateUpdate>,
+        /// Updates this watcher lost to bounded-queue overflow since the
+        /// previous batch (slow watchers lose data, never slow the run).
+        dropped: u64,
+    },
     /// Coordinator → worker: no more work; close cleanly.
     Shutdown,
 }
@@ -181,6 +204,18 @@ impl Message {
                 shard: str_field(body, "shard")?,
                 error: str_field(body, "error")?,
             }),
+            "Subscribe" => Ok(Message::Subscribe {
+                version: u32_field(body, "version")?,
+            }),
+            "StateUpdate" => Ok(Message::StateUpdate {
+                updates: field(body, "updates")?
+                    .as_array()
+                    .ok_or("field `updates` is not an array")?
+                    .iter()
+                    .map(state_update)
+                    .collect::<Result<Vec<StateUpdate>, String>>()?,
+                dropped: u64_field(body, "dropped")?,
+            }),
             other => Err(format!("unknown message `{other}`")),
         }
     }
@@ -225,6 +260,41 @@ fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
     field(v, key)?
         .as_bool()
         .ok_or_else(|| format!("field `{key}` is not a boolean"))
+}
+
+fn telemetry_value(v: &Value) -> Result<TelemetryValue, String> {
+    let obj = v.as_object().ok_or("telemetry value is not an object")?;
+    let mut entries = obj.iter();
+    let (Some((tag, body)), None) = (entries.next(), entries.next()) else {
+        return Err("telemetry value must have exactly one key".into());
+    };
+    match tag.as_str() {
+        "U64" => body
+            .as_u64()
+            .map(TelemetryValue::U64)
+            .ok_or_else(|| "U64 value is not an unsigned integer".into()),
+        "F64" => body
+            .as_f64()
+            .map(TelemetryValue::F64)
+            .ok_or_else(|| "F64 value is not a number".into()),
+        "Bool" => body
+            .as_bool()
+            .map(TelemetryValue::Bool)
+            .ok_or_else(|| "Bool value is not a boolean".into()),
+        "Text" => body
+            .as_str()
+            .map(|s| TelemetryValue::Text(s.to_string()))
+            .ok_or_else(|| "Text value is not a string".into()),
+        other => Err(format!("unknown telemetry value tag `{other}`")),
+    }
+}
+
+fn state_update(v: &Value) -> Result<StateUpdate, String> {
+    Ok(StateUpdate {
+        seq: u64_field(v, "seq")?,
+        key: str_field(v, "key")?,
+        value: telemetry_value(field(v, "value")?)?,
+    })
 }
 
 fn progress_record(v: &Value) -> Result<ProgressRecord, String> {

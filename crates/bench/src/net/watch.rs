@@ -1,0 +1,195 @@
+//! `lab watch`: the live-dashboard client.
+//!
+//! Connects to a `lab serve` coordinator, sends a protocol-v3 `Subscribe`
+//! as its first frame (where a worker would send `Hello`), and consumes
+//! batched `StateUpdate` frames until the coordinator finishes the run
+//! (`Shutdown`) or the connection drops. Attaching mid-run is cheap and
+//! complete: the coordinator seeds the subscription with a snapshot of
+//! the latest value per key, so the first batch is the current state of
+//! the whole fleet.
+//!
+//! Two render modes:
+//!
+//! * **table** (default) — keeps a key → latest-value mirror and reprints
+//!   a sorted summary block whenever a batch brought news;
+//! * **`--json`** — emits each update verbatim as one compact JSON line
+//!   (`{"seq":N,"key":"...","value":{"F64":...}}`), plus a
+//!   `{"dropped":N}` accounting line whenever the coordinator reports
+//!   queue overflow — the machine-readable feed for external UIs.
+//!
+//! The watcher is read-only by construction: it holds no tracker state,
+//! sends nothing after `Subscribe`, and its slowness is absorbed by the
+//! coordinator's bounded subscription queue (losses are reported, never
+//! propagated into the run).
+
+use super::codec::{write_frame, FrameError, FrameReader};
+use super::protocol::{Message, PROTOCOL_VERSION};
+use super::worker::connect_with_retry;
+use cohesion_telemetry::{StateUpdate, TelemetryValue};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::time::Duration;
+
+/// Watch client configuration.
+#[derive(Debug, Clone)]
+pub struct WatchOptions {
+    /// Coordinator address (`host:port`).
+    pub addr: String,
+    /// Emit newline-JSON frames instead of the terminal table.
+    pub json: bool,
+    /// Total budget for connect retries (covers watchers launched before
+    /// the coordinator binds).
+    pub connect_retry: Duration,
+}
+
+impl WatchOptions {
+    /// Defaults: table mode, 10-second connect budget.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> WatchOptions {
+        WatchOptions {
+            addr: addr.into(),
+            json: false,
+            connect_retry: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a completed watch session saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchSummary {
+    /// `StateUpdate` batches received (empty liveness batches included).
+    pub batches: u64,
+    /// Individual updates received.
+    pub updates: u64,
+    /// Updates the coordinator reported as lost to this watcher's bounded
+    /// queue.
+    pub dropped: u64,
+    /// `true` when the coordinator closed the session with `Shutdown`
+    /// (run finished), `false` on EOF/error.
+    pub clean_shutdown: bool,
+}
+
+/// Runs the watch client to completion against `opts.addr`, writing to
+/// stdout. Returns once the coordinator shuts the session down or the
+/// connection drops.
+pub fn run_watch(opts: &WatchOptions) -> Result<WatchSummary, String> {
+    let stream = connect_with_retry(&opts.addr, opts.connect_retry)?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let mut reader = FrameReader::new(stream);
+
+    write_frame(
+        &mut writer,
+        &Message::Subscribe {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .map_err(|e| format!("send Subscribe: {e}"))?;
+    match reader.read() {
+        Ok(Some(Message::Welcome { version, .. })) => {
+            if version != PROTOCOL_VERSION {
+                return Err(format!(
+                    "coordinator answered v{version}, watcher speaks v{PROTOCOL_VERSION}"
+                ));
+            }
+        }
+        Ok(Some(Message::Reject { reason })) => return Err(format!("rejected: {reason}")),
+        Ok(Some(other)) => return Err(format!("expected Welcome, got {other:?}")),
+        Ok(None) => return Err("coordinator closed during handshake".into()),
+        Err(e) => return Err(format!("handshake read: {e}")),
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut mirror: BTreeMap<String, StateUpdate> = BTreeMap::new();
+    let mut summary = WatchSummary {
+        batches: 0,
+        updates: 0,
+        dropped: 0,
+        clean_shutdown: false,
+    };
+    loop {
+        match reader.read() {
+            Ok(Some(Message::StateUpdate { updates, dropped })) => {
+                summary.batches += 1;
+                summary.updates += updates.len() as u64;
+                summary.dropped += dropped;
+                if opts.json {
+                    render_json(&mut out, &updates, dropped)?;
+                } else if !updates.is_empty() || dropped > 0 {
+                    for update in updates {
+                        mirror.insert(update.key.clone(), update);
+                    }
+                    render_table(&mut out, &mirror, summary.dropped)?;
+                }
+            }
+            Ok(Some(Message::KeepAlive)) => {}
+            Ok(Some(Message::Shutdown)) => {
+                summary.clean_shutdown = true;
+                break;
+            }
+            Ok(Some(other)) => return Err(format!("unexpected frame {other:?}")),
+            Ok(None) => break,
+            Err(FrameError::Timeout) => {}
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+    if !opts.json {
+        writeln!(
+            out,
+            "[watch] session over: {} update(s) in {} batch(es), {} dropped, {}",
+            summary.updates,
+            summary.batches,
+            summary.dropped,
+            if summary.clean_shutdown {
+                "run finished"
+            } else {
+                "connection closed"
+            }
+        )
+        .map_err(|e| format!("stdout: {e}"))?;
+    }
+    Ok(summary)
+}
+
+/// One compact JSON object per update — the exact store wire shape — plus
+/// one `{"dropped":N}` line per lossy batch.
+fn render_json(out: &mut impl Write, updates: &[StateUpdate], dropped: u64) -> Result<(), String> {
+    for update in updates {
+        let line = serde_json::to_string(update).map_err(|e| format!("encode update: {e}"))?;
+        writeln!(out, "{line}").map_err(|e| format!("stdout: {e}"))?;
+    }
+    if dropped > 0 {
+        writeln!(out, "{{\"dropped\":{dropped}}}").map_err(|e| format!("stdout: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("stdout: {e}"))
+}
+
+/// Reprints the full sorted key → value block. Floats are rendered with an
+/// explicit fixed precision (lint rule D6): a dashboard is a human
+/// surface, not a round-trip surface.
+fn render_table(
+    out: &mut impl Write,
+    mirror: &BTreeMap<String, StateUpdate>,
+    dropped_total: u64,
+) -> Result<(), String> {
+    let width = mirror.keys().map(|k| k.len()).max().unwrap_or(0);
+    writeln!(out, "--- lab watch · {} key(s) ---", mirror.len())
+        .map_err(|e| format!("stdout: {e}"))?;
+    for (key, update) in mirror {
+        let rendered = match &update.value {
+            TelemetryValue::U64(v) => v.to_string(),
+            TelemetryValue::F64(v) => format!("{v:.6}"),
+            TelemetryValue::Bool(v) => v.to_string(),
+            TelemetryValue::Text(v) => v.clone(),
+        };
+        writeln!(out, "{key:width$}  {rendered}").map_err(|e| format!("stdout: {e}"))?;
+    }
+    if dropped_total > 0 {
+        writeln!(out, "({dropped_total} update(s) dropped so far)")
+            .map_err(|e| format!("stdout: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("stdout: {e}"))
+}

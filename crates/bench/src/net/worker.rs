@@ -123,7 +123,7 @@ fn backoff_delay(attempt: u32, salt: u64) -> Duration {
     Duration::from_millis(ceiling / 2 + z % (ceiling / 2 + 1))
 }
 
-fn connect_with_retry(addr: &str, budget: Duration) -> Result<TcpStream, String> {
+pub(crate) fn connect_with_retry(addr: &str, budget: Duration) -> Result<TcpStream, String> {
     let deadline = Instant::now() + budget;
     let salt = u64::from(std::process::id()) ^ fnv1a(addr.as_bytes());
     let mut attempt = 0u32;

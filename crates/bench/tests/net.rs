@@ -18,6 +18,7 @@ use cohesion_bench::net::{
     MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use cohesion_bench::resume::{run_shard_resumable, CheckpointControl, ShardCheckpoint};
+use cohesion_telemetry::{StateUpdate, TelemetryValue};
 use proptest::prelude::*;
 use std::io::Cursor;
 use std::net::{TcpListener, TcpStream};
@@ -114,6 +115,34 @@ fn every_variant() -> Vec<Message> {
             experiment: "k_scaling".into(),
             shard: "1/4".into(),
             error: "invariant check failed: diameter grew".into(),
+        },
+        Message::Subscribe {
+            version: PROTOCOL_VERSION,
+        },
+        Message::StateUpdate {
+            updates: vec![
+                StateUpdate {
+                    seq: 1,
+                    key: "serve/shards_total".into(),
+                    value: TelemetryValue::U64(4),
+                },
+                StateUpdate {
+                    seq: 2,
+                    key: "k_scaling/1of4/progress/diameter".into(),
+                    value: TelemetryValue::F64(0.125),
+                },
+                StateUpdate {
+                    seq: 3,
+                    key: "k_scaling/1of4/progress/phase".into(),
+                    value: TelemetryValue::Text("heartbeat \"quoted\"".into()),
+                },
+                StateUpdate {
+                    seq: 4,
+                    key: "k_scaling/1of4/progress/cohesion_ok".into(),
+                    value: TelemetryValue::Bool(true),
+                },
+            ],
+            dropped: 7,
         },
         Message::Shutdown,
     ]
@@ -247,6 +276,47 @@ fn round_trip_failed() {
         experiment: "k_scaling".into(),
         shard: "1/4".into(),
         error: "invariant check failed: diameter grew".into(),
+    });
+}
+
+#[test]
+fn round_trip_subscribe() {
+    assert_round_trip(Message::Subscribe {
+        version: PROTOCOL_VERSION,
+    });
+}
+
+#[test]
+fn round_trip_state_update() {
+    assert_round_trip(Message::StateUpdate {
+        updates: vec![
+            StateUpdate {
+                seq: 41,
+                key: "engine/positions_digest".into(),
+                value: TelemetryValue::U64(0xDEAD_BEEF),
+            },
+            StateUpdate {
+                seq: 42,
+                key: "engine/diameter".into(),
+                value: TelemetryValue::F64(1.0625e-3),
+            },
+            StateUpdate {
+                seq: 43,
+                key: "k_scaling/0of2/progress/phase".into(),
+                value: TelemetryValue::Text("tag \"λ→∎\" \\ tab\t".into()),
+            },
+            StateUpdate {
+                seq: 44,
+                key: "k_scaling/0of2/progress/converged".into(),
+                value: TelemetryValue::Bool(false),
+            },
+        ],
+        dropped: 3,
+    });
+    // The empty batch is the watcher-liveness tick; it must survive too.
+    assert_round_trip(Message::StateUpdate {
+        updates: Vec::new(),
+        dropped: 0,
     });
 }
 

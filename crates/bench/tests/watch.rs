@@ -1,0 +1,214 @@
+//! The telemetry plane's non-interference contract, end to end.
+//!
+//! The acceptance bar from the subsystem's charter: row files must be
+//! byte-identical with 0, 1, and N watchers attached — including a
+//! watcher that stalls (subscribes, then never reads its socket again)
+//! and one that detaches mid-run. The suite drives a real
+//! serve + worker + watcher fleet over loopback TCP on the quick
+//! `k_scaling` grid and compares the merged bytes against the unsharded
+//! golden run, plus checks the watcher-side view: a clean shutdown, a
+//! seeded snapshot on mid-run attach, and serve-level counters that add
+//! up.
+
+use cohesion_bench::lab::{run_experiment, Experiment, LabOptions, Profile};
+use cohesion_bench::net::{
+    codec::write_frame, run_watch, run_worker, serve_on, FrameReader, Message, ServeOptions,
+    WatchOptions, WorkerOptions, PROTOCOL_VERSION,
+};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/watch-test-scratch")
+        .join(format!("{label}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn registry_experiment(name: &str) -> &'static dyn Experiment {
+    *cohesion_bench::experiments::REGISTRY
+        .iter()
+        .find(|e| e.name() == name)
+        .expect("registered")
+}
+
+/// The unsharded golden bytes for one registry experiment (quick profile).
+fn golden_bytes(name: &str) -> Vec<u8> {
+    let exp = registry_experiment(name);
+    let dir = scratch_dir(&format!("golden-{name}"));
+    let opts = LabOptions {
+        profile: Profile::Quick,
+        threads: Some(1),
+        out_dir: Some(dir.clone()),
+        shard: None,
+        progress: false,
+    };
+    run_experiment(exp, &opts).expect("golden run");
+    let bytes = std::fs::read(dir.join(format!("{}.jsonl", exp.output_stem()))).expect("golden");
+    std::fs::remove_dir_all(&dir).ok();
+    bytes
+}
+
+/// A raw watcher that subscribes and then never reads its socket again —
+/// the worst-behaved subscriber there is. Returns the open streams so the
+/// caller controls when the stall ends (at scope exit).
+fn stalling_watcher(addr: &str) -> (TcpStream, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("stall connect");
+    let mut writer = stream.try_clone().expect("stall clone");
+    write_frame(
+        &mut writer,
+        &Message::Subscribe {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .expect("stall subscribe");
+    // Never read again: the kernel buffer fills, the coordinator's write
+    // times out, and the watcher is detached — the run must not care.
+    (stream, writer)
+}
+
+/// The full fleet: serve + 1 worker + a well-behaved `run_watch` client +
+/// a stalling watcher + a watcher that detaches mid-run. Rows must match
+/// the watcher-free unsharded golden byte-for-byte, and the run_watch
+/// client must see a clean shutdown with sensible counters.
+#[test]
+fn watched_run_is_byte_identical_to_golden() {
+    let golden = golden_bytes("k_scaling");
+    let dir = scratch_dir("watched-run");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+
+    let mut opts = ServeOptions::new(
+        vec![registry_experiment("k_scaling")],
+        Profile::Quick,
+        dir.clone(),
+        2,
+    );
+    opts.heartbeat = Duration::from_millis(200);
+
+    let (summary, watch_summary) = std::thread::scope(|scope| {
+        let server = scope.spawn(move || serve_on(listener, opts));
+
+        // Watcher 1: attaches before any worker and stays to the end.
+        let watch_addr = addr.clone();
+        let watcher = scope.spawn(move || run_watch(&WatchOptions::new(watch_addr)));
+
+        // Watcher 2: subscribes, then stalls for the whole run.
+        let _stall = stalling_watcher(&addr);
+
+        // Watcher 3: attaches, reads its Welcome and first batch, then
+        // detaches mid-run by dropping the connection.
+        {
+            let stream = TcpStream::connect(&addr).expect("detach connect");
+            let mut writer = stream.try_clone().expect("detach clone");
+            write_frame(
+                &mut writer,
+                &Message::Subscribe {
+                    version: PROTOCOL_VERSION,
+                },
+            )
+            .expect("detach subscribe");
+            let mut reader = FrameReader::new(stream);
+            match reader.read() {
+                Ok(Some(Message::Welcome { version, .. })) => {
+                    assert_eq!(version, PROTOCOL_VERSION);
+                }
+                other => panic!("expected Welcome, got {other:?}"),
+            }
+            match reader.read() {
+                Ok(Some(Message::StateUpdate { updates, .. })) => {
+                    // The seeded snapshot: serve-level keys are already
+                    // published before any watcher attaches.
+                    assert!(
+                        updates.iter().any(|u| u.key == "serve/shards_total"),
+                        "first batch must carry the snapshot, got {updates:?}"
+                    );
+                }
+                other => panic!("expected StateUpdate, got {other:?}"),
+            }
+            // Dropping reader/writer here detaches mid-run.
+        }
+
+        let worker = scope.spawn(|| run_worker(&WorkerOptions::new(addr.clone())));
+        let summary = server.join().expect("server thread").expect("serve ok");
+        worker.join().expect("worker thread").expect("worker ok");
+        let watch_summary = watcher.join().expect("watch thread").expect("watch ok");
+        (summary, watch_summary)
+    });
+
+    assert_eq!(summary.workers, 1);
+    assert_eq!(summary.shards, 2);
+    assert_eq!(summary.watchers, 3, "all three subscribers counted");
+    assert!(watch_summary.clean_shutdown, "run finished while attached");
+    assert!(
+        watch_summary.updates > 0,
+        "the well-behaved watcher saw state flow"
+    );
+
+    let (_, merged_path) = &summary.merged[0];
+    let merged = std::fs::read(merged_path).expect("merged");
+    assert_eq!(
+        merged, golden,
+        "rows must be byte-identical with watchers attached, stalling, and detaching"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A version-skewed watcher is turned away with `Reject` naming both
+/// versions, and the run completes untouched.
+#[test]
+fn version_mismatched_watcher_is_rejected() {
+    let golden = golden_bytes("safe_regions");
+    let dir = scratch_dir("watcher-version");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+
+    let mut opts = ServeOptions::new(
+        vec![registry_experiment("safe_regions")],
+        Profile::Quick,
+        dir.clone(),
+        2,
+    );
+    opts.heartbeat = Duration::from_millis(200);
+
+    std::thread::scope(|scope| {
+        let server = scope.spawn(move || serve_on(listener, opts));
+
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        write_frame(
+            &mut writer,
+            &Message::Subscribe {
+                version: PROTOCOL_VERSION + 7,
+            },
+        )
+        .expect("send skewed subscribe");
+        let mut reader = FrameReader::new(stream);
+        match reader.read() {
+            Ok(Some(Message::Reject { reason })) => {
+                assert!(reason.contains("version mismatch"), "{reason}");
+                assert!(
+                    reason.contains(&format!("v{}", PROTOCOL_VERSION + 7)),
+                    "must name the watcher's version: {reason}"
+                );
+            }
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        drop(reader);
+        drop(writer);
+
+        let worker = scope.spawn(|| run_worker(&WorkerOptions::new(addr.clone())));
+        let summary = server.join().expect("server thread").expect("serve ok");
+        assert_eq!(summary.watchers, 0, "a rejected watcher never counts");
+        worker.join().expect("worker thread").expect("worker ok");
+    });
+
+    let merged = std::fs::read(dir.join("f3_safe_regions.jsonl")).expect("merged");
+    assert_eq!(merged, golden);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -16,6 +16,7 @@
 //! | D3   | no RNG construction from ambient entropy |
 //! | D4   | concurrency confined to the approved modules |
 //! | D5   | every `unsafe` block carries a `// SAFETY:` comment |
+//! | D6   | no bare-`{}` float `Display` on row/telemetry emission paths |
 //! | P1   | every `Message` variant has encode + decode arms and a round-trip test |
 //!
 //! Violations print rustc-style `file:line:col` diagnostics (or `--json`)

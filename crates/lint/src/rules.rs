@@ -110,6 +110,9 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     if scope::d5_applies(&file.rel) {
         out.extend(d5_unsafe_comment(file));
     }
+    if scope::d6_applies(&file.rel) {
+        out.extend(d6_float_format(file));
+    }
     out
 }
 
@@ -398,6 +401,252 @@ fn d5_unsafe_comment(file: &SourceFile) -> Vec<Violation> {
                 D5_HINT,
             ));
         }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// D6 — no bare float Display on emission paths
+// ---------------------------------------------------------------------------
+
+const D6_HINT: &str = "give the placeholder an explicit format — a precision \
+     (`{:.6}`), scientific (`{:e}`), or round-trip Debug (`{:?}`); bare `{}` \
+     on a float renders value-dependent widths on an emission surface";
+
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+];
+
+/// A float literal per the lexer's one-token numbers: a decimal point, an
+/// exponent, or an `f32`/`f64` suffix (radix-prefixed literals are never
+/// floats).
+fn is_float_literal(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase();
+    if lower.starts_with("0x") || lower.starts_with("0o") || lower.starts_with("0b") {
+        return false;
+    }
+    if lower.ends_with("f32") || lower.ends_with("f64") || lower.contains('.') {
+        return true;
+    }
+    // An exponent is an `e` followed by an optional sign and a digit; the
+    // `e` in an integer suffix (`3usize`) is not one.
+    let bytes = lower.as_bytes();
+    bytes.iter().enumerate().any(|(i, &b)| {
+        b == b'e'
+            && match bytes.get(i + 1) {
+                Some(b'+') | Some(b'-') => bytes.get(i + 2).is_some_and(u8::is_ascii_digit),
+                Some(d) => d.is_ascii_digit(),
+                None => false,
+            }
+    })
+}
+
+/// One `{…}` placeholder of a format string: the argument reference (empty
+/// for the next positional) and whether its spec pins the float rendering.
+struct Placeholder {
+    arg: String,
+    pinned: bool,
+}
+
+/// Parses the placeholders out of a format-string body, honouring `{{`/`}}`
+/// escapes. A spec pins the rendering when it asks for a precision (`.`),
+/// scientific notation (`e`/`E`), or Debug (`?` — the shortest-round-trip
+/// form serde uses for row floats).
+fn placeholders(fmt: &str) -> Vec<Placeholder> {
+    let mut out = Vec::new();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '}' {
+            // `}}` escape (or a stray close — rustc rejects those anyway).
+            chars.next_if_eq(&'}');
+            continue;
+        }
+        if c != '{' {
+            continue;
+        }
+        if chars.next_if_eq(&'{').is_some() {
+            continue; // `{{` escape
+        }
+        let mut body = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            body.push(c);
+        }
+        let (arg, spec) = match body.split_once(':') {
+            Some((a, s)) => (a, s),
+            None => (body.as_str(), ""),
+        };
+        // `$` parameters (`{:prec$}`, `{:.1$}`) count as explicit too —
+        // the caller named a width/precision, just dynamically.
+        let pinned = spec.contains('.')
+            || spec.contains('e')
+            || spec.contains('E')
+            || spec.contains('?')
+            || spec.contains('$');
+        out.push(Placeholder {
+            arg: arg.to_string(),
+            pinned,
+        });
+    }
+    out
+}
+
+/// Splits the token span of a macro's arguments (everything between the
+/// opening delimiter and its close) at top-level commas.
+fn split_args(sig: &[Token], open: usize) -> (Vec<Vec<Token>>, usize) {
+    let close_of = |s: &str| match s {
+        "(" => ")",
+        "[" => "]",
+        _ => "}",
+    };
+    let open_text = sig[open].text.clone();
+    let close_text = close_of(&open_text);
+    let mut args: Vec<Vec<Token>> = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
+    let mut depth = 1i32;
+    let mut i = open + 1;
+    while i < sig.len() {
+        let t = &sig[i];
+        if is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{") {
+            depth += 1;
+        } else if is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}") {
+            depth -= 1;
+            if depth == 0 && t.text == close_text {
+                break;
+            }
+        } else if depth == 1 && is_punct(t, ",") {
+            args.push(std::mem::take(&mut current));
+            i += 1;
+            continue;
+        }
+        current.push(t.clone());
+        i += 1;
+    }
+    if !current.is_empty() {
+        args.push(current);
+    }
+    (args, i)
+}
+
+/// Whether an argument expression produces a float: a float literal, a
+/// float-bound name used as a value (not called), or a duration-to-float
+/// conversion.
+fn expr_is_float(expr: &[Token], float_bound: &BTreeMap<String, u32>) -> bool {
+    for (i, t) in expr.iter().enumerate() {
+        match t.kind {
+            TokenKind::Number if is_float_literal(&t.text) => return true,
+            TokenKind::Ident => {
+                if t.text == "as_secs_f64" || t.text == "as_secs_f32" {
+                    return true;
+                }
+                let called = expr.get(i + 1).is_some_and(|n| is_punct(n, "("));
+                if !called && float_bound.contains_key(&t.text) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Flags format-macro placeholders that render a float through bare `{}`
+/// Display on an emission path. Two passes, the D1 shape: collect names
+/// bound to floats (annotations and float-literal initializers), then walk
+/// every `format!`-family call, match placeholders to their referents, and
+/// flag float referents whose spec pins nothing.
+fn d6_float_format(file: &SourceFile) -> Vec<Violation> {
+    let sig = &file.sig;
+    // Pass 1: float-bound names — `name: f64`, `name = 0.5`, and
+    // `for name in [floats]`-free simple bindings are all covered by the
+    // annotation/initializer shapes.
+    let mut float_bound: BTreeMap<String, u32> = BTreeMap::new();
+    for (i, t) in sig.iter().enumerate() {
+        let binder = if is_ident(t, "f64") || is_ident(t, "f32") {
+            ":"
+        } else if t.kind == TokenKind::Number && is_float_literal(&t.text) {
+            "="
+        } else {
+            continue;
+        };
+        if i >= 2 && is_punct(&sig[i - 1], binder) && sig[i - 2].kind == TokenKind::Ident {
+            float_bound.insert(sig[i - 2].text.clone(), sig[i - 2].line);
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < sig.len() {
+        let (name, bang, open) = (&sig[i], &sig[i + 1], &sig[i + 2]);
+        if !(name.kind == TokenKind::Ident
+            && FORMAT_MACROS.contains(&name.text.as_str())
+            && is_punct(bang, "!")
+            && (is_punct(open, "(") || is_punct(open, "[") || is_punct(open, "{")))
+        {
+            i += 1;
+            continue;
+        }
+        let (args, end) = split_args(sig, i + 2);
+        // The format string is the first Str argument: `format!("…")` has
+        // it first, `write!(out, "…")` second.
+        let fmt_pos = args
+            .iter()
+            .position(|a| a.len() == 1 && a[0].kind == TokenKind::Str);
+        let Some(fmt_pos) = fmt_pos else {
+            i += 3;
+            continue;
+        };
+        let fmt_token = args[fmt_pos][0].clone();
+        let rest = &args[fmt_pos + 1..];
+        // Named arguments (`name = expr`) and positional expressions.
+        let mut named: BTreeMap<String, &[Token]> = BTreeMap::new();
+        let mut positional: Vec<&[Token]> = Vec::new();
+        for arg in rest {
+            if arg.len() >= 3 && arg[0].kind == TokenKind::Ident && is_punct(&arg[1], "=") {
+                named.insert(arg[0].text.clone(), &arg[2..]);
+            } else {
+                positional.push(arg.as_slice());
+            }
+        }
+        let mut next_positional = 0usize;
+        for ph in placeholders(fmt_token.str_content()) {
+            let referent_is_float = if ph.arg.is_empty() {
+                let expr = positional.get(next_positional).copied();
+                next_positional += 1;
+                expr.is_some_and(|e| expr_is_float(e, &float_bound))
+            } else if let Ok(index) = ph.arg.parse::<usize>() {
+                positional
+                    .get(index)
+                    .is_some_and(|e| expr_is_float(e, &float_bound))
+            } else if let Some(expr) = named.get(&ph.arg) {
+                expr_is_float(expr, &float_bound)
+            } else {
+                // Inline capture: `{name}` names a binding directly.
+                float_bound.contains_key(&ph.arg)
+            };
+            if referent_is_float && !ph.pinned {
+                out.push(violation(
+                    "D6",
+                    file,
+                    &fmt_token,
+                    format!(
+                        "float rendered through a bare `{{}}` in `{}!` on an emission path",
+                        name.text
+                    ),
+                    D6_HINT,
+                ));
+            }
+        }
+        i = end + 1;
     }
     out
 }

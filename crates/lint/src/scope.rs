@@ -34,8 +34,10 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 const BENCH_EMISSION: &[&str] = &["crates/bench/src/lab.rs", "crates/bench/src/resume.rs"];
 
 /// The only modules allowed to spawn threads, share state, or read the
-/// wall clock: the sweep thread pool and the coordinator/worker net layer.
-const CONCURRENCY_MODULES: &[&str] = &["crates/bench/src/sweep.rs"];
+/// wall clock: the sweep thread pool, the coordinator/worker net layer,
+/// and the telemetry plane's one audited lock wrapper (everything else in
+/// `cohesion-telemetry` goes through it).
+const CONCURRENCY_MODULES: &[&str] = &["crates/bench/src/sweep.rs", "crates/telemetry/src/sync.rs"];
 
 fn in_deterministic_src(rel: &str) -> bool {
     DETERMINISTIC_CRATES
@@ -78,6 +80,16 @@ pub fn d4_applies(rel: &str) -> bool {
 /// D5: everywhere.
 pub fn d5_applies(_rel: &str) -> bool {
     true
+}
+
+/// D6: the emission surfaces — bench row/report emission, the telemetry
+/// plane's sources, and the `lab watch` renderer. A bare `{}` on a float
+/// there prints value-dependent widths into files and frames that external
+/// tools parse.
+pub fn d6_applies(rel: &str) -> bool {
+    in_bench_emission(rel)
+        || rel.starts_with("crates/telemetry/src/")
+        || rel == "crates/bench/src/net/watch.rs"
 }
 
 /// The two files rule P1 cross-checks.

@@ -1,0 +1,23 @@
+// D6 fixture — MUST PASS: every float placeholder pins its rendering, and
+// non-float values may use bare `{}` freely.
+
+use std::io::Write;
+
+pub fn emit(out: &mut impl Write, diameter: f64, events: u64, label: &str) {
+    // Explicit precision.
+    println!("diameter {diameter:.6}");
+    // Scientific notation.
+    println!("epsilon {:e}", 0.05);
+    // Debug is the shortest-round-trip form serde uses for row floats.
+    writeln!(out, "raw {diameter:?}").unwrap();
+    // Dynamic precision via `$` still names an explicit format.
+    let places = 3usize;
+    println!("rounded {diameter:.places$}");
+    // Integers and strings are not D6's business.
+    let summary = format!("{label}: {events} events, shard {}", 7);
+    out.write_all(summary.as_bytes()).unwrap();
+    // A float-named binding that is shadowed into a string render of its
+    // own: formatting the *string* is fine.
+    let rendered = format!("{diameter:.3}");
+    println!("pre-rendered {rendered}");
+}

@@ -1,0 +1,23 @@
+// D6 fixture — MUST TRIP: floats rendered through bare `{}` Display on an
+// emission path, one per supported referent shape.
+
+use std::io::Write;
+
+pub fn emit(out: &mut impl Write, diameter: f64, events: u64) {
+    // Inline capture of a float-annotated binding.
+    println!("diameter {diameter}");
+    // Next-positional argument that is a float-typed name.
+    println!("reached {} at {} events", diameter, events);
+    // Indexed positional referencing a float expression.
+    let ratio = 0.125;
+    eprintln!("ratio {0}", ratio * 2.0);
+    // Named argument bound to a duration-to-float conversion.
+    writeln!(out, "took {secs}", secs = elapsed().as_secs_f64()).unwrap();
+    // A float literal fed straight into format!.
+    let banner = format!("epsilon defaults to {}", 0.05);
+    out.write_all(banner.as_bytes()).unwrap();
+}
+
+fn elapsed() -> std::time::Duration {
+    std::time::Duration::from_millis(1)
+}

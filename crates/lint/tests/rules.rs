@@ -15,6 +15,8 @@ const D4_TRIP: &str = include_str!("fixtures/d4_trip.rs");
 const D4_PASS: &str = include_str!("fixtures/d4_pass.rs");
 const D5_TRIP: &str = include_str!("fixtures/d5_trip.rs");
 const D5_PASS: &str = include_str!("fixtures/d5_pass.rs");
+const D6_TRIP: &str = include_str!("fixtures/d6_trip.rs");
+const D6_PASS: &str = include_str!("fixtures/d6_pass.rs");
 
 /// A path inside a deterministic crate's src/ — every D-rule is in scope.
 const DET_SRC: &str = "crates/engine/src/fixture.rs";
@@ -158,6 +160,53 @@ fn d5_passes_documented_unsafe() {
 fn d5_applies_even_in_tests() {
     let v = check_source("crates/engine/tests/fixture.rs", D5_TRIP);
     assert!(v.iter().any(|v| v.rule == "D5"), "{v:#?}");
+}
+
+// --- D6 -------------------------------------------------------------------
+
+#[test]
+fn d6_trips_on_bare_float_display() {
+    // One violation per referent shape: inline capture, next-positional,
+    // indexed positional, named argument, and a raw float literal.
+    let v = check_source("crates/bench/src/lab.rs", D6_TRIP);
+    assert_eq!(rules_of(&v), ["D6", "D6", "D6", "D6", "D6"], "{v:#?}");
+    assert!(v.iter().any(|v| v.message.contains("`println!`")));
+    assert!(v.iter().any(|v| v.message.contains("`eprintln!`")));
+    assert!(v.iter().any(|v| v.message.contains("`writeln!`")));
+    assert!(v.iter().any(|v| v.message.contains("`format!`")));
+    assert!(v.iter().all(|v| v.line > 0 && v.col > 0));
+}
+
+#[test]
+fn d6_passes_pinned_formats_and_non_floats() {
+    let v = check_source("crates/bench/src/lab.rs", D6_PASS);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn d6_applies_across_the_telemetry_plane() {
+    for rel in [
+        "crates/telemetry/src/store.rs",
+        "crates/bench/src/net/watch.rs",
+        "crates/bench/src/experiments/fixture.rs",
+    ] {
+        let v = check_source(rel, D6_TRIP);
+        assert!(v.iter().any(|v| v.rule == "D6"), "{rel}: {v:#?}");
+    }
+}
+
+#[test]
+fn d6_out_of_scope_off_the_emission_paths() {
+    // Engine internals and test harnesses may Display floats freely — only
+    // the bytes that land in rows, frames, and dashboards are pinned.
+    for rel in [
+        DET_SRC,
+        "crates/bench/src/net/coordinator.rs",
+        "crates/bench/tests/fixture.rs",
+    ] {
+        let v = check_source(rel, D6_TRIP);
+        assert!(!v.iter().any(|v| v.rule == "D6"), "{rel}: {v:#?}");
+    }
 }
 
 // --- P1 -------------------------------------------------------------------

@@ -1,0 +1,64 @@
+//! The telemetry plane's one approved concurrency module.
+//!
+//! Everything shared-state in `cohesion-telemetry` funnels through
+//! [`Guarded`], a closure-scoped mutex wrapper. Two reasons beyond taste:
+//!
+//! * **Lint scope.** Workspace rule D4 confines concurrency primitives to
+//!   named modules; this file is one of them. The store ([`crate::store`])
+//!   and the bench progress sinks hold a `Guarded<T>` instead of a raw
+//!   `Mutex<T>`, so the primitive — and the reasoning about what it
+//!   serializes — lives in exactly one audited place.
+//! * **No exposed guards.** `Guarded::with` hands the closure `&mut T` and
+//!   returns; callers cannot hold a lock across I/O they did not pass in,
+//!   recurse into the store, or leak a guard into a struct. Every critical
+//!   section is visibly bounded at the call site.
+//!
+//! Poisoning is deliberately swallowed (`PoisonError::into_inner`): the
+//! store holds plain data whose invariants are re-established on every
+//! publish, and telemetry must keep flowing after a panicked publisher —
+//! a dashboard that dies with the first broken cell helps nobody.
+
+use std::sync::Mutex;
+
+/// A mutex whose lock can only be used inside a closure — the telemetry
+/// plane's sole concurrency primitive (see the module docs).
+#[derive(Debug, Default)]
+pub struct Guarded<T> {
+    inner: Mutex<T>,
+}
+
+impl<T> Guarded<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Guarded<T> {
+        Guarded {
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the value. Blocks only for the
+    /// duration of other `with` calls — nothing outside the closure can
+    /// hold the lock.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut guard)
+    }
+
+    /// Consumes the wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_serializes_access() {
+        let g = Guarded::new(0u64);
+        g.with(|v| *v += 1);
+        g.with(|v| *v += 1);
+        assert_eq!(g.with(|v| *v), 2);
+        assert_eq!(g.into_inner(), 2);
+    }
+}
